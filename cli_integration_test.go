@@ -1,0 +1,157 @@
+package mendel
+
+// End-to-end test of the shipped binaries: mendel-datagen generates a FASTA
+// database, two mendel-node daemons serve storage over TCP, and the mendel
+// CLI indexes, queries, inspects stats, and — after the nodes checkpoint
+// to disk and restart — queries again without re-indexing.
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// startNode launches a mendel-node daemon and returns its bound address and
+// a stopper that delivers SIGTERM and waits for exit.
+func startNode(t *testing.T, bin string, args ...string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	deadline := time.After(10 * time.Second)
+	lineCh := make(chan string, 4)
+	go func() {
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	for addr == "" {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatal("mendel-node exited before announcing its address")
+			}
+			if strings.Contains(line, "listening on ") {
+				addr = strings.TrimSpace(line[strings.Index(line, "listening on ")+len("listening on "):])
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("timed out waiting for mendel-node to start")
+		}
+	}
+	go func() {
+		for range lineCh {
+		}
+	}()
+	stop := func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	return addr, stop
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	nodeBin := buildTool(t, dir, "./cmd/mendel-node")
+	cliBin := buildTool(t, dir, "./cmd/mendel")
+	genBin := buildTool(t, dir, "./cmd/mendel-datagen")
+
+	// Dataset: 30 proteins of ~400 residues, plus 2 mutated queries.
+	dbFasta := filepath.Join(dir, "nr.fasta")
+	runTool(t, genBin, "-kind", "protein", "-n", "30", "-len", "400", "-out", dbFasta)
+	queryFasta := filepath.Join(dir, "q.fasta")
+	runTool(t, genBin, "-kind", "protein", "-queries-from", dbFasta,
+		"-n", "2", "-len", "120", "-sub", "0.05", "-indel", "0.0", "-out", queryFasta)
+
+	// Two storage nodes with snapshot files.
+	snap1 := filepath.Join(dir, "n1.snap")
+	snap2 := filepath.Join(dir, "n2.snap")
+	addr1, stop1 := startNode(t, nodeBin, "-addr", "127.0.0.1:0", "-data", snap1)
+	addr2, stop2 := startNode(t, nodeBin, "-addr", "127.0.0.1:0", "-data", snap2)
+
+	manifest := filepath.Join(dir, "cluster.mendel")
+	out := runTool(t, cliBin, "index",
+		"-nodes", addr1+","+addr2, "-groups", "2", "-kind", "protein",
+		"-fasta", dbFasta, "-manifest", manifest)
+	if !strings.Contains(out, "indexed 30 sequences") {
+		t.Fatalf("index output:\n%s", out)
+	}
+
+	out = runTool(t, cliBin, "stats", "-manifest", manifest)
+	if !strings.Contains(out, "2 nodes") || !strings.Contains(out, "30 sequences") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+
+	out = runTool(t, cliBin, "query", "-manifest", manifest, "-fasta", queryFasta)
+	if !strings.Contains(out, "hits in") {
+		t.Fatalf("query output:\n%s", out)
+	}
+	if strings.Contains(out, ": 0 hits") {
+		t.Fatalf("query found nothing:\n%s", out)
+	}
+
+	// Checkpoint both nodes (SIGTERM writes snapshots) ...
+	stop1()
+	stop2()
+	if fi, err := os.Stat(snap1); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot 1 missing: %v", err)
+	}
+
+	// ... restart on the SAME addresses and query without re-indexing.
+	addr1b, stop1b := startNode(t, nodeBin, "-addr", addr1, "-data", snap1)
+	defer stop1b()
+	addr2b, stop2b := startNode(t, nodeBin, "-addr", addr2, "-data", snap2)
+	defer stop2b()
+	if addr1b != addr1 || addr2b != addr2 {
+		t.Fatalf("restart changed addresses: %s %s", addr1b, addr2b)
+	}
+	out = runTool(t, cliBin, "query", "-manifest", manifest, "-fasta", queryFasta)
+	if strings.Contains(out, ": 0 hits") {
+		t.Fatalf("restarted cluster lost data:\n%s", out)
+	}
+}

@@ -1,0 +1,89 @@
+// Command mendel-datagen generates the synthetic datasets the experiments
+// run on: nr-like protein (or DNA) reference databases and mutated query
+// sets, written as FASTA.
+//
+// Examples:
+//
+//	mendel-datagen -kind protein -n 1000 -len 500 -out nr.fasta
+//	mendel-datagen -kind protein -queries-from nr.fasta -n 50 -len 1000 \
+//	    -sub 0.05 -indel 0.01 -out queries.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"mendel"
+	"mendel/internal/datagen"
+	"mendel/internal/seq"
+)
+
+func main() {
+	kindName := flag.String("kind", "protein", "molecule kind: protein or dna")
+	n := flag.Int("n", 100, "number of sequences to generate")
+	length := flag.Int("len", 500, "sequence (or query) length")
+	jitter := flag.Int("jitter", 0, "uniform length jitter (+/- residues)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	queriesFrom := flag.String("queries-from", "", "sample mutated queries from this FASTA database instead of generating fresh sequences")
+	sub := flag.Float64("sub", 0.05, "substitution rate for query sampling")
+	indel := flag.Float64("indel", 0.01, "indel rate for query sampling")
+	prefix := flag.String("prefix", "seq", "sequence name prefix")
+	flag.Parse()
+
+	var kind seq.Kind
+	switch *kindName {
+	case "protein":
+		kind = mendel.Protein
+	case "dna":
+		kind = mendel.DNA
+	default:
+		log.Fatalf("mendel-datagen: unknown kind %q", *kindName)
+	}
+
+	gen := datagen.New(kind, *seed)
+	var set *mendel.Set
+	if *queriesFrom != "" {
+		f, err := os.Open(*queriesFrom)
+		if err != nil {
+			log.Fatalf("mendel-datagen: %v", err)
+		}
+		db, err := mendel.ReadFASTA(f, kind)
+		f.Close()
+		if err != nil {
+			log.Fatalf("mendel-datagen: %v", err)
+		}
+		queries, err := gen.QuerySet(db, *n, *length, *sub, *indel)
+		if err != nil {
+			log.Fatalf("mendel-datagen: %v", err)
+		}
+		set = mendel.NewSet(kind)
+		for i, q := range queries {
+			if _, err := set.Add(fmt.Sprintf("%s%06d", *prefix, i), q); err != nil {
+				log.Fatalf("mendel-datagen: %v", err)
+			}
+		}
+	} else {
+		var err error
+		set, err = gen.Database(*n, *length, *jitter, *prefix)
+		if err != nil {
+			log.Fatalf("mendel-datagen: %v", err)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("mendel-datagen: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := mendel.WriteFASTA(w, set, 70); err != nil {
+		log.Fatalf("mendel-datagen: %v", err)
+	}
+}

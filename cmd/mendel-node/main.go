@@ -1,0 +1,60 @@
+// Command mendel-node runs one Mendel storage node, serving the cluster
+// protocol over TCP until interrupted. Nodes start empty and inert; a
+// coordinator (cmd/mendel or library code using mendel.NewTCPCluster)
+// bootstraps them with the shared hash tree and topology when it indexes
+// data.
+//
+// Usage:
+//
+//	mendel-node -addr 0.0.0.0:7946
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mendel"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
+	dataFile := flag.String("data", "", "snapshot file: loaded at startup if present, written on shutdown")
+	flag.Parse()
+
+	srv, err := mendel.ServeNode(*addr)
+	if err != nil {
+		log.Fatalf("mendel-node: %v", err)
+	}
+	if *dataFile != "" {
+		if f, err := os.Open(*dataFile); err == nil {
+			if err := srv.Load(f); err != nil {
+				log.Fatalf("mendel-node: loading %s: %v", *dataFile, err)
+			}
+			f.Close()
+			fmt.Printf("mendel-node restored state from %s\n", *dataFile)
+		}
+	}
+	fmt.Printf("mendel-node listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if *dataFile != "" {
+		f, err := os.Create(*dataFile)
+		if err != nil {
+			log.Fatalf("mendel-node: %v", err)
+		}
+		if err := srv.Save(f); err != nil {
+			log.Fatalf("mendel-node: saving %s: %v", *dataFile, err)
+		}
+		f.Close()
+		fmt.Printf("mendel-node saved state to %s\n", *dataFile)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("mendel-node: shutdown: %v", err)
+	}
+}

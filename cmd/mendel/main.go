@@ -1,0 +1,294 @@
+// Command mendel is the client CLI for a TCP Mendel cluster: it indexes
+// FASTA data onto running mendel-node processes, saves the coordinator
+// manifest, and evaluates alignment queries against a previously indexed
+// cluster.
+//
+// Typical session (nodes started beforehand with cmd/mendel-node):
+//
+//	mendel index -nodes 127.0.0.1:7946,127.0.0.1:7947 -groups 2 \
+//	    -kind protein -fasta nr.fasta -manifest cluster.mendel
+//	mendel query -manifest cluster.mendel -fasta queries.fasta
+//	mendel stats -manifest cluster.mendel
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mendel"
+	"mendel/internal/seq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "index":
+		cmdIndex(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mendel <command> [flags]
+
+commands:
+  index   fragment and index a FASTA file onto running storage nodes
+  query   evaluate alignment queries against an indexed cluster
+  stats   print per-node storage statistics`)
+	os.Exit(2)
+}
+
+func cmdIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	nodeList := fs.String("nodes", "", "comma-separated storage node addresses (required)")
+	groups := fs.Int("groups", 2, "number of storage groups")
+	kindName := fs.String("kind", "protein", "molecule kind: protein or dna")
+	fasta := fs.String("fasta", "", "FASTA file with reference sequences (required)")
+	manifest := fs.String("manifest", "cluster.mendel", "manifest file to create or extend")
+	blockLen := fs.Int("block", 16, "inverted index block length w")
+	fs.Parse(args)
+	if *nodeList == "" && !fileExists(*manifest) {
+		log.Fatal("mendel index: -nodes is required for a new cluster")
+	}
+	if *fasta == "" {
+		log.Fatal("mendel index: -fasta is required")
+	}
+
+	kind := parseKind(*kindName)
+	var cluster *mendel.Cluster
+	if fileExists(*manifest) {
+		cluster = loadManifest(*manifest)
+	} else {
+		cfg := mendel.DefaultConfig(kind)
+		cfg.Groups = *groups
+		cfg.BlockLen = *blockLen
+		nodes := strings.Split(*nodeList, ",")
+		groupLists, err := splitGroups(nodes, *groups)
+		if err != nil {
+			log.Fatalf("mendel index: %v", err)
+		}
+		cluster, err = mendel.NewTCPCluster(cfg, groupLists)
+		if err != nil {
+			log.Fatalf("mendel index: %v", err)
+		}
+	}
+
+	f, err := os.Open(*fasta)
+	if err != nil {
+		log.Fatalf("mendel index: %v", err)
+	}
+	set, err := mendel.ReadFASTA(f, cluster.Config().Kind)
+	f.Close()
+	if err != nil {
+		log.Fatalf("mendel index: %v", err)
+	}
+	start := time.Now()
+	if err := cluster.Index(context.Background(), set); err != nil {
+		log.Fatalf("mendel index: %v", err)
+	}
+	fmt.Printf("indexed %d sequences (%d residues) in %v\n",
+		set.Len(), set.TotalResidues(), time.Since(start).Round(time.Millisecond))
+
+	out, err := os.Create(*manifest)
+	if err != nil {
+		log.Fatalf("mendel index: %v", err)
+	}
+	defer out.Close()
+	if err := mendel.SaveManifest(cluster, out); err != nil {
+		log.Fatalf("mendel index: %v", err)
+	}
+	fmt.Printf("manifest written to %s\n", *manifest)
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	fasta := fs.String("fasta", "", "FASTA file with query sequences")
+	inline := fs.String("seq", "", "inline query sequence")
+	maxHits := fs.Int("max-hits", 10, "hits to print per query")
+	maxE := fs.Float64("evalue", 10, "expectation value threshold E")
+	step := fs.Int("step", 0, "sliding window step k (0 = block length)")
+	neighbors := fs.Int("n", 12, "nearest neighbours per subquery")
+	identity := fs.Float64("identity", 0.30, "identity threshold i")
+	cscore := fs.Float64("cscore", 0.40, "consecutivity threshold c")
+	matrixName := fs.String("matrix", "", "scoring matrix M (default by kind)")
+	bothStrands := fs.Bool("strands", false, "also search the reverse complement (DNA clusters)")
+	mask := fs.Bool("mask", false, "mask low-complexity query regions before searching")
+	translated := fs.Bool("translated", false, "treat queries as DNA and search a protein cluster in all six reading frames (blastx-style)")
+	trace := fs.Bool("trace", false, "print a per-stage execution trace for each query")
+	fs.Parse(args)
+
+	cluster := loadManifest(*manifest)
+	params := mendel.DefaultParams()
+	params.MaxE = *maxE
+	params.Neighbors = *neighbors
+	params.Identity = *identity
+	params.CScore = *cscore
+	if *step > 0 {
+		params.Step = *step
+	} else {
+		params.Step = cluster.Config().BlockLen
+	}
+	if *matrixName != "" {
+		params.Matrix = *matrixName
+	} else if cluster.Config().Kind == mendel.DNA {
+		params.Matrix = "DNA"
+	}
+	params.BothStrands = *bothStrands
+	params.Mask = *mask
+
+	queryKind := cluster.Config().Kind
+	if *translated {
+		queryKind = mendel.DNA
+	}
+	queries := mendel.NewSet(queryKind)
+	switch {
+	case *inline != "":
+		if _, err := queries.Add("query", []byte(*inline)); err != nil {
+			log.Fatalf("mendel query: %v", err)
+		}
+	case *fasta != "":
+		f, err := os.Open(*fasta)
+		if err != nil {
+			log.Fatalf("mendel query: %v", err)
+		}
+		queries, err = mendel.ReadFASTA(f, queryKind)
+		f.Close()
+		if err != nil {
+			log.Fatalf("mendel query: %v", err)
+		}
+	default:
+		log.Fatal("mendel query: provide -seq or -fasta")
+	}
+
+	ctx := context.Background()
+	for _, q := range queries.Seqs {
+		start := time.Now()
+		var hits []mendel.Hit
+		var frames []int
+		if *translated {
+			thits, err := cluster.SearchTranslated(ctx, q.Data, params)
+			if err != nil {
+				log.Fatalf("mendel query: %s: %v", q.Name, err)
+			}
+			for _, th := range thits {
+				hits = append(hits, th.Hit)
+				frames = append(frames, th.Frame)
+			}
+			fmt.Printf("query %s (%d nt, six frames): %d hits in %v\n",
+				q.Name, q.Len(), len(hits), time.Since(start).Round(time.Microsecond))
+		} else if *trace {
+			var tr *mendel.SearchStats
+			var err error
+			hits, tr, err = cluster.SearchTrace(ctx, q.Data, params)
+			if err != nil {
+				log.Fatalf("mendel query: %s: %v", q.Name, err)
+			}
+			fmt.Printf("query %s: %s\n", q.Name, tr)
+		} else {
+			var err error
+			hits, err = cluster.Search(ctx, q.Data, params)
+			if err != nil {
+				log.Fatalf("mendel query: %s: %v", q.Name, err)
+			}
+			fmt.Printf("query %s (%d residues): %d hits in %v\n",
+				q.Name, q.Len(), len(hits), time.Since(start).Round(time.Microsecond))
+		}
+		for i, h := range hits {
+			if i >= *maxHits {
+				fmt.Printf("  ... %d more\n", len(hits)-*maxHits)
+				break
+			}
+			extra := ""
+			if len(frames) == len(hits) {
+				extra = fmt.Sprintf(" frame=%d", frames[i])
+			} else if h.Strand == '-' {
+				extra = " strand=-"
+			}
+			fmt.Printf("  %-20s bits=%6.1f E=%8.2g  q[%d:%d] s[%d:%d] %s%s\n",
+				h.Name, h.Bits, h.E,
+				h.Alignment.QStart, h.Alignment.QEnd,
+				h.Alignment.SStart, h.Alignment.SEnd,
+				h.Alignment.CIGAR(), extra)
+		}
+	}
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	fs.Parse(args)
+	cluster := loadManifest(*manifest)
+	stats, err := cluster.Stats(context.Background())
+	if err != nil {
+		log.Fatalf("mendel stats: %v", err)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Node < stats[j].Node })
+	total := 0
+	for _, s := range stats {
+		total += s.Blocks
+	}
+	fmt.Printf("%d nodes, %d blocks, %d sequences, %d residues indexed\n",
+		len(stats), total, cluster.NumSequences(), cluster.TotalResidues())
+	for _, s := range stats {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.Blocks) / float64(total)
+		}
+		fmt.Printf("  %-22s blocks=%-8d (%5.2f%%) repo-seqs=%d\n", s.Node, s.Blocks, pct, s.Sequences)
+	}
+}
+
+func loadManifest(path string) *mendel.Cluster {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("mendel: opening manifest: %v", err)
+	}
+	defer f.Close()
+	cluster, err := mendel.LoadManifestTCP(f)
+	if err != nil {
+		log.Fatalf("mendel: loading manifest: %v", err)
+	}
+	return cluster
+}
+
+func parseKind(name string) mendel.Kind {
+	switch name {
+	case "protein":
+		return mendel.Protein
+	case "dna":
+		return mendel.DNA
+	default:
+		log.Fatalf("mendel: unknown kind %q", name)
+		return seq.Protein
+	}
+}
+
+func splitGroups(nodes []string, groups int) ([][]string, error) {
+	if groups <= 0 || len(nodes) < groups {
+		return nil, fmt.Errorf("%d nodes cannot fill %d groups", len(nodes), groups)
+	}
+	out := make([][]string, groups)
+	for i, n := range nodes {
+		out[i%groups] = append(out[i%groups], strings.TrimSpace(n))
+	}
+	return out, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,118 @@
+// Protein homology search: Mendel and the from-scratch BLAST baseline run
+// side by side over the same database, at several query divergence levels —
+// a miniature of the paper's Fig. 6a/6d comparisons showing turnaround and
+// sensitivity per system.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mendel"
+)
+
+const residues = "ARNDCQEGHILKMFPSTWYV"
+
+func randomProtein(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = residues[rng.Intn(len(residues))]
+	}
+	return out
+}
+
+// mutateToSimilarity substitutes (1-sim) of the positions.
+func mutateToSimilarity(rng *rand.Rand, in []byte, sim float64) []byte {
+	out := append([]byte(nil), in...)
+	for _, p := range rng.Perm(len(in))[:int(float64(len(in))*(1-sim))] {
+		for {
+			c := residues[rng.Intn(len(residues))]
+			if c != out[p] {
+				out[p] = c
+				break
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+
+	// Shared database: 60 proteins of ~500 residues.
+	db := mendel.NewSet(mendel.Protein)
+	for i := 0; i < 60; i++ {
+		if _, err := db.Add(fmt.Sprintf("nr%04d", i), randomProtein(rng, 500)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := mendel.DefaultConfig(mendel.Protein)
+	cfg.Groups = 4
+	cluster, err := mendel.NewInProcess(cfg, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Index(ctx, db); err != nil {
+		log.Fatal(err)
+	}
+	bdb, err := mendel.NewBlastDB(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("similarity  system  time        top hit    found")
+	fmt.Println("----------  ------  ----------  ---------  -----")
+	target := 42 // query derives from db sequence nr0042
+	for _, sim := range []float64{0.95, 0.80, 0.65, 0.50} {
+		query := mutateToSimilarity(rng, db.Seqs[target].Data[100:350], sim)
+
+		params := mendel.DefaultParams()
+		if sim < 0.6 {
+			params.Identity = 0.15
+			params.CScore = 0.2
+			params.Neighbors = 16
+		}
+		start := time.Now()
+		mHits, err := cluster.Search(ctx, query, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mTime := time.Since(start)
+		report("mendel", sim, mTime, mHits, target)
+
+		start = time.Now()
+		bHits, err := bdb.Search(query, params.MaxE)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bTime := time.Since(start)
+		reportBlast("blast", sim, bTime, bHits, target)
+	}
+}
+
+func report(system string, sim float64, d time.Duration, hits []mendel.Hit, target int) {
+	top, found := "-", "no"
+	if len(hits) > 0 {
+		top = hits[0].Name
+		if int(hits[0].Seq) == target {
+			found = "yes"
+		}
+	}
+	fmt.Printf("%9.0f%%  %-6s  %-10v  %-9s  %s\n", sim*100, system, d.Round(time.Microsecond), top, found)
+}
+
+func reportBlast(system string, sim float64, d time.Duration, hits []mendel.BlastHit, target int) {
+	top, found := "-", "no"
+	if len(hits) > 0 {
+		top = hits[0].Name
+		if int(hits[0].Seq) == target {
+			found = "yes"
+		}
+	}
+	fmt.Printf("%9.0f%%  %-6s  %-10v  %-9s  %s\n", sim*100, system, d.Round(time.Microsecond), top, found)
+}

@@ -1,0 +1,70 @@
+// Quickstart: stand up an in-process Mendel cluster, index a small protein
+// database, and run one similarity search — the minimal end-to-end use of
+// the public API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mendel"
+)
+
+const residues = "ARNDCQEGHILKMFPSTWYV"
+
+func randomProtein(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = residues[rng.Intn(len(residues))]
+	}
+	return out
+}
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+
+	// 1. An eight-node cluster in four similarity groups, all in-process.
+	cfg := mendel.DefaultConfig(mendel.Protein)
+	cfg.Groups = 4
+	cluster, err := mendel.NewInProcess(cfg, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A small reference database: 25 random proteins of 400 residues.
+	db := mendel.NewSet(mendel.Protein)
+	for i := 0; i < 25; i++ {
+		if _, err := db.Add(fmt.Sprintf("protein-%02d", i), randomProtein(rng, 400)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cluster.Index(ctx, db); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d sequences (%d residues) across %d nodes in %d groups\n",
+		cluster.NumSequences(), cluster.TotalResidues(), 8, cfg.Groups)
+
+	// 3. Query with a mutated excerpt of protein-13 (10% substitutions).
+	query := append([]byte(nil), db.Seqs[13].Data[120:280]...)
+	for i := 0; i < len(query); i += 10 {
+		query[i] = residues[rng.Intn(len(residues))]
+	}
+	hits, err := cluster.Search(ctx, query, mendel.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("query of %d residues returned %d hits\n\n", len(query), len(hits))
+	for i, h := range hits {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("#%d %s  bits=%.1f  E=%.2g  identity=%.0f%%\n",
+			i+1, h.Name, h.Bits, h.E,
+			100*h.Alignment.Identity(query, db.Seqs[h.Seq].Data))
+	}
+}

@@ -1,0 +1,83 @@
+// Six-frame translated search (blastx-style): DNA reads from a sequencer
+// are searched against a protein reference database by conceptually
+// translating each read in all six reading frames. This is the classic
+// workflow for annotating metagenomic reads against a protein knowledgebase
+// like nr — the paper's motivating dataset.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"mendel"
+)
+
+const residues = "ARNDCQEGHILKMFPSTWYV"
+
+// codonFor reverse-translates one amino acid (an arbitrary valid codon).
+var codonFor = map[byte]string{
+	'A': "GCT", 'R': "CGT", 'N': "AAT", 'D': "GAT", 'C': "TGT",
+	'Q': "CAA", 'E': "GAA", 'G': "GGT", 'H': "CAT", 'I': "ATT",
+	'L': "CTT", 'K': "AAA", 'M': "ATG", 'F': "TTT", 'P': "CCT",
+	'S': "TCT", 'T': "ACT", 'W': "TGG", 'Y': "TAT", 'V': "GTT",
+}
+
+func randomProtein(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = residues[rng.Intn(len(residues))]
+	}
+	return out
+}
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(41))
+
+	// Protein reference database on an in-process cluster.
+	cfg := mendel.DefaultConfig(mendel.Protein)
+	cfg.Groups = 3
+	cluster, err := mendel.NewInProcess(cfg, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := mendel.NewSet(mendel.Protein)
+	for i := 0; i < 40; i++ {
+		if _, err := db.Add(fmt.Sprintf("prot%03d", i), randomProtein(rng, 350)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cluster.Index(ctx, db); err != nil {
+		log.Fatal(err)
+	}
+
+	// A sequencing read covering residues 80-170 of prot017, with a frame
+	// shift: 2 leading junk bases push the coding region into frame 2.
+	var coding strings.Builder
+	for _, aa := range db.Seqs[17].Data[80:170] {
+		coding.WriteString(codonFor[aa])
+	}
+	read := []byte("GT" + coding.String() + "ACGTA")
+
+	hits, err := cluster.SearchTranslated(ctx, read, mendel.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read of %d nt against %d proteins: %d translated hits\n\n",
+		len(read), db.Len(), len(hits))
+	for i, h := range hits {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("#%d %s  frame=%d  bits=%.1f  E=%.2g  q[%d:%d] s[%d:%d]\n",
+			i+1, h.Name, h.Frame, h.Bits, h.E,
+			h.Alignment.QStart, h.Alignment.QEnd,
+			h.Alignment.SStart, h.Alignment.SEnd)
+	}
+	if len(hits) > 0 && hits[0].Name == "prot017" && hits[0].Frame == 2 {
+		fmt.Println("\ncorrect protein recovered from the frame-shifted read")
+	}
+}

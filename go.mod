@@ -1,0 +1,3 @@
+module mendel
+
+go 1.22

@@ -1,0 +1,184 @@
+package align
+
+import "mendel/internal/matrix"
+
+// BandedSmithWaterman computes the best local alignment whose path stays
+// within the diagonal band [minDiag, maxDiag], where a cell aligning
+// query[i-1] with subject[j-1] lies on diagonal j-i. This implements the
+// paper's gapped extension step (§V-B): an anchor on diagonal d is extended
+// considering alignments within l diagonals in either direction, i.e. band
+// [d-l, d+l]. Time and memory are O(len(query) * bandWidth).
+func BandedSmithWaterman(query, subject []byte, minDiag, maxDiag int, m *matrix.Matrix) Alignment {
+	qn, sn := len(query), len(subject)
+	if qn == 0 || sn == 0 || minDiag > maxDiag {
+		return Alignment{}
+	}
+	// Clamp the band to diagonals that intersect the matrix at all.
+	if minDiag < -qn {
+		minDiag = -qn
+	}
+	if maxDiag > sn {
+		maxDiag = sn
+	}
+	if minDiag > maxDiag {
+		return Alignment{}
+	}
+	width := maxDiag - minDiag + 1
+	openCost := m.GapOpen + m.GapExtend
+	extCost := m.GapExtend
+
+	// Band storage: column b of row i holds matrix column j = i + minDiag + b.
+	// Two padding columns (b = -1 and b = width) hold -inf sentinels so the
+	// recurrences never index outside the band.
+	rowLen := width + 2
+	h := make([]int, rowLen)     // h[b+1] = H[i][j]
+	ins := make([]int, rowLen)   // Ins matrix (gap in subject, consumes query)
+	del := make([]int, rowLen)   // Del matrix (gap in query, consumes subject)
+	hPrev := make([]int, rowLen) // previous row
+	insPrev := make([]int, rowLen)
+	tb := make([]byte, (qn+1)*rowLen)
+
+	for b := 0; b < rowLen; b++ {
+		h[b], ins[b], del[b] = negInf, negInf, negInf
+	}
+	// Row 0: H[0][j] = 0 for in-band j >= 0.
+	for b := 0; b < width; b++ {
+		if j := 0 + minDiag + b; j >= 0 && j <= sn {
+			h[b+1] = 0
+		}
+	}
+
+	best, bi, bb := 0, 0, 0
+	for i := 1; i <= qn; i++ {
+		copy(hPrev, h)
+		copy(insPrev, ins)
+		for b := 0; b < rowLen; b++ {
+			h[b], ins[b], del[b] = negInf, negInf, negInf
+		}
+		row := tb[i*rowLen:]
+		for b := 0; b < width; b++ {
+			j := i + minDiag + b
+			if j < 0 || j > sn {
+				continue
+			}
+			if j == 0 {
+				h[b+1] = 0 // local-alignment boundary column
+				continue
+			}
+			// In band coordinates, (i-1, j) is column b+1 of the previous
+			// row, (i-1, j-1) is column b, and (i, j-1) is column b-1 of
+			// the current row.
+			insOpen := hPrev[b+2] - openCost
+			insExt := insPrev[b+2] - extCost
+			insCur, insFlag := insOpen, byte(0)
+			if insExt > insCur {
+				insCur, insFlag = insExt, tbInsExtend
+			}
+
+			delOpen := h[b] - openCost
+			delExt := del[b] - extCost
+			delCur, delFlag := delOpen, byte(0)
+			if delExt > delCur {
+				delCur, delFlag = delExt, tbDelExtend
+			}
+
+			diag := hPrev[b+1]
+			var diagScore int
+			if diag == negInf {
+				diagScore = negInf
+			} else {
+				diagScore = diag + m.Score(query[i-1], subject[j-1])
+			}
+
+			cur, dir := 0, byte(tbStop)
+			if diagScore > cur {
+				cur, dir = diagScore, tbDiag
+			}
+			if insCur > cur {
+				cur, dir = insCur, tbIns
+			}
+			if delCur > cur {
+				cur, dir = delCur, tbDel
+			}
+			h[b+1], ins[b+1], del[b+1] = cur, insCur, delCur
+			row[b+1] = dir | insFlag | delFlag
+			if cur > best {
+				best, bi, bb = cur, i, b
+			}
+		}
+	}
+	if best == 0 {
+		return Alignment{}
+	}
+	return bandTraceback(tb, rowLen, minDiag, bi, bb, best)
+}
+
+// bandTraceback walks the banded direction matrix. Band column movement:
+// diagonal move keeps the same band column (i and j both decrease);
+// an insertion (i--) shifts the band column right by one; a deletion (j--)
+// shifts it left by one.
+func bandTraceback(tb []byte, rowLen, minDiag, bi, bb, score int) Alignment {
+	var rev []CigarOp
+	push := func(op Op) {
+		if n := len(rev); n > 0 && rev[n-1].Op == op {
+			rev[n-1].Len++
+			return
+		}
+		rev = append(rev, CigarOp{Op: op, Len: 1})
+	}
+	i, b := bi, bb
+	j := i + minDiag + b
+	endI, endJ := i, j
+	state := Op(0)
+	for i > 0 && j > 0 {
+		cell := tb[i*rowLen+b+1]
+		switch state {
+		case 0:
+			switch cell & 3 {
+			case tbStop:
+				goto done
+			case tbDiag:
+				push(OpMatch)
+				i--
+				j--
+			case tbIns:
+				push(OpInsert)
+				if cell&tbInsExtend != 0 {
+					state = OpInsert
+				}
+				i--
+				b++
+			case tbDel:
+				push(OpDelete)
+				if cell&tbDelExtend != 0 {
+					state = OpDelete
+				}
+				j--
+				b--
+			}
+		case OpInsert:
+			push(OpInsert)
+			if cell&tbInsExtend == 0 {
+				state = 0
+			}
+			i--
+			b++
+		case OpDelete:
+			push(OpDelete)
+			if cell&tbDelExtend == 0 {
+				state = 0
+			}
+			j--
+			b--
+		}
+	}
+done:
+	ops := make([]CigarOp, len(rev))
+	for k := range rev {
+		ops[len(rev)-1-k] = rev[k]
+	}
+	return Alignment{
+		Segment: Segment{QStart: i, QEnd: endI, SStart: j, SEnd: endJ, Score: score},
+		Ops:     ops,
+	}
+}

@@ -1,0 +1,112 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"mendel/internal/matrix"
+)
+
+func TestBandedEqualsFullWhenBandCoversMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		q := randomProtein(rng, rng.Intn(30)+5)
+		s := randomProtein(rng, rng.Intn(30)+5)
+		if trial%2 == 0 {
+			s = append(s, mutate(rng, q, 2, 1)...)
+		}
+		full := SmithWaterman(q, s, matrix.BLOSUM62)
+		banded := BandedSmithWaterman(q, s, -len(q), len(s), matrix.BLOSUM62)
+		if banded.Score != full.Score {
+			t.Fatalf("trial %d: banded %d != full %d", trial, banded.Score, full.Score)
+		}
+		if err := banded.consistent(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBandedRespectsBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		q := randomProtein(rng, 40)
+		s := mutate(rng, q, 5, 2)
+		center := 0
+		band := 4
+		a := BandedSmithWaterman(q, s, center-band, center+band, matrix.BLOSUM62)
+		if a.Score == 0 {
+			continue
+		}
+		// Walk the path and verify every cell's diagonal stays in band.
+		qi, si := a.QStart, a.SStart
+		for _, op := range a.Ops {
+			for k := 0; k < op.Len; k++ {
+				switch op.Op {
+				case OpMatch:
+					qi++
+					si++
+				case OpInsert:
+					qi++
+				case OpDelete:
+					si++
+				}
+				d := si - qi
+				if d < center-band || d > center+band {
+					t.Fatalf("trial %d: path leaves band: diagonal %d", trial, d)
+				}
+			}
+		}
+		if got := scoreFromOps(a, q, s, matrix.BLOSUM62); got != a.Score {
+			t.Fatalf("trial %d: traceback score %d != %d", trial, got, a.Score)
+		}
+	}
+}
+
+func TestBandedScoreNeverExceedsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		q := randomProtein(rng, 30)
+		s := mutate(rng, q, 4, 2)
+		full := SmithWaterman(q, s, matrix.BLOSUM62)
+		for _, band := range []int{0, 1, 2, 5} {
+			b := BandedSmithWaterman(q, s, -band, band, matrix.BLOSUM62)
+			if b.Score > full.Score {
+				t.Fatalf("trial %d band %d: banded %d > full %d", trial, band, b.Score, full.Score)
+			}
+		}
+	}
+}
+
+func TestBandedOffsetDiagonal(t *testing.T) {
+	// Subject contains the query starting at offset 10: the alignment lies
+	// on diagonal +10 and a band around it must find it.
+	rng := rand.New(rand.NewSource(13))
+	q := randomProtein(rng, 25)
+	s := append(randomProtein(rng, 10), q...)
+	a := BandedSmithWaterman(q, s, 8, 12, matrix.BLOSUM62)
+	want := matrix.BLOSUM62.ScoreSegments(q, q)
+	if a.Score != want {
+		t.Fatalf("score = %d, want %d", a.Score, want)
+	}
+	if a.Diagonal() != 10 {
+		t.Fatalf("diagonal = %d, want 10", a.Diagonal())
+	}
+	// A band that excludes diagonal 10 entirely must not find it.
+	miss := BandedSmithWaterman(q, s, -2, 2, matrix.BLOSUM62)
+	if miss.Score >= want {
+		t.Fatalf("out-of-band search scored %d", miss.Score)
+	}
+}
+
+func TestBandedDegenerateInputs(t *testing.T) {
+	if a := BandedSmithWaterman(nil, []byte("AC"), 0, 0, matrix.DNAUnit); !a.Empty() {
+		t.Fatal("empty query should yield empty alignment")
+	}
+	if a := BandedSmithWaterman([]byte("AC"), []byte("AC"), 5, 3, matrix.DNAUnit); !a.Empty() {
+		t.Fatal("inverted band should yield empty alignment")
+	}
+	// Band entirely outside the matrix.
+	if a := BandedSmithWaterman([]byte("AC"), []byte("AC"), 50, 60, matrix.DNAUnit); !a.Empty() {
+		t.Fatal("out-of-range band should yield empty alignment")
+	}
+}

@@ -1,0 +1,55 @@
+package align
+
+import (
+	"testing"
+
+	"mendel/internal/matrix"
+)
+
+func TestGappedParamsKnownMatrices(t *testing.T) {
+	for _, m := range []*matrix.Matrix{matrix.BLOSUM62, matrix.PAM250, matrix.DNAUnit} {
+		g, err := GappedParamsForMatrix(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		u, err := ParamsForMatrix(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gapped lambda is always smaller than ungapped: gaps give chance
+		// alignments more freedom, so the same raw score is less
+		// significant.
+		if g.Lambda >= u.Lambda {
+			t.Errorf("%s: gapped lambda %f >= ungapped %f", m.Name, g.Lambda, u.Lambda)
+		}
+		if g.K <= 0 || g.Lambda <= 0 {
+			t.Errorf("%s: invalid gapped params %+v", m.Name, g)
+		}
+	}
+}
+
+func TestGappedParamsFallbackToUngapped(t *testing.T) {
+	m := matrix.NewDNA(3, -4, 6, 2)
+	m.Name = "custom-dna"
+	g, err := GappedParamsForMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Params(m, matrix.DNABackground())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Lambda != u.Lambda {
+		t.Fatalf("fallback lambda %f != ungapped %f", g.Lambda, u.Lambda)
+	}
+}
+
+func TestGappedEValueLargerThanUngapped(t *testing.T) {
+	// For the same raw score, the gapped E-value must be larger (less
+	// significant) than the ungapped one under BLOSUM62.
+	g, _ := GappedParamsForMatrix(matrix.BLOSUM62)
+	u, _ := ParamsForMatrix(matrix.BLOSUM62)
+	if g.EValue(60, 500, 1e6) <= u.EValue(60, 500, 1e6) {
+		t.Fatal("gapped E-value should exceed ungapped at equal raw score")
+	}
+}

@@ -1,0 +1,142 @@
+package align
+
+import "mendel/internal/matrix"
+
+// NeedlemanWunsch computes the optimal global alignment of query against
+// subject with affine gap penalties. It is used for end-to-end comparisons
+// in tests and examples; the search pipeline itself uses local alignments.
+func NeedlemanWunsch(query, subject []byte, m *matrix.Matrix) Alignment {
+	qn, sn := len(query), len(subject)
+	openCost := m.GapOpen + m.GapExtend
+	extCost := m.GapExtend
+
+	h := make([]int, sn+1)
+	ins := make([]int, sn+1)
+	del := make([]int, sn+1)
+	tb := make([]byte, (qn+1)*(sn+1))
+
+	// Row 0: leading gap in the query (deletions).
+	ins[0] = negInf
+	del[0] = negInf
+	for j := 1; j <= sn; j++ {
+		del[j] = -openCost - (j-1)*extCost
+		h[j] = del[j]
+		ins[j] = negInf
+		flag := byte(tbDel)
+		if j > 1 {
+			flag |= tbDelExtend
+		}
+		tb[j] = flag
+	}
+
+	for i := 1; i <= qn; i++ {
+		diagH := h[0]
+		h[0] = -openCost - (i-1)*extCost
+		insCol := h[0]
+		row := tb[i*(sn+1):]
+		row[0] = tbIns
+		if i > 1 {
+			row[0] |= tbInsExtend
+		}
+		ins0 := insCol
+		delCur := negInf
+		_ = ins0
+		for j := 1; j <= sn; j++ {
+			insOpen := h[j] - openCost
+			insExt := ins[j] - extCost
+			insCur, insFlag := insOpen, byte(0)
+			if insExt > insCur {
+				insCur, insFlag = insExt, tbInsExtend
+			}
+
+			delOpen := h[j-1] - openCost
+			delExt := delCur - extCost
+			if j == 1 {
+				delExt = del[0] - extCost
+			}
+			delCur2, delFlag := delOpen, byte(0)
+			if delExt > delCur2 {
+				delCur2, delFlag = delExt, tbDelExtend
+			}
+
+			diagScore := diagH + m.Score(query[i-1], subject[j-1])
+			cur, dir := diagScore, byte(tbDiag)
+			if insCur > cur {
+				cur, dir = insCur, tbIns
+			}
+			if delCur2 > cur {
+				cur, dir = delCur2, tbDel
+			}
+
+			diagH = h[j]
+			h[j] = cur
+			ins[j] = insCur
+			delCur = delCur2
+			row[j] = dir | insFlag | delFlag
+		}
+	}
+
+	a := globalTraceback(tb, sn+1, qn, sn, h[sn])
+	return a
+}
+
+// globalTraceback walks the direction matrix from (qn, sn) back to (0, 0).
+func globalTraceback(tb []byte, stride, bi, bj, score int) Alignment {
+	var rev []CigarOp
+	push := func(op Op) {
+		if n := len(rev); n > 0 && rev[n-1].Op == op {
+			rev[n-1].Len++
+			return
+		}
+		rev = append(rev, CigarOp{Op: op, Len: 1})
+	}
+	i, j := bi, bj
+	state := Op(0)
+	for i > 0 || j > 0 {
+		cell := tb[i*stride+j]
+		switch state {
+		case 0:
+			switch cell & 3 {
+			case tbDiag:
+				push(OpMatch)
+				i--
+				j--
+			case tbIns:
+				push(OpInsert)
+				if cell&tbInsExtend != 0 {
+					state = OpInsert
+				}
+				i--
+			case tbDel:
+				push(OpDelete)
+				if cell&tbDelExtend != 0 {
+					state = OpDelete
+				}
+				j--
+			default:
+				// tbStop only occurs at the origin in a global alignment.
+				i, j = 0, 0
+			}
+		case OpInsert:
+			push(OpInsert)
+			if cell&tbInsExtend == 0 {
+				state = 0
+			}
+			i--
+		case OpDelete:
+			push(OpDelete)
+			if cell&tbDelExtend == 0 {
+				state = 0
+			}
+			j--
+		}
+	}
+	ops := make([]CigarOp, len(rev))
+	for k := range rev {
+		ops[len(rev)-1-k] = rev[k]
+	}
+	return Alignment{
+		Segment: Segment{QStart: 0, QEnd: bi, SStart: 0, SEnd: bj, Score: score},
+		Ops:     ops,
+	}
+}

@@ -1,0 +1,106 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"mendel/internal/matrix"
+)
+
+// refGlobalScore is a reference affine global alignment scorer.
+func refGlobalScore(q, s []byte, m *matrix.Matrix) int {
+	openCost := m.GapOpen + m.GapExtend
+	extCost := m.GapExtend
+	qn, sn := len(q), len(s)
+	H := make([][]int, qn+1)
+	E := make([][]int, qn+1)
+	F := make([][]int, qn+1)
+	for i := range H {
+		H[i] = make([]int, sn+1)
+		E[i] = make([]int, sn+1)
+		F[i] = make([]int, sn+1)
+	}
+	for i := 0; i <= qn; i++ {
+		for j := 0; j <= sn; j++ {
+			E[i][j], F[i][j] = negInf, negInf
+			switch {
+			case i == 0 && j == 0:
+				H[0][0] = 0
+			case i == 0:
+				F[0][j] = -openCost - (j-1)*extCost
+				H[0][j] = F[0][j]
+			case j == 0:
+				E[i][0] = -openCost - (i-1)*extCost
+				H[i][0] = E[i][0]
+			default:
+				E[i][j] = max2(H[i-1][j]-openCost, E[i-1][j]-extCost)
+				F[i][j] = max2(H[i][j-1]-openCost, F[i][j-1]-extCost)
+				H[i][j] = max2(H[i-1][j-1]+m.Score(q[i-1], s[j-1]), max2(E[i][j], F[i][j]))
+			}
+		}
+	}
+	return H[qn][sn]
+}
+
+func TestNeedlemanWunschIdentical(t *testing.T) {
+	q := []byte("MKVLAAGW")
+	a := NeedlemanWunsch(q, q, matrix.BLOSUM62)
+	if a.Score != matrix.BLOSUM62.ScoreSegments(q, q) {
+		t.Fatalf("score = %d", a.Score)
+	}
+	if a.CIGAR() != "8M" {
+		t.Fatalf("CIGAR = %s", a.CIGAR())
+	}
+}
+
+func TestNeedlemanWunschAllGaps(t *testing.T) {
+	m := matrix.DNAUnit
+	a := NeedlemanWunsch([]byte("ACGT"), nil, m)
+	if want := -(m.GapOpen + 4*m.GapExtend); a.Score != want {
+		t.Fatalf("score = %d, want %d", a.Score, want)
+	}
+	if a.CIGAR() != "4I" {
+		t.Fatalf("CIGAR = %s", a.CIGAR())
+	}
+	b := NeedlemanWunsch(nil, []byte("AC"), m)
+	if b.CIGAR() != "2D" {
+		t.Fatalf("CIGAR = %s", b.CIGAR())
+	}
+}
+
+func TestNeedlemanWunschMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		q := randomProtein(rng, rng.Intn(25)+1)
+		s := randomProtein(rng, rng.Intn(25)+1)
+		if trial%2 == 0 {
+			s = mutate(rng, q, 3, 2)
+		}
+		want := refGlobalScore(q, s, matrix.BLOSUM62)
+		a := NeedlemanWunsch(q, s, matrix.BLOSUM62)
+		if a.Score != want {
+			t.Fatalf("trial %d: NW %d, reference %d (q=%s s=%s)", trial, a.Score, want, q, s)
+		}
+		if err := a.consistent(); err != nil {
+			t.Fatalf("trial %d: %v (CIGAR %s)", trial, err, a.CIGAR())
+		}
+		if a.QStart != 0 || a.QEnd != len(q) || a.SStart != 0 || a.SEnd != len(s) {
+			t.Fatalf("trial %d: global span %+v", trial, a.Segment)
+		}
+		if got := scoreFromOps(a, q, s, matrix.BLOSUM62); got != a.Score {
+			t.Fatalf("trial %d: traceback %d != %d (CIGAR %s)", trial, got, a.Score, a.CIGAR())
+		}
+	}
+}
+
+func TestGlobalAtLeastLocalNever(t *testing.T) {
+	// Local score is always >= global score for the same pair.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		q := randomProtein(rng, 20)
+		s := randomProtein(rng, 20)
+		if SmithWaterman(q, s, matrix.BLOSUM62).Score < NeedlemanWunsch(q, s, matrix.BLOSUM62).Score {
+			t.Fatal("local < global")
+		}
+	}
+}

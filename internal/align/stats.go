@@ -1,0 +1,199 @@
+package align
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"mendel/internal/matrix"
+	"mendel/internal/seq"
+)
+
+// KarlinParams holds the Karlin–Altschul statistical parameters of a scoring
+// system: E = K*m*n*exp(-Lambda*S) for a raw score S against a search space
+// of m query by n database residues. H is the relative entropy (bits of
+// information per aligned pair).
+type KarlinParams struct {
+	Lambda float64
+	K      float64
+	H      float64
+}
+
+// ErrNoPositiveScore indicates the scoring system cannot produce positive
+// scores under the background distribution, so no Lambda exists.
+var ErrNoPositiveScore = errors.New("align: scoring system has no positive expected maximum")
+
+// SolveLambda computes the unique positive root of
+//
+//	sum_{i,j} p_i p_j exp(lambda * s_ij) = 1
+//
+// by bisection, the defining equation of the ungapped Karlin–Altschul
+// Lambda. bg gives background residue frequencies over the matrix alphabet.
+// The scoring system must have negative expected score and at least one
+// positive score; otherwise an error is returned.
+func SolveLambda(m *matrix.Matrix, bg []float64) (float64, error) {
+	n := m.Dim()
+	expected, hasPositive := 0.0, false
+	for i := 0; i < n; i++ {
+		if bg[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if bg[j] == 0 {
+				continue
+			}
+			s := float64(m.ScoreIndex(i, j))
+			expected += bg[i] * bg[j] * s
+			if s > 0 {
+				hasPositive = true
+			}
+		}
+	}
+	if !hasPositive || expected >= 0 {
+		return 0, ErrNoPositiveScore
+	}
+	phi := func(lambda float64) float64 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			if bg[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if bg[j] == 0 {
+					continue
+				}
+				sum += bg[i] * bg[j] * math.Exp(lambda*float64(m.ScoreIndex(i, j)))
+			}
+		}
+		return sum - 1
+	}
+	// phi(0) = 0 with phi'(0) = E[s] < 0; phi grows without bound as lambda
+	// increases because some score is positive. Bracket the positive root.
+	hi := 0.5
+	for phi(hi) < 0 {
+		hi *= 2
+		if hi > 1e4 {
+			return 0, ErrNoPositiveScore
+		}
+	}
+	lo := 0.0
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if phi(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// relativeEntropy computes H = lambda * sum p_i p_j s_ij exp(lambda s_ij),
+// the expected score per pair under the alignment-induced distribution,
+// in nats.
+func relativeEntropy(m *matrix.Matrix, bg []float64, lambda float64) float64 {
+	n := m.Dim()
+	h := 0.0
+	for i := 0; i < n; i++ {
+		if bg[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if bg[j] == 0 {
+				continue
+			}
+			s := float64(m.ScoreIndex(i, j))
+			h += bg[i] * bg[j] * s * math.Exp(lambda*s)
+		}
+	}
+	return lambda * h
+}
+
+// knownK maps scoring systems to published K values (NCBI BLAST tables).
+// Lambda is always recomputed from first principles by SolveLambda; K has no
+// closed form, so for unknown systems we fall back to a conservative 0.1,
+// which shifts E-values by a constant factor without changing rankings.
+var knownK = map[string]float64{
+	"BLOSUM62": 0.134,
+	"PAM250":   0.090,
+	"DNA":      0.460,
+}
+
+// gappedParams are published Karlin–Altschul parameters for gapped
+// alignments under each matrix's default gap penalties (NCBI BLAST tables:
+// BLOSUM62 11/1, PAM250 14/2, nucleotide +1/-2 with 5/2). Gapped scores
+// follow the same E = K m n exp(-lambda S) law empirically, with smaller
+// lambda and K than the ungapped theory.
+var gappedParams = map[string]KarlinParams{
+	"BLOSUM62": {Lambda: 0.267, K: 0.041, H: 0.14},
+	"PAM250":   {Lambda: 0.170, K: 0.021, H: 0.10},
+	"DNA":      {Lambda: 1.280, K: 0.460, H: 0.85},
+}
+
+// GappedParamsForMatrix returns the statistical parameters appropriate for
+// scoring *gapped* alignments under the matrix's default gap penalties,
+// falling back to the (conservative, larger-lambda) ungapped parameters for
+// scoring systems without published gapped values.
+func GappedParamsForMatrix(m *matrix.Matrix) (KarlinParams, error) {
+	if p, ok := gappedParams[m.Name]; ok {
+		return p, nil
+	}
+	return ParamsForMatrix(m)
+}
+
+// Params derives the full Karlin–Altschul parameter set for a matrix and
+// background distribution.
+func Params(m *matrix.Matrix, bg []float64) (KarlinParams, error) {
+	lambda, err := SolveLambda(m, bg)
+	if err != nil {
+		return KarlinParams{}, err
+	}
+	k, ok := knownK[m.Name]
+	if !ok {
+		k = 0.1
+	}
+	return KarlinParams{Lambda: lambda, K: k, H: relativeEntropy(m, bg, lambda)}, nil
+}
+
+var paramCache sync.Map // *matrix.Matrix -> KarlinParams
+
+// ParamsForMatrix resolves Params with the standard background for the
+// matrix's alphabet, caching results per matrix.
+func ParamsForMatrix(m *matrix.Matrix) (KarlinParams, error) {
+	if p, ok := paramCache.Load(m); ok {
+		return p.(KarlinParams), nil
+	}
+	var bg []float64
+	if m.Alphabet.Kind() == seq.DNA {
+		bg = matrix.DNABackground()
+	} else {
+		bg = matrix.ProteinBackground()
+	}
+	p, err := Params(m, bg)
+	if err != nil {
+		return KarlinParams{}, err
+	}
+	paramCache.Store(m, p)
+	return p, nil
+}
+
+// BitScore converts a raw score to a normalized bit score.
+func (p KarlinParams) BitScore(raw int) float64 {
+	return (p.Lambda*float64(raw) - math.Log(p.K)) / math.Ln2
+}
+
+// EValue returns the expected number of chance alignments with score at
+// least raw in a search space of queryLen by dbLen residues.
+func (p KarlinParams) EValue(raw, queryLen, dbLen int) float64 {
+	return p.K * float64(queryLen) * float64(dbLen) * math.Exp(-p.Lambda*float64(raw))
+}
+
+// ScoreForEValue inverts EValue: the minimum raw score whose E-value is at
+// most e in the given search space. Used to derive score cutoffs.
+func (p KarlinParams) ScoreForEValue(e float64, queryLen, dbLen int) int {
+	if e < 1e-300 {
+		e = 1e-300 // avoid overflow in the ratio below
+	}
+	s := (math.Log(p.K) + math.Log(float64(queryLen)) + math.Log(float64(dbLen)) - math.Log(e)) / p.Lambda
+	return int(math.Ceil(s))
+}

@@ -1,0 +1,120 @@
+package align
+
+import (
+	"math"
+	"testing"
+
+	"mendel/internal/matrix"
+)
+
+func TestSolveLambdaBLOSUM62(t *testing.T) {
+	// Published ungapped Lambda for BLOSUM62 with Robinson frequencies is
+	// ~0.3176; our solver must land close.
+	lambda, err := SolveLambda(matrix.BLOSUM62, matrix.ProteinBackground())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-0.3176) > 0.01 {
+		t.Fatalf("lambda = %f, want ~0.3176", lambda)
+	}
+}
+
+func TestSolveLambdaDNA(t *testing.T) {
+	// For +1/-2 with uniform background: sum p_i p_j e^{lambda s} = 1
+	// => (1/4)e^l + (3/4)e^{-2l} = 1; root is ~1.3331.
+	lambda, err := SolveLambda(matrix.DNAUnit, matrix.DNABackground())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := 0.25*math.Exp(lambda) + 0.75*math.Exp(-2*lambda)
+	if math.Abs(check-1) > 1e-9 {
+		t.Fatalf("lambda = %f does not satisfy defining equation (phi=%f)", lambda, check)
+	}
+	if math.Abs(lambda-1.3331) > 0.01 {
+		t.Fatalf("lambda = %f, want ~1.3331", lambda)
+	}
+}
+
+func TestSolveLambdaRejectsAllPositive(t *testing.T) {
+	m := matrix.NewDNA(1, 1, 1, 1) // "mismatch" scores +1: expected score positive
+	if _, err := SolveLambda(m, matrix.DNABackground()); err == nil {
+		t.Fatal("expected error for non-negative scoring system")
+	}
+}
+
+func TestParamsAndEValueMonotonic(t *testing.T) {
+	p, err := ParamsForMatrix(matrix.BLOSUM62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 0.134 {
+		t.Fatalf("K = %f", p.K)
+	}
+	if p.H <= 0 {
+		t.Fatalf("H = %f", p.H)
+	}
+	e50 := p.EValue(50, 1000, 1e6)
+	e60 := p.EValue(60, 1000, 1e6)
+	if e60 >= e50 {
+		t.Fatalf("E-value not decreasing in score: %g vs %g", e60, e50)
+	}
+	eBig := p.EValue(50, 1000, 1e8)
+	if eBig <= e50 {
+		t.Fatal("E-value must grow with database size")
+	}
+}
+
+func TestBitScorePositive(t *testing.T) {
+	p, _ := ParamsForMatrix(matrix.BLOSUM62)
+	if p.BitScore(100) <= 0 {
+		t.Fatal("bit score of strong raw score should be positive")
+	}
+	if p.BitScore(100) <= p.BitScore(50) {
+		t.Fatal("bit score not monotonic")
+	}
+}
+
+func TestScoreForEValueInverts(t *testing.T) {
+	p, _ := ParamsForMatrix(matrix.BLOSUM62)
+	for _, e := range []float64{1e-10, 1e-3, 1, 10} {
+		s := p.ScoreForEValue(e, 1000, 1e7)
+		if got := p.EValue(s, 1000, 1e7); got > e*1.0001 {
+			t.Errorf("E(%d) = %g > requested %g", s, got, e)
+		}
+		if got := p.EValue(s-1, 1000, 1e7); got < e {
+			t.Errorf("score %d not minimal for E=%g", s, e)
+		}
+	}
+	if p.ScoreForEValue(0, 100, 100) <= 0 {
+		t.Error("zero E-value should produce a large positive score cutoff")
+	}
+}
+
+func TestParamsCaching(t *testing.T) {
+	a, err := ParamsForMatrix(matrix.PAM250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParamsForMatrix(matrix.PAM250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cached params differ")
+	}
+	if a.K != 0.090 {
+		t.Fatalf("PAM250 K = %f", a.K)
+	}
+}
+
+func TestParamsUnknownMatrixFallbackK(t *testing.T) {
+	m := matrix.NewDNA(2, -3, 5, 2)
+	m.Name = "custom"
+	p, err := Params(m, matrix.DNABackground())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 0.1 {
+		t.Fatalf("fallback K = %f", p.K)
+	}
+}

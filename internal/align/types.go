@@ -1,0 +1,187 @@
+// Package align implements the sequence-alignment substrate of Mendel:
+// BLAST-style ungapped X-drop extension, full and banded Smith–Waterman
+// local alignment with affine gap penalties, Needleman–Wunsch global
+// alignment, and Karlin–Altschul significance statistics (bit scores and
+// E-values).
+package align
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Segment is an ungapped aligned region: query residues [QStart,QEnd)
+// against subject residues [SStart,SEnd), with the segment score under some
+// scoring matrix. For ungapped segments QEnd-QStart == SEnd-SStart.
+type Segment struct {
+	QStart, QEnd int
+	SStart, SEnd int
+	Score        int
+}
+
+// Diagonal returns the alignment diagonal, defined (as in the paper, §V-B)
+// as the difference between the subject and query start positions.
+func (s Segment) Diagonal() int { return s.SStart - s.QStart }
+
+// QLen returns the query span length.
+func (s Segment) QLen() int { return s.QEnd - s.QStart }
+
+// SLen returns the subject span length.
+func (s Segment) SLen() int { return s.SEnd - s.SStart }
+
+// Empty reports whether the segment covers no residues.
+func (s Segment) Empty() bool { return s.QEnd <= s.QStart || s.SEnd <= s.SStart }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string {
+	return fmt.Sprintf("q[%d:%d] s[%d:%d] score=%d", s.QStart, s.QEnd, s.SStart, s.SEnd, s.Score)
+}
+
+// Op is an alignment edit operation in CIGAR convention.
+type Op byte
+
+// CIGAR operation codes.
+const (
+	OpMatch  Op = 'M' // aligned pair (match or mismatch)
+	OpInsert Op = 'I' // residue in query only (gap in subject)
+	OpDelete Op = 'D' // residue in subject only (gap in query)
+)
+
+// CigarOp is a run-length encoded alignment operation.
+type CigarOp struct {
+	Op  Op
+	Len int
+}
+
+// Alignment is a (possibly gapped) local or global alignment between a query
+// and a subject sequence, with traceback in CIGAR form.
+type Alignment struct {
+	Segment
+	Ops []CigarOp
+}
+
+// CIGAR renders the traceback as a CIGAR string, e.g. "35M2D10M".
+func (a Alignment) CIGAR() string {
+	var b strings.Builder
+	for _, op := range a.Ops {
+		fmt.Fprintf(&b, "%d%c", op.Len, byte(op.Op))
+	}
+	return b.String()
+}
+
+// AlignedLength returns the number of alignment columns (matches plus gaps).
+func (a Alignment) AlignedLength() int {
+	n := 0
+	for _, op := range a.Ops {
+		n += op.Len
+	}
+	return n
+}
+
+// Identity returns the fraction of alignment columns that are exact residue
+// matches, given the original query and subject sequences. Gap columns count
+// against identity.
+func (a Alignment) Identity(query, subject []byte) float64 {
+	cols, matches := 0, 0
+	qi, si := a.QStart, a.SStart
+	for _, op := range a.Ops {
+		switch op.Op {
+		case OpMatch:
+			for k := 0; k < op.Len; k++ {
+				if query[qi] == subject[si] {
+					matches++
+				}
+				qi++
+				si++
+			}
+		case OpInsert:
+			qi += op.Len
+		case OpDelete:
+			si += op.Len
+		}
+		cols += op.Len
+	}
+	if cols == 0 {
+		return 0
+	}
+	return float64(matches) / float64(cols)
+}
+
+// Gaps returns the total number of gap columns.
+func (a Alignment) Gaps() int {
+	n := 0
+	for _, op := range a.Ops {
+		if op.Op != OpMatch {
+			n += op.Len
+		}
+	}
+	return n
+}
+
+// Format renders the alignment in the familiar three-line BLAST style:
+// query line, midline (| for identity, + for positive score, space
+// otherwise), subject line. score is computed with the given matrix for the
+// midline '+' marks; pass nil to mark only identities.
+func (a Alignment) Format(query, subject []byte, scorer interface{ Score(a, b byte) int }) string {
+	var q, mid, s bytes.Buffer
+	qi, si := a.QStart, a.SStart
+	for _, op := range a.Ops {
+		for k := 0; k < op.Len; k++ {
+			switch op.Op {
+			case OpMatch:
+				qc, sc := query[qi], subject[si]
+				q.WriteByte(qc)
+				s.WriteByte(sc)
+				switch {
+				case qc == sc:
+					mid.WriteByte('|')
+				case scorer != nil && scorer.Score(qc, sc) > 0:
+					mid.WriteByte('+')
+				default:
+					mid.WriteByte(' ')
+				}
+				qi++
+				si++
+			case OpInsert:
+				q.WriteByte(query[qi])
+				mid.WriteByte(' ')
+				s.WriteByte('-')
+				qi++
+			case OpDelete:
+				q.WriteByte('-')
+				mid.WriteByte(' ')
+				s.WriteByte(subject[si])
+				si++
+			}
+		}
+	}
+	return fmt.Sprintf("Query %5d %s %d\n            %s\nSbjct %5d %s %d\n",
+		a.QStart+1, q.String(), a.QEnd, mid.String(), a.SStart+1, s.String(), a.SEnd)
+}
+
+// consistent verifies that the CIGAR spans match the segment coordinates;
+// used by tests and debug assertions.
+func (a Alignment) consistent() error {
+	qlen, slen := 0, 0
+	for _, op := range a.Ops {
+		if op.Len <= 0 {
+			return fmt.Errorf("align: non-positive op length %d%c", op.Len, byte(op.Op))
+		}
+		switch op.Op {
+		case OpMatch:
+			qlen += op.Len
+			slen += op.Len
+		case OpInsert:
+			qlen += op.Len
+		case OpDelete:
+			slen += op.Len
+		default:
+			return fmt.Errorf("align: unknown op %q", byte(op.Op))
+		}
+	}
+	if qlen != a.QLen() || slen != a.SLen() {
+		return fmt.Errorf("align: CIGAR spans q=%d s=%d, segment q=%d s=%d", qlen, slen, a.QLen(), a.SLen())
+	}
+	return nil
+}

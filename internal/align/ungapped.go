@@ -1,0 +1,66 @@
+package align
+
+import "mendel/internal/matrix"
+
+// ExtendUngapped performs BLAST-style X-drop extension of an ungapped seed.
+// The seed aligns query[qSeed:qSeed+seedLen] with subject[sSeed:sSeed+seedLen].
+// Extension proceeds independently to the left and right, accumulating the
+// pairwise score and stopping once the running score falls more than xDrop
+// below the best score seen in that direction; the returned segment is
+// trimmed to the best-scoring extent. This is the anchor-lengthening step of
+// the paper's §V-B ("incrementally extended until the extension deteriorates
+// the score").
+func ExtendUngapped(query, subject []byte, qSeed, sSeed, seedLen int, m *matrix.Matrix, xDrop int) Segment {
+	if xDrop <= 0 {
+		xDrop = 20
+	}
+	seedScore := 0
+	for k := 0; k < seedLen; k++ {
+		seedScore += m.Score(query[qSeed+k], subject[sSeed+k])
+	}
+
+	// Extend right from the seed end.
+	bestRight, run := 0, 0
+	qEnd, sEnd := qSeed+seedLen, sSeed+seedLen
+	bestQEnd, bestSEnd := qEnd, sEnd
+	for qi, si := qEnd, sEnd; qi < len(query) && si < len(subject); qi, si = qi+1, si+1 {
+		run += m.Score(query[qi], subject[si])
+		if run > bestRight {
+			bestRight = run
+			bestQEnd, bestSEnd = qi+1, si+1
+		}
+		if bestRight-run > xDrop {
+			break
+		}
+	}
+
+	// Extend left from the seed start.
+	bestLeft, run := 0, 0
+	bestQStart, bestSStart := qSeed, sSeed
+	for qi, si := qSeed-1, sSeed-1; qi >= 0 && si >= 0; qi, si = qi-1, si-1 {
+		run += m.Score(query[qi], subject[si])
+		if run > bestLeft {
+			bestLeft = run
+			bestQStart, bestSStart = qi, si
+		}
+		if bestLeft-run > xDrop {
+			break
+		}
+	}
+
+	return Segment{
+		QStart: bestQStart, QEnd: bestQEnd,
+		SStart: bestSStart, SEnd: bestSEnd,
+		Score: seedScore + bestLeft + bestRight,
+	}
+}
+
+// ScoreUngapped recomputes the pairwise matrix score of an ungapped segment;
+// coordinators use it to rescore anchors after merging.
+func ScoreUngapped(query, subject []byte, s Segment, m *matrix.Matrix) int {
+	total := 0
+	for qi, si := s.QStart, s.SStart; qi < s.QEnd && si < s.SEnd; qi, si = qi+1, si+1 {
+		total += m.Score(query[qi], subject[si])
+	}
+	return total
+}

@@ -1,0 +1,80 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"mendel/internal/matrix"
+)
+
+func TestExtendUngappedFullMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	q := randomProtein(rng, 50)
+	s := append(append(randomProtein(rng, 20), q...), randomProtein(rng, 20)...)
+	// Seed in the middle of the homologous region.
+	seg := ExtendUngapped(q, s, 20, 40, 5, matrix.BLOSUM62, 20)
+	if seg.QStart != 0 || seg.QEnd != 50 {
+		t.Fatalf("query span = [%d,%d), want [0,50)", seg.QStart, seg.QEnd)
+	}
+	if seg.SStart != 20 || seg.SEnd != 70 {
+		t.Fatalf("subject span = [%d,%d), want [20,70)", seg.SStart, seg.SEnd)
+	}
+	if want := matrix.BLOSUM62.ScoreSegments(q, q); seg.Score != want {
+		t.Fatalf("score = %d, want %d", seg.Score, want)
+	}
+}
+
+func TestExtendUngappedStopsAtJunk(t *testing.T) {
+	// Homologous core flanked by hostile residues: extension should trim
+	// back to the scoring core.
+	core := []byte("WWWWWWWWWW")
+	q := append(append([]byte("PPPPP"), core...), []byte("PPPPP")...)
+	s := append(append([]byte("GGGGG"), core...), []byte("GGGGG")...)
+	seg := ExtendUngapped(q, s, 7, 7, 3, matrix.BLOSUM62, 15)
+	if seg.QStart != 5 || seg.QEnd != 15 {
+		t.Fatalf("span = [%d,%d), want [5,15)", seg.QStart, seg.QEnd)
+	}
+	if want := matrix.BLOSUM62.ScoreSegments(core, core); seg.Score != want {
+		t.Fatalf("score = %d, want %d", seg.Score, want)
+	}
+}
+
+func TestExtendUngappedScoreMatchesScoreUngapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		q := randomProtein(rng, 60)
+		s := mutate(rng, q, 10, 0) // substitutions only: same length
+		if len(s) != len(q) {
+			continue
+		}
+		seg := ExtendUngapped(q, s, 25, 25, 8, matrix.BLOSUM62, 20)
+		if got := ScoreUngapped(q, s, seg, matrix.BLOSUM62); got != seg.Score {
+			t.Fatalf("trial %d: rescore %d != %d", trial, got, seg.Score)
+		}
+	}
+}
+
+func TestExtendUngappedDefaultXDrop(t *testing.T) {
+	q := []byte("AAAA")
+	seg := ExtendUngapped(q, q, 0, 0, 4, matrix.BLOSUM62, 0)
+	if seg.QLen() != 4 {
+		t.Fatalf("span = %d", seg.QLen())
+	}
+}
+
+func TestExtendUngappedNeverShrinksBelowSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 30; trial++ {
+		q := randomProtein(rng, 40)
+		s := randomProtein(rng, 40)
+		seed := 6
+		qp, sp := rng.Intn(len(q)-seed), rng.Intn(len(s)-seed)
+		seg := ExtendUngapped(q, s, qp, sp, seed, matrix.BLOSUM62, 10)
+		if seg.QStart > qp || seg.QEnd < qp+seed {
+			t.Fatalf("trial %d: segment %v does not contain seed q[%d:%d]", trial, seg, qp, qp+seed)
+		}
+		if seg.Diagonal() != sp-qp {
+			t.Fatalf("trial %d: diagonal changed", trial)
+		}
+	}
+}

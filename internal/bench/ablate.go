@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mendel/internal/datagen"
+	"mendel/internal/dht"
+	"mendel/internal/invindex"
+	"mendel/internal/metric"
+	"mendel/internal/seq"
+	"mendel/internal/vphash"
+	"mendel/internal/vptree"
+	"mendel/internal/wire"
+)
+
+// TableI renders the paper's Table I — the query parameters with their
+// types, ranges and this implementation's defaults.
+func TableI() string {
+	d := wire.DefaultParams()
+	rows := [][]string{
+		{"k", "Sliding window step", "int(1..inf)", fmt.Sprint(d.Step)},
+		{"n", "No. of nearest neighbors to find", "int(1..inf)", fmt.Sprint(d.Neighbors)},
+		{"i", "Identity threshold", "float(0..1)", fmt.Sprint(d.Identity)},
+		{"c", "Consecutivity score threshold", "float(0..1)", fmt.Sprint(d.CScore)},
+		{"M", "Scoring Matrix", "string", d.Matrix},
+		{"S", "Score threshold for gapped extension", "float(0..inf)", fmt.Sprint(d.GappedS)},
+		{"l", "Gapped alignment band width", "int(0..inf)", fmt.Sprint(d.Band)},
+		{"E", "Expectation value threshold", "float(0..inf)", fmt.Sprint(d.MaxE)},
+	}
+	return "Table I — query parameters\n" + table([]string{"param", "description", "type", "default"}, rows)
+}
+
+// DepthPoint is one threshold depth of the depth ablation.
+type DepthPoint struct {
+	Depth     int
+	SpreadPct float64
+	HashNS    float64 // mean per-block hash cost
+}
+
+// DepthAblation studies the vp-prefix tree cutoff depth (§III-F): deeper
+// trees cost more per hash and fragment the space into more leaves; the
+// paper picks half the tree depth as the balance.
+type DepthAblation struct {
+	Points []DepthPoint
+}
+
+// Render prints the table.
+func (r *DepthAblation) Render() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.Depth),
+			fmt.Sprintf("%.3f", p.SpreadPct),
+			fmt.Sprintf("%.0f", p.HashNS),
+		}
+	}
+	return "Ablation — vp-prefix tree depth threshold\n" +
+		table([]string{"depth", "group spread %", "hash ns/block"}, rows)
+}
+
+// RunAblateDepth measures, for each threshold depth, the per-block hash
+// cost and the balance of the group assignment over the workload.
+func RunAblateDepth(s Scale, depths []int) (*DepthAblation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 2, 3, 4, 6, 8}
+	}
+	db, _, err := makeDB(s)
+	if err != nil {
+		return nil, err
+	}
+	met := metric.ForKind(seq.Protein)
+	blockCfg := invindex.Config{BlockLen: 16, Margin: 0}
+	var blocks [][]byte
+	var sample [][]byte
+	for _, sq := range db.Seqs {
+		for _, b := range invindex.Blocks(sq, blockCfg) {
+			blocks = append(blocks, b.Content)
+			if len(sample) < 2000 && len(blocks)%7 == 0 {
+				sample = append(sample, b.Content)
+			}
+		}
+	}
+	res := &DepthAblation{}
+	for _, depth := range depths {
+		tree, err := vphash.Build(met, sample, depth, s.Groups, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]float64, s.Groups)
+		start := time.Now()
+		for _, b := range blocks {
+			counts[tree.Group(b)]++
+		}
+		elapsed := time.Since(start)
+		for g := range counts {
+			counts[g] = 100 * counts[g] / float64(len(blocks))
+		}
+		res.Points = append(res.Points, DepthPoint{
+			Depth:     depth,
+			SpreadPct: Spread(counts),
+			HashNS:    float64(elapsed.Nanoseconds()) / float64(len(blocks)),
+		})
+	}
+	return res, nil
+}
+
+// Tier2Ablation compares intra-group placement policies (§V-A2): the flat
+// SHA-1 hash Mendel ships versus the rejected second-tier vp-prefix hash,
+// which groups similar blocks onto the same node, skewing load and
+// collapsing intra-group query parallelism.
+type Tier2Ablation struct {
+	NodesPerGroup   int
+	FlatSpreadPct   float64
+	VPSpreadPct     float64
+	FlatTouchedAvg  float64 // avg nodes holding relevant blocks per probe
+	VPTouchedAvg    float64
+	ProbesEvaluated int
+}
+
+// Render prints the comparison.
+func (r *Tier2Ablation) Render() string {
+	rows := [][]string{
+		{"flat SHA-1", fmt.Sprintf("%.3f", r.FlatSpreadPct), fmt.Sprintf("%.2f", r.FlatTouchedAvg)},
+		{"second-tier vp-hash", fmt.Sprintf("%.3f", r.VPSpreadPct), fmt.Sprintf("%.2f", r.VPTouchedAvg)},
+	}
+	return fmt.Sprintf("Ablation — intra-group placement (%d nodes/group, %d probes)\n",
+		r.NodesPerGroup, r.ProbesEvaluated) +
+		table([]string{"policy", "intra-group spread %", "avg nodes sharing a neighborhood"}, rows)
+}
+
+// RunAblateTier2 places one group's blocks under both policies and measures
+// load spread and how many distinct nodes hold each probe block's 8-NN
+// neighbourhood (a proxy for intra-group parallelism: more nodes sharing a
+// neighbourhood means more of the group works on a query in parallel —
+// exactly why the paper kept the flat hash).
+func RunAblateTier2(s Scale) (*Tier2Ablation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	db, _, err := makeDB(s)
+	if err != nil {
+		return nil, err
+	}
+	met := metric.ForKind(seq.Protein)
+	blockCfg := invindex.Config{BlockLen: 16, Margin: 0}
+	var blocks [][]byte
+	for _, sq := range db.Seqs {
+		for _, b := range invindex.Blocks(sq, blockCfg) {
+			blocks = append(blocks, b.Content)
+		}
+	}
+	perGroup := s.Nodes / s.Groups
+	if perGroup < 2 {
+		perGroup = 2
+	}
+	nodes := make([]string, perGroup)
+	ring := dht.NewRing(0)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("gnode-%02d", i)
+		ring.Add(nodes[i])
+	}
+	var sample [][]byte
+	for i := 0; i < len(blocks); i += 7 {
+		if len(sample) >= 1000 {
+			break
+		}
+		sample = append(sample, blocks[i])
+	}
+	// Second-tier vp tree with enough leaves to cover the group.
+	depth := 1
+	for 1<<depth < perGroup {
+		depth++
+	}
+	vpTree, err := vphash.Build(met, sample, depth, perGroup, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	flatCounts := make(map[string]float64)
+	vpCounts := make(map[string]float64)
+	flatOwner := make([]int, len(blocks))
+	vpOwner := make([]int, len(blocks))
+	nodeIdx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		nodeIdx[n] = i
+	}
+	for i, b := range blocks {
+		fo := ring.Lookup(b)
+		flatCounts[fo]++
+		flatOwner[i] = nodeIdx[fo]
+		vo := nodes[vpTree.Group(b)%perGroup]
+		vpCounts[vo]++
+		vpOwner[i] = nodeIdx[vo]
+	}
+	toPct := func(counts map[string]float64) []float64 {
+		out := make([]float64, len(nodes))
+		for i, n := range nodes {
+			out[i] = 100 * counts[n] / float64(len(blocks))
+		}
+		return out
+	}
+
+	// Parallelism proxy: brute-force 8-NN of probe blocks, count distinct
+	// owner nodes under each policy.
+	tree := vptree.Build(met, 0, s.Seed, itemsOf(blocks))
+	const probes = 50
+	flatTouched, vpTouched := 0.0, 0.0
+	step := len(blocks) / probes
+	if step < 1 {
+		step = 1
+	}
+	evaluated := 0
+	for i := 0; i < len(blocks) && evaluated < probes; i += step {
+		neighbors := tree.Nearest(blocks[i], 8)
+		fset, vset := map[int]bool{}, map[int]bool{}
+		for _, nb := range neighbors {
+			fset[flatOwner[nb.Ref]] = true
+			vset[vpOwner[nb.Ref]] = true
+		}
+		flatTouched += float64(len(fset))
+		vpTouched += float64(len(vset))
+		evaluated++
+	}
+	return &Tier2Ablation{
+		NodesPerGroup:   perGroup,
+		FlatSpreadPct:   Spread(toPct(flatCounts)),
+		VPSpreadPct:     Spread(toPct(vpCounts)),
+		FlatTouchedAvg:  flatTouched / float64(evaluated),
+		VPTouchedAvg:    vpTouched / float64(evaluated),
+		ProbesEvaluated: evaluated,
+	}, nil
+}
+
+func itemsOf(blocks [][]byte) []vptree.Item {
+	items := make([]vptree.Item, len(blocks))
+	for i, b := range blocks {
+		items[i] = vptree.Item{Key: b, Ref: uint64(i)}
+	}
+	return items
+}
+
+// InsertAblation compares vp-tree population strategies (§III-D): naive
+// one-at-a-time insertion, Mendel's batched insertion, and a one-shot
+// balanced build.
+type InsertAblation struct {
+	Items    int
+	OneByOne time.Duration
+	Batched  time.Duration
+	Build    time.Duration
+	Heights  [3]int
+}
+
+// Render prints the comparison.
+func (r *InsertAblation) Render() string {
+	rows := [][]string{
+		{"one-by-one", r.OneByOne.String(), fmt.Sprint(r.Heights[0])},
+		{"batched (4k)", r.Batched.String(), fmt.Sprint(r.Heights[1])},
+		{"bulk build", r.Build.String(), fmt.Sprint(r.Heights[2])},
+	}
+	return fmt.Sprintf("Ablation — vp-tree population strategy (%d items)\n", r.Items) +
+		table([]string{"strategy", "time", "height"}, rows)
+}
+
+// RunAblateInsert times the three population strategies over the same items.
+func RunAblateInsert(s Scale) (*InsertAblation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	gen := datagen.New(seq.Protein, s.Seed)
+	met := metric.ForKind(seq.Protein)
+	n := s.DBSequences * 100
+	items := make([]vptree.Item, n)
+	for i := range items {
+		items[i] = vptree.Item{Key: gen.Sequence(16), Ref: uint64(i)}
+	}
+	res := &InsertAblation{Items: n}
+
+	start := time.Now()
+	t1 := vptree.New(met, 0, s.Seed)
+	for _, it := range items {
+		t1.Insert(it)
+	}
+	res.OneByOne = time.Since(start)
+	res.Heights[0] = t1.Height()
+
+	start = time.Now()
+	t2 := vptree.New(met, 0, s.Seed)
+	for lo := 0; lo < n; lo += 4096 {
+		hi := lo + 4096
+		if hi > n {
+			hi = n
+		}
+		t2.InsertBatch(items[lo:hi])
+	}
+	res.Batched = time.Since(start)
+	res.Heights[1] = t2.Height()
+
+	start = time.Now()
+	t3 := vptree.Build(met, 0, s.Seed, items)
+	res.Build = time.Since(start)
+	res.Heights[2] = t3.Height()
+	return res, nil
+}
+
+// BucketPoint is one leaf capacity of the bucket ablation.
+type BucketPoint struct {
+	BucketCap int
+	Height    int
+	QueryUS   float64
+}
+
+// BucketAblation studies leaf bucket capacity (§III-D optimization 1).
+type BucketAblation struct {
+	Items  int
+	Points []BucketPoint
+}
+
+// Render prints the table.
+func (r *BucketAblation) Render() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.BucketCap),
+			fmt.Sprintf("%d", p.Height),
+			fmt.Sprintf("%.1f", p.QueryUS),
+		}
+	}
+	return fmt.Sprintf("Ablation — vp-tree bucket capacity (%d items)\n", r.Items) +
+		table([]string{"bucket", "height", "8-NN us/query"}, rows)
+}
+
+// RunAblateBucket measures tree height and query latency across bucket
+// capacities.
+func RunAblateBucket(s Scale, buckets []int) (*BucketAblation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(buckets) == 0 {
+		buckets = []int{1, 4, 16, 32, 64, 128}
+	}
+	gen := datagen.New(seq.Protein, s.Seed)
+	met := metric.ForKind(seq.Protein)
+	n := s.DBSequences * 100
+	items := make([]vptree.Item, n)
+	for i := range items {
+		items[i] = vptree.Item{Key: gen.Sequence(16), Ref: uint64(i)}
+	}
+	queries := make([][]byte, 200)
+	for i := range queries {
+		queries[i] = gen.Sequence(16)
+	}
+	res := &BucketAblation{Items: n}
+	for _, cap := range buckets {
+		tree := vptree.Build(met, cap, s.Seed, items)
+		start := time.Now()
+		for _, q := range queries {
+			tree.Nearest(q, 8)
+		}
+		perQuery := time.Since(start) / time.Duration(len(queries))
+		res.Points = append(res.Points, BucketPoint{
+			BucketCap: cap,
+			Height:    tree.Height(),
+			QueryUS:   float64(perQuery.Nanoseconds()) / 1000,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"mendel/internal/dht"
+	"mendel/internal/invindex"
+)
+
+// Fig5Result reproduces Fig. 5: the percentage of total system data stored
+// at each node under (a) a standard flat SHA-1 hash over all nodes and
+// (b) Mendel's two-tiered vantage point LSH scheme.
+type Fig5Result struct {
+	Nodes      []string
+	FlatPct    []float64
+	TwoTierPct []float64
+	TotalBlock int
+}
+
+// RunFig5 indexes the workload into a real in-process cluster (two-tier
+// placement read back from node Stats) and computes the flat-hash placement
+// of the identical block stream analytically over one ring spanning every
+// node.
+func RunFig5(s Scale) (*Fig5Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	db, _, err := makeDB(s)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := newCluster(s, db)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := ip.Stats(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Node < stats[j].Node })
+
+	// Flat single-tier baseline: same blocks, one SHA-1 ring, no groups.
+	flatRing := dht.NewRing(0)
+	for _, st := range stats {
+		flatRing.Add(st.Node)
+	}
+	flatCounts := make(map[string]int)
+	blockCfg := invindex.Config{BlockLen: ip.Config().BlockLen, Margin: 0}
+	total := 0
+	for _, sq := range db.Seqs {
+		for _, b := range invindex.Blocks(sq, blockCfg) {
+			flatCounts[flatRing.Lookup(b.Content)]++
+			total++
+		}
+	}
+
+	res := &Fig5Result{TotalBlock: total}
+	for _, st := range stats {
+		res.Nodes = append(res.Nodes, st.Node)
+		res.FlatPct = append(res.FlatPct, 100*float64(flatCounts[st.Node])/float64(total))
+		res.TwoTierPct = append(res.TwoTierPct, 100*float64(st.Blocks)/float64(total))
+	}
+	return res, nil
+}
+
+// Spread returns the max-min percentage gap of a share series, the paper's
+// headline balance number ("the difference between single nodes never
+// exceeds 1% of the total data volume stored").
+func Spread(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 0
+	}
+	lo, hi := shares[0], shares[0]
+	for _, v := range shares {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// Stdev returns the standard deviation of a share series.
+func Stdev(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range shares {
+		mean += v
+	}
+	mean /= float64(len(shares))
+	ss := 0.0
+	for _, v := range shares {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / float64(len(shares)))
+}
+
+// Render prints the per-node table plus the summary statistics.
+func (r *Fig5Result) Render() string {
+	rows := make([][]string, len(r.Nodes))
+	for i, n := range r.Nodes {
+		rows[i] = []string{
+			n,
+			fmt.Sprintf("%.3f", r.FlatPct[i]),
+			fmt.Sprintf("%.3f", r.TwoTierPct[i]),
+		}
+	}
+	out := "Fig 5 — data distribution, % of total blocks per node\n"
+	out += table([]string{"node", "flat SHA-1 %", "two-tier vp-LSH %"}, rows)
+	out += fmt.Sprintf("\ntotal blocks: %d\n", r.TotalBlock)
+	out += fmt.Sprintf("flat:     spread %.3f%%  stdev %.3f%%\n", Spread(r.FlatPct), Stdev(r.FlatPct))
+	out += fmt.Sprintf("two-tier: spread %.3f%%  stdev %.3f%%\n", Spread(r.TwoTierPct), Stdev(r.TwoTierPct))
+	return out
+}

@@ -1,0 +1,162 @@
+// Package blast is a from-scratch implementation of the BLAST family's
+// seed-and-extend search (Altschul et al. 1990; Gapped BLAST 1997), built as
+// the single-machine baseline the paper's evaluation compares Mendel
+// against. The pipeline is the classic one:
+//
+//  1. the query is tokenized into k-letter words; for proteins, each word's
+//     neighbourhood — all words scoring at least T against it — is
+//     generated (with branch-and-bound pruning);
+//  2. an inverted word index over the database yields exact matches to the
+//     neighbourhood words;
+//  3. hits are filtered with the two-hit heuristic (two non-overlapping
+//     hits on the same diagonal within a window) and extended without gaps
+//     under an X-drop rule into HSPs;
+//  4. HSPs above a bit-score trigger receive a banded gapped extension;
+//  5. alignments are scored, assigned E-values and ranked.
+//
+// Because the whole database index lives in one memory image and every
+// query word probes it, search cost grows with database size — the scaling
+// signature Figures 6a/6b contrast with Mendel's DHT.
+package blast
+
+import (
+	"fmt"
+
+	"mendel/internal/matrix"
+	"mendel/internal/seq"
+)
+
+// Config controls the search heuristics.
+type Config struct {
+	// WordLen is the seed word length: conventionally 3 for protein, 11
+	// for DNA.
+	WordLen int
+	// Threshold is the neighbourhood score threshold T (protein only; DNA
+	// uses exact word matches).
+	Threshold int
+	// TwoHit enables the two-hit seeding heuristic with the given window.
+	TwoHit bool
+	// TwoHitWindow is the maximum diagonal distance between paired hits.
+	TwoHitWindow int
+	// XDrop is the ungapped extension drop-off.
+	XDrop int
+	// GappedTriggerBits is the ungapped bit score above which a gapped
+	// extension is attempted.
+	GappedTriggerBits float64
+	// Band is the gapped extension band half-width in diagonals.
+	Band int
+}
+
+// DefaultProteinConfig mirrors blastp defaults (word 3, T=11, two-hit
+// window 40).
+func DefaultProteinConfig() Config {
+	return Config{
+		WordLen:           3,
+		Threshold:         11,
+		TwoHit:            true,
+		TwoHitWindow:      40,
+		XDrop:             20,
+		GappedTriggerBits: 22,
+		Band:              24,
+	}
+}
+
+// DefaultDNAConfig mirrors blastn-style seeding (exact 11-mers, one-hit).
+func DefaultDNAConfig() Config {
+	return Config{
+		WordLen:           11,
+		Threshold:         0,
+		TwoHit:            false,
+		XDrop:             20,
+		GappedTriggerBits: 16,
+		Band:              24,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.WordLen <= 0 || c.WordLen > 12:
+		return fmt.Errorf("blast: WordLen = %d", c.WordLen)
+	case c.TwoHit && c.TwoHitWindow <= 0:
+		return fmt.Errorf("blast: TwoHitWindow = %d", c.TwoHitWindow)
+	case c.XDrop <= 0:
+		return fmt.Errorf("blast: XDrop = %d", c.XDrop)
+	case c.Band <= 0:
+		return fmt.Errorf("blast: Band = %d", c.Band)
+	}
+	return nil
+}
+
+// wordLoc is one database occurrence of a word.
+type wordLoc struct {
+	seq seq.ID
+	pos int32
+}
+
+// DB is an indexed sequence database.
+type DB struct {
+	cfg      Config
+	m        *matrix.Matrix
+	alphabet *seq.Alphabet
+	set      *seq.Set
+	index    map[uint64][]wordLoc
+	total    int
+}
+
+// NewDB indexes every k-word of every sequence. Words containing ambiguity
+// codes are skipped, as in NCBI BLAST.
+func NewDB(set *seq.Set, cfg Config, m *matrix.Matrix) (*DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cfg:      cfg,
+		m:        m,
+		alphabet: seq.AlphabetFor(set.Kind),
+		set:      set,
+		index:    make(map[uint64][]wordLoc),
+		total:    set.TotalResidues(),
+	}
+	for _, s := range set.Seqs {
+		db.indexSequence(s)
+	}
+	return db, nil
+}
+
+func (db *DB) indexSequence(s *seq.Sequence) {
+	k := db.cfg.WordLen
+	for pos := 0; pos+k <= s.Len(); pos++ {
+		code, ok := db.encode(s.Data[pos : pos+k])
+		if !ok {
+			continue
+		}
+		db.index[code] = append(db.index[code], wordLoc{seq: s.ID, pos: int32(pos)})
+	}
+}
+
+// encode packs a word into 5 bits per residue; ambiguous residues make the
+// word unindexable.
+func (db *DB) encode(word []byte) (uint64, bool) {
+	var code uint64
+	for _, c := range word {
+		if db.alphabet.Ambiguous(c) {
+			return 0, false
+		}
+		idx := db.alphabet.Index(c)
+		if idx < 0 {
+			return 0, false
+		}
+		code = code<<5 | uint64(idx)
+	}
+	return code, true
+}
+
+// TotalResidues returns the indexed database size.
+func (db *DB) TotalResidues() int { return db.total }
+
+// NumWords returns the number of distinct indexed words (diagnostics).
+func (db *DB) NumWords() int { return len(db.index) }
+
+// Sequence returns the underlying sequence for a hit.
+func (db *DB) Sequence(id seq.ID) *seq.Sequence { return db.set.Get(id) }

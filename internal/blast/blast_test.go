@@ -1,0 +1,268 @@
+package blast
+
+import (
+	"math/rand"
+	"testing"
+
+	"mendel/internal/matrix"
+	"mendel/internal/seq"
+)
+
+const proteinLetters = "ARNDCQEGHILKMFPSTWYV"
+
+func randProtein(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = proteinLetters[rng.Intn(len(proteinLetters))]
+	}
+	return out
+}
+
+func proteinDB(t *testing.T, rng *rand.Rand, n, length int) (*seq.Set, *DB) {
+	t.Helper()
+	set := seq.NewSet(seq.Protein)
+	for i := 0; i < n; i++ {
+		if _, err := set.Add("ref", randProtein(rng, length)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := NewDB(set, DefaultProteinConfig(), matrix.BLOSUM62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, db
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultProteinConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultDNAConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultProteinConfig()
+	bad.WordLen = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero word length accepted")
+	}
+	bad = DefaultProteinConfig()
+	bad.WordLen = 13
+	if err := bad.Validate(); err == nil {
+		t.Error("13-letter words would overflow the 64-bit code with 5-bit packing... accepted")
+	}
+	bad = DefaultProteinConfig()
+	bad.TwoHitWindow = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("two-hit without window accepted")
+	}
+}
+
+func TestEncodeSkipsAmbiguous(t *testing.T) {
+	set := seq.NewSet(seq.Protein)
+	if _, err := set.Add("s", []byte("ACDEFGHIK")); err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(set, DefaultProteinConfig(), matrix.BLOSUM62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.encode([]byte("AXC")); ok {
+		t.Error("word with X encoded")
+	}
+	if _, ok := db.encode([]byte("ACD")); !ok {
+		t.Error("clean word rejected")
+	}
+	c1, _ := db.encode([]byte("ACD"))
+	c2, _ := db.encode([]byte("ACE"))
+	if c1 == c2 {
+		t.Error("distinct words collide")
+	}
+}
+
+func TestNeighborhoodContainsSelfAndIsThresholded(t *testing.T) {
+	set := seq.NewSet(seq.Protein)
+	if _, err := set.Add("s", []byte("ACDEFGHIK")); err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(set, DefaultProteinConfig(), matrix.BLOSUM62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := []byte("WWW") // self-score 33, far above T=11
+	hood := db.neighborhood(word, 11)
+	selfCode, _ := db.encode(word)
+	foundSelf := false
+	for _, c := range hood {
+		if c == selfCode {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Fatal("neighbourhood missing the word itself")
+	}
+	// Every member must genuinely score >= T. Decode and rescore.
+	letters := db.standardLetters()
+	for _, c := range hood {
+		var w [3]byte
+		w[2] = letterByIndex(letters, db, int(c&31))
+		w[1] = letterByIndex(letters, db, int((c>>5)&31))
+		w[0] = letterByIndex(letters, db, int((c>>10)&31))
+		score := 0
+		for i := 0; i < 3; i++ {
+			score += db.m.Score(word[i], w[i])
+		}
+		if score < 11 {
+			t.Fatalf("neighbourhood word %s scores %d < 11", w, score)
+		}
+	}
+	// Raising T shrinks the neighbourhood.
+	if len(db.neighborhood(word, 25)) >= len(hood) {
+		t.Fatal("higher threshold did not shrink neighbourhood")
+	}
+}
+
+func letterByIndex(letters []byte, db *DB, idx int) byte {
+	for _, c := range letters {
+		if db.alphabet.Index(c) == idx {
+			return c
+		}
+	}
+	return '?'
+}
+
+func TestSearchFindsExactSubsequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	set, db := proteinDB(t, rng, 20, 400)
+	query := set.Seqs[7].Data[100:220]
+	hits, err := db.Search(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("exact subsequence not found")
+	}
+	if hits[0].Seq != 7 {
+		t.Fatalf("top hit = seq %d, want 7", hits[0].Seq)
+	}
+	if hits[0].Alignment.SStart > 100 || hits[0].Alignment.SEnd < 220 {
+		t.Fatalf("span = %+v", hits[0].Alignment.Segment)
+	}
+	if hits[0].E > 1e-10 {
+		t.Fatalf("E = %g", hits[0].E)
+	}
+}
+
+func TestSearchFindsMutatedHomolog(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	set, db := proteinDB(t, rng, 15, 400)
+	query := append([]byte(nil), set.Seqs[3].Data[50:200]...)
+	for i := 0; i < len(query); i += 7 { // ~14% substitutions
+		query[i] = proteinLetters[rng.Intn(len(proteinLetters))]
+	}
+	hits, err := db.Search(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 3 {
+		t.Fatalf("mutated homolog hits = %+v", hits)
+	}
+}
+
+func TestSearchRandomQueryIsInsignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, db := proteinDB(t, rng, 10, 300)
+	hits, err := db.Search(randProtein(rng, 120), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("random query produced %d hits; best E=%g", len(hits), hits[0].E)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, db := proteinDB(t, rng, 3, 100)
+	if _, err := db.Search([]byte("AC"), 10); err == nil {
+		t.Error("too-short query accepted")
+	}
+	if _, err := db.Search([]byte("!!!"), 10); err == nil {
+		t.Error("invalid residues accepted")
+	}
+}
+
+func TestDNASearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	set := seq.NewSet(seq.DNA)
+	const dna = "ACGT"
+	for i := 0; i < 8; i++ {
+		data := make([]byte, 600)
+		for j := range data {
+			data[j] = dna[rng.Intn(4)]
+		}
+		if _, err := set.Add("chr", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := NewDB(set, DefaultDNAConfig(), matrix.DNAUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := set.Seqs[2].Data[100:300]
+	hits, err := db.Search(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 2 {
+		t.Fatalf("DNA hits = %+v", hits)
+	}
+}
+
+func TestTwoHitReducesSeeding(t *testing.T) {
+	// One-hit mode must find at least as many (typically more) HSPs than
+	// two-hit mode; both must find a strong planted homolog.
+	rng := rand.New(rand.NewSource(6))
+	set := seq.NewSet(seq.Protein)
+	for i := 0; i < 10; i++ {
+		if _, err := set.Add("ref", randProtein(rng, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oneHitCfg := DefaultProteinConfig()
+	oneHitCfg.TwoHit = false
+	twoHit, err := NewDB(set, DefaultProteinConfig(), matrix.BLOSUM62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneHit, err := NewDB(set, oneHitCfg, matrix.BLOSUM62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := set.Seqs[4].Data[50:250]
+	h2, err := twoHit.Search(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := oneHit.Search(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2) == 0 || len(h1) == 0 {
+		t.Fatal("planted homolog missed")
+	}
+	if h1[0].Seq != 4 || h2[0].Seq != 4 {
+		t.Fatal("wrong top hit")
+	}
+}
+
+func TestNumWordsGrowsWithDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, small := proteinDB(t, rng, 2, 100)
+	_, large := proteinDB(t, rng, 20, 400)
+	if small.NumWords() >= large.NumWords() {
+		t.Fatalf("word index did not grow: %d vs %d", small.NumWords(), large.NumWords())
+	}
+	if small.TotalResidues() != 200 {
+		t.Fatalf("total = %d", small.TotalResidues())
+	}
+}

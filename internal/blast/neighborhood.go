@@ -1,0 +1,59 @@
+package blast
+
+// neighborhood enumerates every k-word whose pairwise score against the
+// query word is at least T, using branch-and-bound: positions are extended
+// left to right, pruning any partial word that cannot reach T even with the
+// best possible score at every remaining position. For BLOSUM62 with T=11
+// the neighbourhood of a typical 3-word has a few dozen members, so this is
+// cheap despite the 20^k nominal space.
+func (db *DB) neighborhood(word []byte, t int) []uint64 {
+	k := len(word)
+	letters := db.standardLetters()
+	// bestAt[i] is the maximum score any letter can achieve against
+	// word[i]; suffixBest[i] is the sum of bestAt[i:].
+	bestAt := make([]int, k)
+	for i := 0; i < k; i++ {
+		best := db.m.Score(word[i], letters[0])
+		for _, c := range letters[1:] {
+			if s := db.m.Score(word[i], c); s > best {
+				best = s
+			}
+		}
+		bestAt[i] = best
+	}
+	suffixBest := make([]int, k+1)
+	for i := k - 1; i >= 0; i-- {
+		suffixBest[i] = suffixBest[i+1] + bestAt[i]
+	}
+	var out []uint64
+	var rec func(i int, code uint64, score int)
+	rec = func(i int, code uint64, score int) {
+		if i == k {
+			if score >= t {
+				out = append(out, code)
+			}
+			return
+		}
+		for _, c := range letters {
+			s := score + db.m.Score(word[i], c)
+			if s+suffixBest[i+1] < t {
+				continue
+			}
+			rec(i+1, code<<5|uint64(db.alphabet.Index(c)), s)
+		}
+	}
+	rec(0, 0, 0)
+	return out
+}
+
+// standardLetters returns the non-ambiguous residues of the alphabet, the
+// candidates for neighbourhood words.
+func (db *DB) standardLetters() []byte {
+	var out []byte
+	for _, c := range db.alphabet.Letters() {
+		if !db.alphabet.Ambiguous(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

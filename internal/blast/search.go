@@ -1,0 +1,211 @@
+package blast
+
+import (
+	"fmt"
+	"sort"
+
+	"mendel/internal/align"
+	"mendel/internal/seq"
+)
+
+// Hit is one reported alignment with its statistics, mirroring core.Hit so
+// the benchmark harness can compare the two systems uniformly.
+type Hit struct {
+	Seq       seq.ID
+	Name      string
+	Alignment align.Alignment
+	Bits      float64
+	E         float64
+}
+
+// diagKey identifies a (sequence, diagonal) lane for the two-hit filter.
+type diagKey struct {
+	seq  seq.ID
+	diag int32
+}
+
+// diagState tracks per-lane progress: the query end of the last unpaired
+// hit and the rightmost subject offset already covered by an extension.
+type diagState struct {
+	lastQEnd int32
+	extended int32 // subject end of the last HSP on this lane, -1 if none
+}
+
+// Search runs the full pipeline against the database and returns hits with
+// E-value at most maxE, ranked best-first.
+func (db *DB) Search(query []byte, maxE float64) ([]Hit, error) {
+	q := append([]byte(nil), query...)
+	if err := db.alphabet.Normalize(q); err != nil {
+		return nil, err
+	}
+	if len(q) < db.cfg.WordLen {
+		return nil, fmt.Errorf("blast: query shorter than word length %d", db.cfg.WordLen)
+	}
+	kp, err := align.ParamsForMatrix(db.m)
+	if err != nil {
+		return nil, err
+	}
+	gkp, err := align.GappedParamsForMatrix(db.m)
+	if err != nil {
+		return nil, err
+	}
+
+	lanes := make(map[diagKey]*diagState)
+	var hsps []hspRec
+	k := db.cfg.WordLen
+
+	neighborCache := make(map[uint64][]uint64) // word -> neighbourhood, memoized per query
+	for qpos := 0; qpos+k <= len(q); qpos++ {
+		word := q[qpos : qpos+k]
+		code, ok := db.encode(word)
+		if !ok {
+			continue
+		}
+		var probes []uint64
+		if db.cfg.Threshold > 0 {
+			probes, ok = neighborCache[code]
+			if !ok {
+				probes = db.neighborhood(word, db.cfg.Threshold)
+				neighborCache[code] = probes
+			}
+		} else {
+			probes = []uint64{code}
+		}
+		for _, probe := range probes {
+			for _, loc := range db.index[probe] {
+				db.processHit(q, qpos, loc, lanes, &hsps)
+			}
+		}
+	}
+
+	return db.finish(q, hsps, kp, gkp, maxE)
+}
+
+type hspRec struct {
+	seg align.Segment
+	id  seq.ID
+}
+
+// processHit applies the two-hit heuristic and ungapped extension.
+func (db *DB) processHit(q []byte, qpos int, loc wordLoc, lanes map[diagKey]*diagState, hsps *[]hspRec) {
+	k := db.cfg.WordLen
+	key := diagKey{seq: loc.seq, diag: loc.pos - int32(qpos)}
+	lane := lanes[key]
+	if lane == nil {
+		lane = &diagState{lastQEnd: -1, extended: -1}
+		lanes[key] = lane
+	}
+	// Skip hits already inside an extended HSP on this lane.
+	if int32(loc.pos)+int32(k) <= lane.extended {
+		return
+	}
+	if db.cfg.TwoHit {
+		// A hit overlapping the recorded one is ignored (not re-recorded):
+		// otherwise a run of consecutive hits would slide the mark forever
+		// and never pair. A non-overlapping hit within the window triggers
+		// extension; beyond the window it becomes the new recorded hit.
+		if lane.lastQEnd >= 0 && int32(qpos) < lane.lastQEnd {
+			return
+		}
+		if lane.lastQEnd < 0 || int32(qpos)-lane.lastQEnd > int32(db.cfg.TwoHitWindow) {
+			lane.lastQEnd = int32(qpos + k)
+			return
+		}
+	}
+	subject := db.set.Get(loc.seq)
+	seg := align.ExtendUngapped(q, subject.Data, qpos, int(loc.pos), k, db.m, db.cfg.XDrop)
+	lane.extended = int32(seg.SEnd)
+	lane.lastQEnd = -1
+	*hsps = append(*hsps, hspRec{seg: seg, id: loc.seq})
+}
+
+// finish gap-extends qualifying HSPs, scores, filters and ranks.
+func (db *DB) finish(q []byte, hsps []hspRec, kp, gkp align.KarlinParams, maxE float64) ([]Hit, error) {
+	// Deduplicate HSPs by (seq, segment) before the expensive stage.
+	type segKey struct {
+		id seq.ID
+		s  align.Segment
+	}
+	uniq := make(map[segKey]bool, len(hsps))
+	var hits []Hit
+	for _, h := range hsps {
+		sk := segKey{h.id, h.seg}
+		if uniq[sk] {
+			continue
+		}
+		uniq[sk] = true
+		if kp.BitScore(h.seg.Score) < db.cfg.GappedTriggerBits {
+			continue
+		}
+		subject := db.set.Get(h.id)
+		// Bound the gapped extension to a window around the HSP.
+		pad := len(q) + db.cfg.Band
+		winStart := h.seg.SStart - pad
+		if winStart < 0 {
+			winStart = 0
+		}
+		winEnd := h.seg.SEnd + pad
+		if winEnd > subject.Len() {
+			winEnd = subject.Len()
+		}
+		window := subject.Data[winStart:winEnd]
+		centerDiag := (h.seg.SStart - winStart) - h.seg.QStart
+		al := align.BandedSmithWaterman(q, window, centerDiag-db.cfg.Band, centerDiag+db.cfg.Band, db.m)
+		if al.Empty() {
+			continue
+		}
+		al.SStart += winStart
+		al.SEnd += winStart
+		e := gkp.EValue(al.Score, len(q), db.total)
+		if e > maxE {
+			continue
+		}
+		hits = append(hits, Hit{
+			Seq:       h.id,
+			Name:      subject.Name,
+			Alignment: al,
+			Bits:      gkp.BitScore(al.Score),
+			E:         e,
+		})
+	}
+	hits = dedupHits(hits)
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].E != hits[j].E {
+			return hits[i].E < hits[j].E
+		}
+		return hits[i].Seq < hits[j].Seq
+	})
+	return hits, nil
+}
+
+// dedupHits removes exact duplicates and contained alignments, keeping the
+// best-scoring representative per region.
+func dedupHits(hits []Hit) []Hit {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Alignment.Score != hits[j].Alignment.Score {
+			return hits[i].Alignment.Score > hits[j].Alignment.Score
+		}
+		if hits[i].Seq != hits[j].Seq {
+			return hits[i].Seq < hits[j].Seq
+		}
+		return hits[i].Alignment.SStart < hits[j].Alignment.SStart
+	})
+	var out []Hit
+	for _, h := range hits {
+		contained := false
+		for _, kept := range out {
+			if kept.Seq != h.Seq {
+				continue
+			}
+			if h.Alignment.SStart >= kept.Alignment.SStart && h.Alignment.SEnd <= kept.Alignment.SEnd &&
+				h.Alignment.QStart >= kept.Alignment.QStart && h.Alignment.QEnd <= kept.Alignment.QEnd {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, h)
+		}
+	}
+	return out
+}

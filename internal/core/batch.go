@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"mendel/internal/wire"
+)
+
+// BatchResult pairs one query of a SearchAll call with its outcome.
+type BatchResult struct {
+	Index int
+	Hits  []Hit
+	Err   error
+}
+
+// SearchAll evaluates many queries concurrently with bounded parallelism —
+// the throughput mode of the paper's metagenomics scenario (§I-A), where a
+// sequencer emits far more reads than a user types queries. Results are
+// returned in input order; individual query failures are reported per entry
+// rather than failing the batch. concurrency <= 0 selects half the CPUs.
+func (c *Cluster) SearchAll(ctx context.Context, queries [][]byte, p wire.Params, concurrency int) []BatchResult {
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0) / 2
+		if concurrency < 1 {
+			concurrency = 1
+		}
+	}
+	if concurrency > len(queries) {
+		concurrency = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(concurrency)
+	for w := 0; w < concurrency; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				hits, err := c.Search(ctx, queries[i], p)
+				out[i] = BatchResult{Index: i, Hits: hits, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

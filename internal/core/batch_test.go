@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func TestSearchAllOrderAndResults(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(121))
+	ctx := context.Background()
+	db := buildTestDB(rng, 15, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]byte{
+		db.Seqs[2].Data[10:130],
+		db.Seqs[9].Data[50:170],
+		db.Seqs[14].Data[100:220],
+	}
+	results := ip.SearchAll(ctx, queries, defaultTestParams(), 2)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	wantSeqs := []int{2, 9, 14}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if len(r.Hits) == 0 || int(r.Hits[0].Seq) != wantSeqs[i] {
+			t.Fatalf("query %d hits = %+v", i, r.Hits)
+		}
+	}
+}
+
+func TestSearchAllPerQueryErrors(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(122))
+	ctx := context.Background()
+	db := buildTestDB(rng, 8, 250)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]byte{
+		db.Seqs[1].Data[10:130],
+		[]byte("BAD!!"), // invalid residues: this one fails alone
+	}
+	results := ip.SearchAll(ctx, queries, defaultTestParams(), 0)
+	if results[0].Err != nil {
+		t.Fatalf("good query failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("bad query succeeded")
+	}
+}
+
+func TestSearchAllEmpty(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	if got := ip.SearchAll(context.Background(), nil, defaultTestParams(), 4); len(got) != 0 {
+		t.Fatalf("empty batch = %d results", len(got))
+	}
+}

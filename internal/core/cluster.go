@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mendel/internal/dht"
+	"mendel/internal/metric"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/vphash"
+	"mendel/internal/wire"
+)
+
+// Cluster is a coordinator's view of a Mendel deployment: the shared
+// topology and vp-prefix hash tree plus a transport to reach the storage
+// nodes. It is safe for concurrent Search calls; Index calls must be
+// serialized by the caller.
+type Cluster struct {
+	cfg    Config
+	caller transport.Caller
+	groups [][]string
+	topo   *dht.Topology
+	met    metric.Metric
+
+	mu            sync.RWMutex
+	hashTree      *vphash.Tree
+	seqRing       *dht.Ring // sequence-repository placement over all nodes
+	names         map[seq.ID]string
+	lengths       map[seq.ID]int
+	totalResidues int
+	nextID        seq.ID
+	rng           *rand.Rand
+}
+
+// NewCluster creates a coordinator for the given group layout. No node is
+// contacted until Index runs.
+func NewCluster(cfg Config, caller transport.Caller, groups [][]string) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(groups) != cfg.Groups {
+		return nil, fmt.Errorf("core: %d group lists for %d configured groups", len(groups), cfg.Groups)
+	}
+	topo, err := dht.NewTopology(groups, 0)
+	if err != nil {
+		return nil, err
+	}
+	seqRing := dht.NewRing(0)
+	for _, n := range topo.AllNodes() {
+		seqRing.Add(n)
+	}
+	return &Cluster{
+		cfg:     cfg,
+		caller:  caller,
+		groups:  groups,
+		topo:    topo,
+		met:     metric.ForKind(cfg.Kind),
+		seqRing: seqRing,
+		names:   make(map[seq.ID]string),
+		lengths: make(map[seq.ID]int),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Topology exposes the node layout for diagnostics.
+func (c *Cluster) Topology() *dht.Topology { return c.topo }
+
+// TotalResidues returns the indexed database size in residues, the n of
+// E-value statistics.
+func (c *Cluster) TotalResidues() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.totalResidues
+}
+
+// NumSequences returns the number of indexed reference sequences.
+func (c *Cluster) NumSequences() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.names)
+}
+
+// NameOf resolves a global sequence ID to its FASTA name.
+func (c *Cluster) NameOf(id seq.ID) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.names[id]
+}
+
+// Stats collects storage counters from every node (Fig. 5's raw data).
+func (c *Cluster) Stats(ctx context.Context) ([]wire.StatsResult, error) {
+	nodes := c.topo.AllNodes()
+	resps, err := transport.Broadcast(ctx, c.caller, nodes, wire.Stats{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wire.StatsResult, 0, len(resps))
+	for _, r := range resps {
+		if r != nil {
+			out = append(out, r.(wire.StatsResult))
+		}
+	}
+	return out, nil
+}
+
+// Ping verifies every node is reachable.
+func (c *Cluster) Ping(ctx context.Context) error {
+	_, err := transport.Broadcast(ctx, c.caller, c.topo.AllNodes(), wire.Ping{})
+	return err
+}
+
+// seqKey is the placement key of a sequence in the repository ring.
+func seqKey(id seq.ID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+// newClusterRNG builds the deterministic entry-point selector.
+func newClusterRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// queryEps returns the configured or derived multi-group branching radius.
+func (c *Cluster) queryEps() int {
+	if c.cfg.QueryEps > 0 {
+		return c.cfg.QueryEps
+	}
+	return c.met.MaxPerResidue() * c.cfg.BlockLen / 8
+}

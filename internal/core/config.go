@@ -1,0 +1,125 @@
+// Package core is Mendel's primary contribution: the similarity-aware
+// distributed storage framework tying the substrates together. It provides
+// the ingest pipeline (§V-A: inverted index block creation, vp-prefix tree
+// dispersion, local vp-tree indexing) and the query evaluation pipeline
+// (§V-B: sliding-window decomposition, group fan-out, two-stage anchor
+// aggregation, gapped extension, E-value ranking).
+//
+// The architecture is symmetric: a Cluster value is a coordinator view that
+// can live anywhere — a client, a CLI, or colocated with a storage node —
+// and any instance produces identical results.
+package core
+
+import (
+	"fmt"
+
+	"mendel/internal/seq"
+)
+
+// Config fixes the cluster-wide constants shared by every node. They are
+// established at bootstrap and immutable thereafter.
+type Config struct {
+	// Kind selects DNA or Protein mode; it decides the index metric
+	// (Hamming vs the BLOSUM62-derived Mendel metric, §III-B).
+	Kind seq.Kind
+	// BlockLen is the inverted-index window length w (§V-A1).
+	BlockLen int
+	// Margin is the per-side context captured with each block for local
+	// anchor extension.
+	Margin int
+	// Groups is the number of storage node groups (§IV-C; user-configurable).
+	Groups int
+	// DepthThreshold is the vp-prefix tree cutoff depth; 0 derives the
+	// paper's default of half the tree depth from the sample size (§V-A2).
+	DepthThreshold int
+	// SampleSize bounds the number of blocks sampled to build the
+	// vp-prefix tree.
+	SampleSize int
+	// BucketCap is the local vp-tree leaf capacity (0 = default).
+	BucketCap int
+	// QueryEps is the uncertainty radius used when hashing subqueries:
+	// traversal branches into both children when the eps-ball straddles a
+	// vantage boundary (§V-B). 0 derives a default of 1/8 of the maximum
+	// possible window distance.
+	QueryEps int
+	// MaxGapped caps the number of anchors submitted to gapped extension
+	// per query, keeping worst-case latency bounded.
+	MaxGapped int
+	// Replicas is the number of copies of every block (within its group)
+	// and of every sequence-repository shard. 1 disables replication;
+	// higher values implement the paper's fault-tolerance extension
+	// (§VII-B): queries lose no recall while any replica survives.
+	Replicas int
+	// SearchBudget caps the distance evaluations of each local vp-tree
+	// lookup, making per-subquery cost independent of how much data a
+	// node holds (metric pruning alone cannot guarantee that on
+	// high-entropy segments). 0 derives the default; -1 forces exact
+	// (unbudgeted) search.
+	SearchBudget int
+	// Seed makes vantage selection and entry-point choice deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used throughout the repository
+// for the given molecule kind.
+func DefaultConfig(kind seq.Kind) Config {
+	return Config{
+		Kind:       kind,
+		BlockLen:   16,
+		Margin:     32,
+		Groups:     4,
+		SampleSize: 2000,
+		MaxGapped:  256,
+		Replicas:   1,
+		Seed:       1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.BlockLen <= 0:
+		return fmt.Errorf("core: BlockLen = %d", c.BlockLen)
+	case c.Margin < 0:
+		return fmt.Errorf("core: Margin = %d", c.Margin)
+	case c.Groups <= 0:
+		return fmt.Errorf("core: Groups = %d", c.Groups)
+	case c.SampleSize <= 0:
+		return fmt.Errorf("core: SampleSize = %d", c.SampleSize)
+	case c.DepthThreshold < 0:
+		return fmt.Errorf("core: DepthThreshold = %d", c.DepthThreshold)
+	case c.QueryEps < 0:
+		return fmt.Errorf("core: QueryEps = %d", c.QueryEps)
+	case c.MaxGapped < 0:
+		return fmt.Errorf("core: MaxGapped = %d", c.MaxGapped)
+	case c.Replicas < 0:
+		return fmt.Errorf("core: Replicas = %d", c.Replicas)
+	}
+	return nil
+}
+
+// replicas returns the effective replica count (zero means one).
+func (c Config) replicas() int {
+	if c.Replicas < 1 {
+		return 1
+	}
+	return c.Replicas
+}
+
+// DefaultSearchBudget bounds local lookups to a few thousand distance
+// evaluations — far past where a genuinely close neighbour is found, yet
+// independent of per-node data volume.
+const DefaultSearchBudget = 4096
+
+// searchBudget returns the effective per-lookup budget (0 on the wire
+// means exact search, so -1 here maps to 0 there).
+func (c Config) searchBudget() int {
+	switch {
+	case c.SearchBudget < 0:
+		return 0 // exact
+	case c.SearchBudget == 0:
+		return DefaultSearchBudget
+	default:
+		return c.SearchBudget
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/wire"
+)
+
+const proteinLetters = "ARNDCQEGHILKMFPSTWYV"
+
+func randProtein(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = proteinLetters[rng.Intn(len(proteinLetters))]
+	}
+	return out
+}
+
+// mutateSubs substitutes roughly rate of the residues.
+func mutateSubs(rng *rand.Rand, in []byte, rate float64) []byte {
+	out := append([]byte(nil), in...)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = proteinLetters[rng.Intn(len(proteinLetters))]
+		}
+	}
+	return out
+}
+
+// buildTestDB creates a protein database of n random sequences of the given
+// length, returning the set.
+func buildTestDB(rng *rand.Rand, n, length int) *seq.Set {
+	set := seq.NewSet(seq.Protein)
+	for i := 0; i < n; i++ {
+		if _, err := set.Add("ref", randProtein(rng, length)); err != nil {
+			panic(err)
+		}
+	}
+	return set
+}
+
+func defaultTestParams() wire.Params {
+	p := wire.DefaultParams()
+	p.Neighbors = 8
+	return p
+}
+
+func newTestCluster(t *testing.T, numNodes, groups int) *InProcess {
+	t.Helper()
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = groups
+	cfg.SampleSize = 500
+	ip, err := NewInProcess(cfg, numNodes, transport.WithEncodeCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(seq.Protein).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig(seq.Protein)
+	bad.BlockLen = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero BlockLen accepted")
+	}
+	bad = DefaultConfig(seq.Protein)
+	bad.Groups = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestNewInProcessValidation(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 5
+	if _, err := NewInProcess(cfg, 3); err == nil {
+		t.Fatal("fewer nodes than groups accepted")
+	}
+}
+
+func TestIndexAndSearchExactHomolog(t *testing.T) {
+	ip := newTestCluster(t, 8, 4)
+	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
+
+	db := buildTestDB(rng, 30, 300)
+	target := db.Seqs[17]
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	if ip.TotalResidues() != 30*300 {
+		t.Fatalf("total residues = %d", ip.TotalResidues())
+	}
+
+	query := target.Data[50:150] // exact 100-residue excerpt
+	hits, err := ip.Search(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("exact excerpt not found")
+	}
+	top := hits[0]
+	if top.Seq != 17 {
+		t.Fatalf("top hit seq = %d, want 17", top.Seq)
+	}
+	if top.Alignment.SStart > 50 || top.Alignment.SEnd < 150 {
+		t.Fatalf("top hit span = %+v", top.Alignment.Segment)
+	}
+	if top.E > 1e-10 {
+		t.Fatalf("exact hit E-value = %g", top.E)
+	}
+}
+
+func TestSearchMutatedHomolog(t *testing.T) {
+	ip := newTestCluster(t, 6, 3)
+	rng := rand.New(rand.NewSource(2))
+	ctx := context.Background()
+	db := buildTestDB(rng, 20, 400)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	// 15% substitutions over a 120-residue excerpt of sequence 5.
+	query := mutateSubs(rng, db.Seqs[5].Data[100:220], 0.15)
+	hits, err := ip.Search(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("mutated homolog not found")
+	}
+	if hits[0].Seq != 5 {
+		t.Fatalf("top hit = seq %d, want 5", hits[0].Seq)
+	}
+}
+
+func TestSearchNoFalsePositivesOnRandomQuery(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+	if err := ip.Index(ctx, buildTestDB(rng, 10, 300)); err != nil {
+		t.Fatal(err)
+	}
+	p := defaultTestParams()
+	p.MaxE = 1e-6 // strict: random matches must not pass
+	hits, err := ip.Search(ctx, randProtein(rng, 100), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("random query produced %d significant hits; best E=%g", len(hits), hits[0].E)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(4))
+
+	if _, err := ip.Search(ctx, randProtein(rng, 100), defaultTestParams()); err != ErrNotIndexed {
+		t.Fatalf("search before index: %v", err)
+	}
+	if err := ip.Index(ctx, buildTestDB(rng, 5, 200)); err != nil {
+		t.Fatal(err)
+	}
+	bad := defaultTestParams()
+	bad.Step = 0
+	if _, err := ip.Search(ctx, randProtein(rng, 100), bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	unk := defaultTestParams()
+	unk.Matrix = "NOPE"
+	if _, err := ip.Search(ctx, randProtein(rng, 100), unk); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+	if _, err := ip.Search(ctx, []byte("ACD"), defaultTestParams()); err == nil {
+		t.Error("query shorter than block accepted")
+	}
+	if _, err := ip.Search(ctx, []byte("!!!!!!!!!!!!!!!!!!!!"), defaultTestParams()); err == nil {
+		t.Error("invalid residues accepted")
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	ctx := context.Background()
+	if err := ip.Index(ctx, seq.NewSet(seq.Protein)); err == nil {
+		t.Error("empty set accepted")
+	}
+	if err := ip.Index(ctx, seq.NewSet(seq.DNA)); err == nil {
+		t.Error("wrong-kind set accepted")
+	}
+	short := seq.NewSet(seq.Protein)
+	if _, err := short.Add("tiny", []byte("ACD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Index(ctx, short); err == nil {
+		t.Error("set with no indexable sequence accepted")
+	}
+}
+
+func TestIncrementalIndexGrowsDatabase(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(5))
+	ctx := context.Background()
+	first := buildTestDB(rng, 10, 200)
+	if err := ip.Index(ctx, first); err != nil {
+		t.Fatal(err)
+	}
+	second := buildTestDB(rng, 10, 200)
+	if err := ip.Index(ctx, second); err != nil {
+		t.Fatal(err)
+	}
+	if ip.NumSequences() != 20 {
+		t.Fatalf("sequences = %d", ip.NumSequences())
+	}
+	if ip.TotalResidues() != 20*200 {
+		t.Fatalf("residues = %d", ip.TotalResidues())
+	}
+	// A sequence from the second batch must be findable under its global ID.
+	query := second.Seqs[3].Data[20:120]
+	hits, err := ip.Search(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 13 {
+		t.Fatalf("incremental hit = %+v", hits)
+	}
+}
+
+func TestStatsCoverAllNodesAndBlocks(t *testing.T) {
+	ip := newTestCluster(t, 6, 3)
+	rng := rand.New(rand.NewSource(6))
+	ctx := context.Background()
+	db := buildTestDB(rng, 12, 250)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ip.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 6 {
+		t.Fatalf("stats from %d nodes", len(stats))
+	}
+	totalBlocks := 0
+	for _, s := range stats {
+		totalBlocks += s.Blocks
+	}
+	want := 12 * (250 - ip.Config().BlockLen + 1)
+	if totalBlocks != want {
+		t.Fatalf("total blocks = %d, want %d", totalBlocks, want)
+	}
+}
+
+func TestSearchSurvivesNodeFailure(t *testing.T) {
+	ip := newTestCluster(t, 8, 2)
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	query := db.Seqs[2].Data[10:140]
+	// Fail one node; group fan-out must route around it via another entry
+	// point and skip its local share.
+	ip.Net.Fail("node-003")
+	hits, err := ip.Search(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatalf("search with failed node: %v", err)
+	}
+	// The hit may or may not survive (the failed node held part of the
+	// data), but typically enough blocks remain.
+	_ = hits
+	ip.Net.Heal("node-003")
+	hits, err = ip.Search(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 2 {
+		t.Fatalf("hit after heal = %+v", hits)
+	}
+}
+
+func TestSearchEntireGroupDownFails(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(8))
+	ctx := context.Background()
+	if err := ip.Index(ctx, buildTestDB(rng, 10, 300)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ip.Nodes {
+		ip.Net.Fail(n.Addr())
+	}
+	if _, err := ip.Search(ctx, randProtein(rng, 100), defaultTestParams()); err == nil {
+		t.Fatal("search succeeded with whole cluster down")
+	}
+}
+
+func TestHitFormatting(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(9))
+	ctx := context.Background()
+	db := buildTestDB(rng, 5, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ip.Search(ctx, db.Seqs[1].Data[0:100], defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	h := hits[0]
+	if h.Name != "ref" {
+		t.Fatalf("name = %q", h.Name)
+	}
+	if h.Bits <= 0 {
+		t.Fatalf("bits = %f", h.Bits)
+	}
+	if !strings.Contains(h.Alignment.CIGAR(), "M") {
+		t.Fatalf("CIGAR = %q", h.Alignment.CIGAR())
+	}
+}
+
+func TestDNAClusterEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(seq.DNA)
+	cfg.Groups = 2
+	cfg.SampleSize = 300
+	ip, err := NewInProcess(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	ctx := context.Background()
+	set := seq.NewSet(seq.DNA)
+	const dnaLetters = "ACGT"
+	for i := 0; i < 10; i++ {
+		data := make([]byte, 500)
+		for j := range data {
+			data[j] = dnaLetters[rng.Intn(4)]
+		}
+		if _, err := set.Add("chr", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ip.Index(ctx, set); err != nil {
+		t.Fatal(err)
+	}
+	p := wire.DefaultParams()
+	p.Matrix = "DNA"
+	p.Identity = 0.8
+	hits, err := ip.Search(ctx, set.Seqs[4].Data[100:250], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 4 {
+		t.Fatalf("DNA hits = %+v", hits)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mendel/internal/invindex"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/vphash"
+	"mendel/internal/wire"
+)
+
+// indexBatchBlocks is the number of blocks accumulated per node before an
+// IndexBlocks message is flushed; batches keep the local vp-trees on the
+// fast InsertBatch path (§III-D).
+const indexBatchBlocks = 4096
+
+// Index ingests a sequence set into the cluster following §V-A:
+//
+//  1. on the first call, a sample of inverted index blocks seeds the
+//     vp-prefix hash tree, which is then shipped to every node in a
+//     Bootstrap message together with the topology;
+//  2. full sequences are placed on their repository shards (consulted later
+//     for gapped extension);
+//  3. every sequence is fragmented into stride-1 blocks, each hashed first
+//     to a group (vp-prefix tree) and then to a node within the group
+//     (flat SHA-1 ring), and shipped in batches.
+//
+// Sequence IDs are remapped onto a cluster-global dense ID space so Index
+// may be called repeatedly to grow the database.
+func (c *Cluster) Index(ctx context.Context, set *seq.Set) error {
+	if set.Kind != c.cfg.Kind {
+		return fmt.Errorf("core: indexing %v data into a %v cluster", set.Kind, c.cfg.Kind)
+	}
+	if set.Len() == 0 {
+		return fmt.Errorf("core: empty sequence set")
+	}
+	blockCfg := invindex.Config{BlockLen: c.cfg.BlockLen, Margin: c.cfg.Margin}
+	if err := blockCfg.Validate(); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	if c.hashTree == nil {
+		tree, err := c.buildHashTree(set, blockCfg)
+		if err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		c.hashTree = tree
+		c.mu.Unlock()
+		if err := c.bootstrapNodes(ctx); err != nil {
+			return err
+		}
+		c.mu.Lock()
+	}
+	base := c.nextID
+	c.nextID += seq.ID(set.Len())
+	for _, s := range set.Seqs {
+		gid := base + s.ID
+		c.names[gid] = s.Name
+		c.lengths[gid] = s.Len()
+		c.totalResidues += s.Len()
+	}
+	tree := c.hashTree
+	c.mu.Unlock()
+
+	if err := c.storeSequences(ctx, set, base); err != nil {
+		return err
+	}
+	return c.dispatchBlocks(ctx, set, base, blockCfg, tree)
+}
+
+// buildHashTree samples block contents evenly across the set and builds the
+// vp-prefix tree (§V-A2). Callers hold c.mu.
+func (c *Cluster) buildHashTree(set *seq.Set, blockCfg invindex.Config) (*vphash.Tree, error) {
+	total := 0
+	for _, s := range set.Seqs {
+		total += invindex.BlockCount(s.Len(), blockCfg.BlockLen)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: no sequence long enough for %d-residue blocks", blockCfg.BlockLen)
+	}
+	stride := total / c.cfg.SampleSize
+	if stride < 1 {
+		stride = 1
+	}
+	var sample [][]byte
+	count := 0
+	for _, s := range set.Seqs {
+		for start := 0; start+blockCfg.BlockLen <= s.Len(); start++ {
+			if count%stride == 0 {
+				sample = append(sample, s.Window(start, blockCfg.BlockLen))
+			}
+			count++
+		}
+	}
+	depth := c.cfg.DepthThreshold
+	if depth == 0 {
+		depth = vphash.HalfDepth(len(sample))
+	}
+	return vphash.Build(c.met, sample, depth, c.cfg.Groups, c.cfg.Seed)
+}
+
+// bootstrapNodes ships the shared cluster state to every node.
+func (c *Cluster) bootstrapNodes(ctx context.Context) error {
+	c.mu.RLock()
+	enc, err := c.hashTree.MarshalBinary()
+	c.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	boot := wire.Bootstrap{
+		HashTree:     enc,
+		Metric:       c.met.Name(),
+		BlockLen:     c.cfg.BlockLen,
+		Margin:       c.cfg.Margin,
+		Groups:       c.groups,
+		Kind:         c.cfg.Kind,
+		SearchBudget: c.cfg.searchBudget(),
+	}
+	if _, err := transport.Broadcast(ctx, c.caller, c.topo.AllNodes(), boot); err != nil {
+		return fmt.Errorf("core: bootstrap: %w", err)
+	}
+	return nil
+}
+
+// storeSequences places each sequence on its repository shard.
+func (c *Cluster) storeSequences(ctx context.Context, set *seq.Set, base seq.ID) error {
+	byNode := make(map[string]*wire.StoreSequences)
+	for _, s := range set.Seqs {
+		gid := base + s.ID
+		for _, node := range c.seqRing.LookupN(seqKey(gid), c.cfg.replicas()) {
+			msg := byNode[node]
+			if msg == nil {
+				msg = &wire.StoreSequences{}
+				byNode[node] = msg
+			}
+			msg.IDs = append(msg.IDs, gid)
+			msg.Names = append(msg.Names, s.Name)
+			msg.Data = append(msg.Data, s.Data)
+		}
+	}
+	for node, msg := range byNode {
+		if _, err := c.caller.Call(ctx, node, *msg); err != nil {
+			return fmt.Errorf("core: storing sequences on %s: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// dispatchBlocks fragments, hashes and ships every block.
+func (c *Cluster) dispatchBlocks(ctx context.Context, set *seq.Set, base seq.ID, blockCfg invindex.Config, tree *vphash.Tree) error {
+	pending := make(map[string][]wire.Block)
+	flush := func(node string) error {
+		blocks := pending[node]
+		if len(blocks) == 0 {
+			return nil
+		}
+		if _, err := c.caller.Call(ctx, node, wire.IndexBlocks{Blocks: blocks}); err != nil {
+			return fmt.Errorf("core: indexing blocks on %s: %w", node, err)
+		}
+		pending[node] = nil
+		return nil
+	}
+	replicas := c.cfg.replicas()
+	for _, s := range set.Seqs {
+		gid := base + s.ID
+		for _, b := range invindex.Blocks(s, blockCfg) {
+			group := tree.Group(b.Content) // tier 1: similarity
+			// Tier 2: flat SHA-1 ring within the group, with optional
+			// replication to the next distinct ring members.
+			for _, node := range c.topo.ReplicasFor(group, b.Content, replicas) {
+				pending[node] = append(pending[node], wire.Block{
+					Seq:     gid,
+					Start:   b.Start,
+					Content: b.Content,
+					Context: b.Context,
+					CtxOff:  b.CtxOff,
+				})
+				if len(pending[node]) >= indexBatchBlocks {
+					if err := flush(node); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for node := range pending {
+		if err := flush(node); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"mendel/internal/dht"
+	"mendel/internal/node"
+	"mendel/internal/transport"
+)
+
+// InProcess is a complete Mendel cluster running inside one process: one
+// storage node per group member wired through an in-memory network. It
+// substitutes for the paper's 50-node LAN testbed — all hashing, routing,
+// fan-out and aggregation code paths are identical; only the wire is local.
+type InProcess struct {
+	*Cluster
+	Net   *transport.MemNetwork
+	Nodes []*node.Node
+}
+
+// NewInProcess assembles numNodes storage nodes split round-robin into
+// cfg.Groups groups on a fresh in-memory network.
+func NewInProcess(cfg Config, numNodes int, opts ...transport.MemOption) (*InProcess, error) {
+	if numNodes < cfg.Groups {
+		return nil, fmt.Errorf("core: %d nodes cannot fill %d groups", numNodes, cfg.Groups)
+	}
+	net := transport.NewMemNetwork(opts...)
+	addrs := make([]string, numNodes)
+	nodes := make([]*node.Node, numNodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%03d", i)
+		nodes[i] = node.New(addrs[i], net)
+		net.Register(addrs[i], nodes[i])
+	}
+	groups, err := dht.SplitNodes(addrs, cfg.Groups)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := NewCluster(cfg, net, groups)
+	if err != nil {
+		return nil, err
+	}
+	return &InProcess{Cluster: cluster, Net: net, Nodes: nodes}, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mendel/internal/dht"
+	"mendel/internal/metric"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/vphash"
+)
+
+// manifest is the saved coordinator state: everything needed to resume
+// querying a cluster whose nodes already hold their indexed data. This
+// implements the paper's future-work item of persisting pre-indexed state
+// so large datasets need not be re-ingested per session (§VII-B).
+type manifest struct {
+	Config   Config
+	Groups   [][]string
+	HashTree []byte
+	Names    map[seq.ID]string
+	Lengths  map[seq.ID]int
+	Total    int
+	NextID   seq.ID
+}
+
+// SaveManifest writes the coordinator state to w. The storage nodes keep
+// their own data; a saved manifest plus running nodes restore a fully
+// queryable cluster via LoadManifest.
+func (c *Cluster) SaveManifest(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := manifest{
+		Config:  c.cfg,
+		Groups:  c.groups,
+		Names:   c.names,
+		Lengths: c.lengths,
+		Total:   c.totalResidues,
+		NextID:  c.nextID,
+	}
+	if c.hashTree != nil {
+		enc, err := c.hashTree.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		m.HashTree = enc
+	}
+	return gob.NewEncoder(w).Encode(&m)
+}
+
+// LoadManifest restores a coordinator from a saved manifest, attached to
+// the given transport.
+func LoadManifest(r io.Reader, caller transport.Caller) (*Cluster, error) {
+	var m manifest
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: decoding manifest: %w", err)
+	}
+	topo, err := dht.NewTopology(m.Groups, 0)
+	if err != nil {
+		return nil, err
+	}
+	seqRing := dht.NewRing(0)
+	for _, n := range topo.AllNodes() {
+		seqRing.Add(n)
+	}
+	c := &Cluster{
+		cfg:           m.Config,
+		caller:        caller,
+		groups:        m.Groups,
+		topo:          topo,
+		met:           metric.ForKind(m.Config.Kind),
+		seqRing:       seqRing,
+		names:         m.Names,
+		lengths:       m.Lengths,
+		totalResidues: m.Total,
+		nextID:        m.NextID,
+	}
+	if c.names == nil {
+		c.names = make(map[seq.ID]string)
+	}
+	if c.lengths == nil {
+		c.lengths = make(map[seq.ID]int)
+	}
+	if len(m.HashTree) > 0 {
+		tree := new(vphash.Tree)
+		if err := tree.UnmarshalBinary(m.HashTree); err != nil {
+			return nil, err
+		}
+		c.hashTree = tree
+	}
+	c.rng = newClusterRNG(m.Config.Seed)
+	return c, nil
+}

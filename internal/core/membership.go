@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mendel/internal/transport"
+	"mendel/internal/wire"
+)
+
+// AddNode joins a fresh storage node to group g at runtime — the
+// incremental scalability the DHT design targets (§I: "commodity hardware
+// can be added incrementally"). The new node is bootstrapped with the
+// current shared state and every existing node learns the new topology.
+//
+// Existing data does not move: the per-group consistent ring only steers
+// future block placements toward the new node, and queries remain correct
+// because group fan-out reaches every member. Sequence-repository reads
+// tolerate the remapping by probing a couple of ring successors past the
+// configured replica set (see fetchRegion).
+func (c *Cluster) AddNode(ctx context.Context, g int, addr string) error {
+	c.mu.Lock()
+	if c.hashTree == nil {
+		c.mu.Unlock()
+		return ErrNotIndexed
+	}
+	if g < 0 || g >= len(c.groups) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: group %d out of range", g)
+	}
+	enc, err := c.hashTree.MarshalBinary()
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	newGroups := make([][]string, len(c.groups))
+	for i, members := range c.groups {
+		newGroups[i] = append([]string(nil), members...)
+	}
+	newGroups[g] = append(newGroups[g], addr)
+	c.mu.Unlock()
+
+	boot := wire.Bootstrap{
+		HashTree:     enc,
+		Metric:       c.met.Name(),
+		BlockLen:     c.cfg.BlockLen,
+		Margin:       c.cfg.Margin,
+		Groups:       newGroups,
+		Kind:         c.cfg.Kind,
+		SearchBudget: c.cfg.searchBudget(),
+	}
+	if _, err := c.caller.Call(ctx, addr, boot); err != nil {
+		return fmt.Errorf("core: bootstrapping new node %s: %w", addr, err)
+	}
+
+	// Commit locally, then inform the rest of the cluster.
+	if err := c.topo.AddNode(g, addr); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.groups = newGroups
+	c.seqRing.Add(addr)
+	c.mu.Unlock()
+	return c.broadcastTopology(ctx, addr)
+}
+
+// RemoveNode gracefully removes a node from the cluster. Blocks and
+// sequence shards held only by that node become unavailable unless the
+// cluster was configured with Replicas >= 2, in which case queries keep
+// full recall from the surviving copies.
+func (c *Cluster) RemoveNode(ctx context.Context, addr string) error {
+	g, ok := c.topo.GroupOf(addr)
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", addr)
+	}
+	if err := c.topo.RemoveNode(addr); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	newGroups := make([][]string, len(c.groups))
+	for i, members := range c.groups {
+		for _, m := range members {
+			if m != addr {
+				newGroups[i] = append(newGroups[i], m)
+			}
+		}
+	}
+	c.groups = newGroups
+	c.seqRing.Remove(addr)
+	c.mu.Unlock()
+	_ = g
+	return c.broadcastTopology(ctx, "")
+}
+
+// broadcastTopology sends the current group lists to every node except
+// skip (which already has them from its Bootstrap).
+func (c *Cluster) broadcastTopology(ctx context.Context, skip string) error {
+	c.mu.RLock()
+	groups := c.groups
+	c.mu.RUnlock()
+	var targets []string
+	for _, n := range c.topo.AllNodes() {
+		if n != skip {
+			targets = append(targets, n)
+		}
+	}
+	if _, err := transport.Broadcast(ctx, c.caller, targets, wire.UpdateTopology{Groups: groups}); err != nil {
+		return fmt.Errorf("core: topology broadcast: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mendel/internal/seq"
+)
+
+// newReplicatedCluster builds a cluster with R=2 replication.
+func newReplicatedCluster(t *testing.T, numNodes, groups int) *InProcess {
+	t.Helper()
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = groups
+	cfg.SampleSize = 500
+	cfg.Replicas = 2
+	ip, err := NewInProcess(cfg, numNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+func TestReplicationDoublesStoredBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
+	db := buildTestDB(rng, 10, 250)
+
+	single := newTestCluster(t, 6, 3)
+	if err := single.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	replicated := newReplicatedCluster(t, 6, 3)
+	if err := replicated.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	count := func(ip *InProcess) int {
+		stats, err := ip.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range stats {
+			total += s.Blocks
+		}
+		return total
+	}
+	s1, s2 := count(single), count(replicated)
+	if s2 != 2*s1 {
+		t.Fatalf("replicated blocks = %d, want %d", s2, 2*s1)
+	}
+}
+
+func TestReplicatedSearchSurvivesNodeLossWithoutRecallLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ctx := context.Background()
+	ip := newReplicatedCluster(t, 6, 2)
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	query := db.Seqs[11].Data[50:180]
+	baseline, err := ip.Search(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) == 0 || baseline[0].Seq != 11 {
+		t.Fatalf("baseline hits = %+v", baseline)
+	}
+
+	// Kill any single node: with R=2 every block has a surviving copy in
+	// the same group, and every repository shard a surviving replica, so
+	// the top hit must persist for every choice of failed node.
+	for _, victim := range ip.Nodes {
+		ip.Net.Fail(victim.Addr())
+		hits, err := ip.Search(ctx, query, defaultTestParams())
+		if err != nil {
+			t.Fatalf("search with %s down: %v", victim.Addr(), err)
+		}
+		if len(hits) == 0 || hits[0].Seq != 11 {
+			t.Fatalf("recall lost with %s down: %+v", victim.Addr(), hits)
+		}
+		ip.Net.Heal(victim.Addr())
+	}
+}
+
+func TestUnreplicatedSearchMayLoseDataButNotFail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+	ip := newTestCluster(t, 6, 2)
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	query := db.Seqs[4].Data[30:160]
+	for _, victim := range ip.Nodes {
+		ip.Net.Fail(victim.Addr())
+		if _, err := ip.Search(ctx, query, defaultTestParams()); err != nil {
+			t.Fatalf("unreplicated search errored (should degrade): %v", err)
+		}
+		ip.Net.Heal(victim.Addr())
+	}
+}
+
+func TestReplicasClampedToGroupSize(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	cfg.SampleSize = 300
+	cfg.Replicas = 10 // more than nodes per group: ring clamps
+	ip, err := NewInProcess(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	ctx := context.Background()
+	db := buildTestDB(rng, 8, 250)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ip.Search(ctx, db.Seqs[2].Data[40:160], defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestConfigRejectsNegativeReplicas(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Replicas = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+	zero := DefaultConfig(seq.Protein)
+	zero.Replicas = 0
+	if zero.replicas() != 1 {
+		t.Fatal("zero replicas should act as one")
+	}
+}

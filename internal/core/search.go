@@ -1,0 +1,393 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mendel/internal/align"
+	"mendel/internal/anchorset"
+	"mendel/internal/matrix"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/vphash"
+	"mendel/internal/wire"
+)
+
+// Hit is one reported alignment: the gapped local alignment in global
+// subject coordinates plus its Karlin–Altschul statistics. For DNA queries
+// searched with Params.BothStrands, Strand is '-' when the alignment is
+// against the reverse complement of the query (query coordinates then refer
+// to the reverse-complemented sequence); otherwise it is '+'.
+type Hit struct {
+	Seq       seq.ID
+	Name      string
+	Strand    byte
+	Alignment align.Alignment
+	Bits      float64
+	E         float64
+}
+
+// ErrNotIndexed is returned by Search before any Index call has succeeded.
+var ErrNotIndexed = errors.New("core: cluster has no indexed data")
+
+// Trace records what one Search did at each stage of §V-B, for
+// observability and for the turnaround breakdowns in the evaluation.
+type Trace struct {
+	QueryLen         int
+	Strands          int
+	SubQueries       int           // sliding windows produced
+	GroupRequests    int           // group entry points contacted
+	AnchorsReturned  int           // anchors received from all groups
+	AnchorsMerged    int           // after system-entry-point merge
+	GappedCandidates int           // anchors above the S threshold (capped)
+	Hits             int           // alignments reported
+	Decompose        time.Duration // stage 1
+	FanOut           time.Duration // stage 2 (includes group-side work)
+	Extend           time.Duration // stage 4
+	Total            time.Duration
+}
+
+// String renders a compact single-line summary.
+func (t *Trace) String() string {
+	return fmt.Sprintf("query=%daa windows=%d groups=%d anchors=%d merged=%d gapped=%d hits=%d total=%v (fanout=%v extend=%v)",
+		t.QueryLen, t.SubQueries, t.GroupRequests, t.AnchorsReturned,
+		t.AnchorsMerged, t.GappedCandidates, t.Hits, t.Total, t.FanOut, t.Extend)
+}
+
+// Search evaluates an alignment query against the indexed database (§V-B).
+// The query is decomposed into block-length subqueries stepped by k, each
+// subquery is hashed to its group(s) and fanned out, anchors come back
+// through the group entry points, and the system entry point (this call)
+// merges them, performs banded gapped extension around the surviving
+// anchors, and returns hits ranked by expectation value.
+func (c *Cluster) Search(ctx context.Context, query []byte, p wire.Params) ([]Hit, error) {
+	hits, _, err := c.SearchTrace(ctx, query, p)
+	return hits, err
+}
+
+// SearchTrace is Search with a per-stage execution trace.
+func (c *Cluster) SearchTrace(ctx context.Context, query []byte, p wire.Params) ([]Hit, *Trace, error) {
+	hits, trace, err := c.searchTraced(ctx, query, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hits, trace, nil
+}
+
+func (c *Cluster) searchTraced(ctx context.Context, query []byte, p wire.Params) ([]Hit, *Trace, error) {
+	startTotal := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m, ok := matrix.ByName(p.Matrix)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown scoring matrix %q", p.Matrix)
+	}
+	q := append([]byte(nil), query...)
+	if err := seq.AlphabetFor(c.cfg.Kind).Normalize(q); err != nil {
+		return nil, nil, err
+	}
+	if p.Mask {
+		q = seq.MaskLowComplexity(q, c.cfg.Kind, 0, 0)
+	}
+	if len(q) < c.cfg.BlockLen {
+		return nil, nil, fmt.Errorf("core: query of %d residues is shorter than the %d-residue index window", len(q), c.cfg.BlockLen)
+	}
+	c.mu.RLock()
+	tree := c.hashTree
+	total := c.totalResidues
+	c.mu.RUnlock()
+	if tree == nil {
+		return nil, nil, ErrNotIndexed
+	}
+	kp, err := align.ParamsForMatrix(m)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	trace := &Trace{QueryLen: len(q), Strands: 1}
+	hits, err := c.searchStrand(ctx, q, p, m, kp, total, tree, '+', trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.BothStrands && c.cfg.Kind == seq.DNA {
+		trace.Strands = 2
+		rc := reverseComplement(q)
+		minus, err := c.searchStrand(ctx, rc, p, m, kp, total, tree, '-', trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		hits = append(hits, minus...)
+	}
+
+	// Stage 5: dedup, filter, rank.
+	hits = dedupHits(hits)
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].E != hits[j].E {
+			return hits[i].E < hits[j].E
+		}
+		if hits[i].Alignment.Score != hits[j].Alignment.Score {
+			return hits[i].Alignment.Score > hits[j].Alignment.Score
+		}
+		return hits[i].Seq < hits[j].Seq
+	})
+	trace.Hits = len(hits)
+	trace.Total = time.Since(startTotal)
+	return hits, trace, nil
+}
+
+// searchStrand runs stages 1-4 of the pipeline for one query orientation,
+// accumulating counters and timings into trace.
+func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, total int, tree *vphash.Tree, strand byte, trace *Trace) ([]Hit, error) {
+	// Stage 1: subquery decomposition and group routing.
+	start := time.Now()
+	eps := c.queryEps()
+	groupOffsets := make(map[int][]int)
+	alphabet := seq.AlphabetFor(c.cfg.Kind)
+	seq.WindowsCovering(q, c.cfg.BlockLen, p.Step, func(start int, window []byte) {
+		// Windows dominated by ambiguity codes (from masking or from the
+		// input itself) cannot seed meaningful matches; skip them rather
+		// than fanning them out.
+		ambiguous := 0
+		for _, ch := range window {
+			if alphabet.Ambiguous(ch) {
+				ambiguous++
+			}
+		}
+		if 2*ambiguous > len(window) {
+			return
+		}
+		trace.SubQueries++
+		for _, g := range tree.GroupsFor(window, eps) {
+			groupOffsets[g] = append(groupOffsets[g], start)
+		}
+	})
+	trace.Decompose += time.Since(start)
+	trace.GroupRequests += len(groupOffsets)
+
+	// Stage 2: parallel fan-out to group entry points.
+	start = time.Now()
+	anchors, err := c.fanOut(ctx, q, groupOffsets, p)
+	if err != nil {
+		return nil, err
+	}
+	trace.FanOut += time.Since(start)
+	trace.AnchorsReturned += len(anchors)
+
+	// Stage 3: system entry point aggregation.
+	merged := anchorset.Merge(anchors)
+	trace.AnchorsMerged += len(merged)
+
+	// Stage 4: gapped extension of anchors above the S threshold.
+	start = time.Now()
+	var candidates []wire.Anchor
+	for _, a := range merged {
+		if kp.BitScore(a.Score) >= float64(p.GappedS) {
+			candidates = append(candidates, a)
+		}
+	}
+	candidates = anchorset.Best(candidates, c.cfg.MaxGapped)
+	trace.GappedCandidates += len(candidates)
+	gkp, err := align.GappedParamsForMatrix(m)
+	if err != nil {
+		return nil, err
+	}
+	hits, err := c.gappedExtend(ctx, q, candidates, p, m, gkp, total)
+	if err != nil {
+		return nil, err
+	}
+	trace.Extend += time.Since(start)
+	for i := range hits {
+		hits[i].Strand = strand
+	}
+	return hits, nil
+}
+
+// reverseComplement returns the reverse complement of a normalized DNA
+// sequence.
+func reverseComplement(q []byte) []byte {
+	a := seq.DNAAlphabet
+	out := make([]byte, len(q))
+	for i, ch := range q {
+		out[len(q)-1-i] = a.Complement(ch)
+	}
+	return out
+}
+
+// fanOut sends each group's subqueries to a group entry point, retrying
+// with the next member if the chosen entry point is unreachable (the
+// symmetric architecture makes any member a valid coordinator).
+func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params) ([]wire.Anchor, error) {
+	type result struct {
+		anchors []wire.Anchor
+		err     error
+	}
+	ch := make(chan result, len(groupOffsets))
+	for g, offsets := range groupOffsets {
+		go func(g int, offsets []int) {
+			members := c.topo.GroupNodes(g)
+			c.mu.Lock()
+			start := c.rng.Intn(len(members))
+			c.mu.Unlock()
+			msg := wire.GroupSearch{
+				Group:     g,
+				Query:     q,
+				Offsets:   offsets,
+				WindowLen: c.cfg.BlockLen,
+				Params:    p,
+			}
+			var lastErr error
+			for i := 0; i < len(members); i++ {
+				entry := members[(start+i)%len(members)]
+				resp, err := c.caller.Call(ctx, entry, msg)
+				if err == nil {
+					ch <- result{anchors: resp.(wire.GroupSearchResult).Anchors}
+					return
+				}
+				lastErr = err
+				if !errors.Is(err, transport.ErrUnreachable) {
+					break
+				}
+			}
+			ch <- result{err: fmt.Errorf("core: group %d unreachable: %w", g, lastErr)}
+		}(g, offsets)
+	}
+	var anchors []wire.Anchor
+	var firstErr error
+	for range groupOffsets {
+		r := <-ch
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+			continue
+		}
+		anchors = append(anchors, r.anchors...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return anchors, nil
+}
+
+// gappedExtend runs banded gapped extension (within p.Band diagonals of
+// each anchor, §V-B / Gapped BLAST) against subject regions fetched from
+// the distributed sequence repository.
+func (c *Cluster) gappedExtend(ctx context.Context, q []byte, anchors []wire.Anchor, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, dbLen int) ([]Hit, error) {
+	const flank = 16
+	workers := 8
+	if len(anchors) < workers {
+		workers = len(anchors)
+	}
+	if workers == 0 {
+		return nil, nil
+	}
+	var (
+		mu   sync.Mutex
+		hits []Hit
+		wg   sync.WaitGroup
+	)
+	work := make(chan wire.Anchor)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for a := range work {
+				hit, ok := c.extendOne(ctx, q, a, p, m, kp, dbLen)
+				if ok {
+					mu.Lock()
+					hits = append(hits, hit)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, a := range anchors {
+		work <- a
+	}
+	close(work)
+	wg.Wait()
+	return hits, nil
+}
+
+func (c *Cluster) extendOne(ctx context.Context, q []byte, a wire.Anchor, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, dbLen int) (Hit, bool) {
+	padLeft := a.QStart + p.Band + 16
+	padRight := (len(q) - a.QEnd) + p.Band + 16
+	region, regionStart, ok := c.fetchRegion(ctx, a.Seq, a.SStart-padLeft, a.SEnd+padRight)
+	if !ok || len(region) == 0 {
+		return Hit{}, false
+	}
+	centerDiag := (a.SStart - regionStart) - a.QStart
+	al := align.BandedSmithWaterman(q, region, centerDiag-p.Band, centerDiag+p.Band, m)
+	if al.Empty() {
+		return Hit{}, false
+	}
+	al.SStart += regionStart
+	al.SEnd += regionStart
+	e := kp.EValue(al.Score, len(q), dbLen)
+	if e > p.MaxE {
+		return Hit{}, false
+	}
+	return Hit{
+		Seq:       a.Seq,
+		Name:      c.NameOf(a.Seq),
+		Alignment: al,
+		Bits:      kp.BitScore(al.Score),
+		E:         e,
+	}, true
+}
+
+// fetchRegion reads subject residues from the repository shard owning the
+// sequence, falling back to the next ring successors if a shard is
+// unreachable or does not hold the sequence (the latter happens transiently
+// after a node joins and takes over a ring range without a data migration).
+// If every candidate fails the anchor is dropped rather than failing the
+// whole query.
+func (c *Cluster) fetchRegion(ctx context.Context, id seq.ID, start, end int) ([]byte, int, bool) {
+	c.mu.RLock()
+	candidates := c.seqRing.LookupN(seqKey(id), c.cfg.replicas()+2)
+	c.mu.RUnlock()
+	for _, node := range candidates {
+		resp, err := c.caller.Call(ctx, node, wire.FetchRegion{Seq: id, Start: start, End: end})
+		if err != nil {
+			continue
+		}
+		region := resp.(wire.Region)
+		return region.Data, region.Start, true
+	}
+	return nil, 0, false
+}
+
+// dedupHits removes exact duplicates and hits fully contained in a
+// higher-scoring hit on the same sequence.
+func dedupHits(hits []Hit) []Hit {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Alignment.Score != hits[j].Alignment.Score {
+			return hits[i].Alignment.Score > hits[j].Alignment.Score
+		}
+		if hits[i].Seq != hits[j].Seq {
+			return hits[i].Seq < hits[j].Seq
+		}
+		return hits[i].Alignment.SStart < hits[j].Alignment.SStart
+	})
+	var out []Hit
+	for _, h := range hits {
+		contained := false
+		for _, kept := range out {
+			if kept.Seq != h.Seq || kept.Strand != h.Strand {
+				continue
+			}
+			if h.Alignment.SStart >= kept.Alignment.SStart && h.Alignment.SEnd <= kept.Alignment.SEnd &&
+				h.Alignment.QStart >= kept.Alignment.QStart && h.Alignment.QEnd <= kept.Alignment.QEnd {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mendel/internal/seq"
+	"mendel/internal/wire"
+)
+
+func dnaCluster(t *testing.T) (*InProcess, *seq.Set, *rand.Rand) {
+	t.Helper()
+	cfg := DefaultConfig(seq.DNA)
+	cfg.Groups = 2
+	cfg.SampleSize = 300
+	ip, err := NewInProcess(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	set := seq.NewSet(seq.DNA)
+	const dna = "ACGT"
+	for i := 0; i < 10; i++ {
+		data := make([]byte, 500)
+		for j := range data {
+			data[j] = dna[rng.Intn(4)]
+		}
+		if _, err := set.Add("chr", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ip.Index(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	return ip, set, rng
+}
+
+func dnaParams() wire.Params {
+	p := wire.DefaultParams()
+	p.Matrix = "DNA"
+	p.Identity = 0.8
+	return p
+}
+
+func TestMinusStrandQueryMissedWithoutBothStrands(t *testing.T) {
+	ip, set, _ := dnaCluster(t)
+	ctx := context.Background()
+	// The query is the reverse complement of a database excerpt: a
+	// plus-strand-only search should not find a strong alignment.
+	excerpt := seq.MustNew(0, "x", seq.DNA, string(set.Seqs[3].Data[100:300]))
+	query := excerpt.ReverseComplement()
+	p := dnaParams()
+	p.MaxE = 1e-20
+	hits, err := ip.Search(ctx, query, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Seq == 3 && h.Alignment.QLen() > 150 {
+			t.Fatalf("plus-strand search found the minus-strand homolog: %+v", h)
+		}
+	}
+}
+
+func TestBothStrandsFindsMinusStrandHomolog(t *testing.T) {
+	ip, set, _ := dnaCluster(t)
+	ctx := context.Background()
+	excerpt := seq.MustNew(0, "x", seq.DNA, string(set.Seqs[3].Data[100:300]))
+	query := excerpt.ReverseComplement()
+	p := dnaParams()
+	p.BothStrands = true
+	hits, err := ip.Search(ctx, query, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("both-strands search found nothing")
+	}
+	top := hits[0]
+	if top.Seq != 3 || top.Strand != '-' {
+		t.Fatalf("top hit = seq %d strand %c, want seq 3 strand '-'", top.Seq, top.Strand)
+	}
+	if top.Alignment.SStart > 100 || top.Alignment.SEnd < 300 {
+		t.Fatalf("span = %+v", top.Alignment.Segment)
+	}
+}
+
+func TestPlusStrandHitsMarkedPlus(t *testing.T) {
+	ip, set, _ := dnaCluster(t)
+	ctx := context.Background()
+	p := dnaParams()
+	p.BothStrands = true
+	hits, err := ip.Search(ctx, set.Seqs[6].Data[50:250], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 6 || hits[0].Strand != '+' {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestBothStrandsIgnoredForProtein(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(78))
+	ctx := context.Background()
+	db := buildTestDB(rng, 10, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	p := defaultTestParams()
+	p.BothStrands = true // no-op for protein
+	hits, err := ip.Search(ctx, db.Seqs[2].Data[40:160], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Strand != '+' {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestReverseComplementHelper(t *testing.T) {
+	if got := string(reverseComplement([]byte("AACGTN"))); got != "NACGTT" {
+		t.Fatalf("revcomp = %q", got)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mendel/internal/seq"
+	"mendel/internal/wire"
+)
+
+// TranslatedHit is a protein-database hit found by translating a DNA query:
+// Frame identifies the reading frame (0-2 forward, 3-5 reverse complement)
+// whose conceptual translation the alignment's query coordinates refer to.
+type TranslatedHit struct {
+	Hit
+	Frame int
+}
+
+// SearchTranslated evaluates a DNA query against a protein cluster by
+// conceptually translating it in all six reading frames and searching each
+// (the classic blastx workflow). Hits carry their frame; results are ranked
+// by E-value across frames.
+func (c *Cluster) SearchTranslated(ctx context.Context, dnaQuery []byte, p wire.Params) ([]TranslatedHit, error) {
+	if c.cfg.Kind != seq.Protein {
+		return nil, fmt.Errorf("core: translated search requires a protein cluster, this one indexes %v", c.cfg.Kind)
+	}
+	q := append([]byte(nil), dnaQuery...)
+	if err := seq.DNAAlphabet.Normalize(q); err != nil {
+		return nil, err
+	}
+	var out []TranslatedHit
+	searched := 0
+	for frame := 0; frame < 6; frame++ {
+		protein, err := seq.Translate(q, frame)
+		if err != nil {
+			continue // frame too short
+		}
+		if len(protein) < c.cfg.BlockLen {
+			continue
+		}
+		searched++
+		hits, err := c.Search(ctx, protein, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hits {
+			out = append(out, TranslatedHit{Hit: h, Frame: frame})
+		}
+	}
+	if searched == 0 {
+		return nil, fmt.Errorf("core: query of %d nt has no frame translating to >= %d residues",
+			len(dnaQuery), c.cfg.BlockLen)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E != out[j].E {
+			return out[i].E < out[j].E
+		}
+		if out[i].Alignment.Score != out[j].Alignment.Score {
+			return out[i].Alignment.Score > out[j].Alignment.Score
+		}
+		return out[i].Frame < out[j].Frame
+	})
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mendel/internal/seq"
+)
+
+// reverseTranslate produces a DNA sequence whose frame-0 translation is the
+// given protein, picking one codon per residue.
+func reverseTranslate(t *testing.T, protein []byte) []byte {
+	t.Helper()
+	codon := map[byte]string{
+		'A': "GCT", 'R': "CGT", 'N': "AAT", 'D': "GAT", 'C': "TGT",
+		'Q': "CAA", 'E': "GAA", 'G': "GGT", 'H': "CAT", 'I': "ATT",
+		'L': "CTT", 'K': "AAA", 'M': "ATG", 'F': "TTT", 'P': "CCT",
+		'S': "TCT", 'T': "ACT", 'W': "TGG", 'Y': "TAT", 'V': "GTT",
+	}
+	var b strings.Builder
+	for _, aa := range protein {
+		c, ok := codon[aa]
+		if !ok {
+			t.Fatalf("no codon for %c", aa)
+		}
+		b.WriteString(c)
+	}
+	return []byte(b.String())
+}
+
+func TestSearchTranslatedFindsProteinHomolog(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(111))
+	ctx := context.Background()
+	db := buildTestDB(rng, 12, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	// A DNA read encoding residues 50..150 of protein 6, in frame 0.
+	dna := reverseTranslate(t, db.Seqs[6].Data[50:150])
+	hits, err := ip.SearchTranslated(ctx, dna, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("translated search found nothing")
+	}
+	top := hits[0]
+	if top.Seq != 6 || top.Frame != 0 {
+		t.Fatalf("top = seq %d frame %d, want seq 6 frame 0", top.Seq, top.Frame)
+	}
+}
+
+func TestSearchTranslatedReverseFrame(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(112))
+	ctx := context.Background()
+	db := buildTestDB(rng, 10, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	dna := reverseTranslate(t, db.Seqs[2].Data[40:140])
+	// Reverse-complement the read: the homolog now lives in frames 3-5.
+	rc := seq.MustNew(0, "rc", seq.DNA, string(dna)).ReverseComplement()
+	hits, err := ip.SearchTranslated(ctx, rc, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("reverse-frame homolog not found")
+	}
+	if hits[0].Seq != 2 || hits[0].Frame < 3 {
+		t.Fatalf("top = seq %d frame %d, want seq 2 frame >= 3", hits[0].Seq, hits[0].Frame)
+	}
+}
+
+func TestSearchTranslatedValidation(t *testing.T) {
+	// DNA cluster: translated search is protein-only.
+	ipDNA, _, _ := dnaCluster(t)
+	if _, err := ipDNA.SearchTranslated(context.Background(), []byte("ATGGCT"), dnaParams()); err == nil {
+		t.Error("translated search on DNA cluster accepted")
+	}
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(113))
+	if err := ip.Index(context.Background(), buildTestDB(rng, 5, 250)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.SearchTranslated(context.Background(), []byte("ATG"), defaultTestParams()); err == nil {
+		t.Error("too-short query accepted")
+	}
+	if _, err := ip.SearchTranslated(context.Background(), []byte("AXG!"), defaultTestParams()); err == nil {
+		t.Error("invalid nucleotides accepted")
+	}
+}
+
+func TestMaskedQuerySkipsJunkWindows(t *testing.T) {
+	ip := newTestCluster(t, 4, 2)
+	rng := rand.New(rand.NewSource(114))
+	ctx := context.Background()
+	db := buildTestDB(rng, 10, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	// Query = genuine excerpt + a long proline repeat.
+	query := append([]byte(nil), db.Seqs[3].Data[50:150]...)
+	query = append(query, []byte(strings.Repeat("P", 80))...)
+
+	p := defaultTestParams()
+	_, plain, err := ip.SearchTrace(ctx, query, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Mask = true
+	hits, maskedTrace, err := ip.SearchTrace(ctx, query, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masking must drop the repeat windows (the trace window count falls)
+	// without losing the true hit.
+	if maskedTrace.SubQueries >= plain.SubQueries {
+		t.Fatalf("masking did not reduce windows: %d vs %d", maskedTrace.SubQueries, plain.SubQueries)
+	}
+	if len(hits) == 0 || hits[0].Seq != 3 {
+		t.Fatalf("masked search lost the true hit: %+v", hits)
+	}
+}

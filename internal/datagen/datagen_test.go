@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"testing"
+
+	"mendel/internal/seq"
+)
+
+func TestSequenceIsValidAndDeterministic(t *testing.T) {
+	for _, kind := range []seq.Kind{seq.DNA, seq.Protein} {
+		g1 := New(kind, 42)
+		g2 := New(kind, 42)
+		s1 := g1.Sequence(500)
+		s2 := g2.Sequence(500)
+		if string(s1) != string(s2) {
+			t.Fatalf("%v: generation not deterministic", kind)
+		}
+		if err := seq.AlphabetFor(kind).Normalize(s1); err != nil {
+			t.Fatalf("%v: invalid residue: %v", kind, err)
+		}
+	}
+}
+
+func TestProteinCompositionSkew(t *testing.T) {
+	g := New(seq.Protein, 7)
+	counts := map[byte]int{}
+	for _, c := range g.Sequence(200000) {
+		counts[c]++
+	}
+	if counts['L'] < 4*counts['W'] {
+		t.Fatalf("Leu/Trp ratio = %d/%d, want strong skew", counts['L'], counts['W'])
+	}
+	for _, c := range []byte("BZX*") {
+		if counts[c] != 0 {
+			t.Fatalf("ambiguity code %c generated", c)
+		}
+	}
+}
+
+func TestDNACompositionUniform(t *testing.T) {
+	g := New(seq.DNA, 7)
+	counts := map[byte]int{}
+	const n = 100000
+	for _, c := range g.Sequence(n) {
+		counts[c]++
+	}
+	for _, c := range []byte("ACGT") {
+		frac := float64(counts[c]) / n
+		if frac < 0.22 || frac > 0.28 {
+			t.Fatalf("freq(%c) = %f", c, frac)
+		}
+	}
+	if counts['N'] != 0 {
+		t.Fatal("N generated")
+	}
+}
+
+func TestDatabaseShape(t *testing.T) {
+	g := New(seq.Protein, 1)
+	db, err := g.Database(50, 300, 50, "nr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 50 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	for _, s := range db.Seqs {
+		if s.Len() < 250 || s.Len() > 350 {
+			t.Fatalf("length %d outside jitter range", s.Len())
+		}
+	}
+	if db.Seqs[7].Name != "nr000007" {
+		t.Fatalf("name = %q", db.Seqs[7].Name)
+	}
+	if _, err := g.Database(0, 100, 10, "x"); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := g.Database(5, 100, 100, "x"); err == nil {
+		t.Error("jitter >= mean accepted")
+	}
+}
+
+func TestMutateRates(t *testing.T) {
+	g := New(seq.Protein, 3)
+	in := g.Sequence(10000)
+	out := g.Mutate(in, 0.1, 0)
+	if len(out) != len(in) {
+		t.Fatalf("substitution-only mutation changed length: %d", len(out))
+	}
+	diffs := 0
+	for i := range in {
+		if in[i] != out[i] {
+			diffs++
+		}
+	}
+	// ~10% expected, allow wide margin (substituting can pick the same
+	// residue occasionally does not happen here since residue() may return
+	// the original — rate is slightly below 0.1).
+	if diffs < 500 || diffs > 1500 {
+		t.Fatalf("diffs = %d of %d", diffs, len(in))
+	}
+	withIndels := g.Mutate(in, 0, 0.05)
+	if len(withIndels) == len(in) {
+		t.Log("indel mutation kept length (possible but unlikely)")
+	}
+	if len(g.Mutate([]byte{'A'}, 0, 1)) == 0 {
+		t.Fatal("mutation produced empty sequence")
+	}
+}
+
+func TestQuerySetHasHomologs(t *testing.T) {
+	g := New(seq.Protein, 5)
+	db, err := g.Database(10, 500, 0, "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := g.QuerySet(db, 20, 100, 0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 20 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	for _, q := range queries {
+		if len(q) < 80 || len(q) > 120 {
+			t.Fatalf("query length %d drifted too far", len(q))
+		}
+	}
+	if _, err := g.QuerySet(db, 5, 1000, 0, 0); err == nil {
+		t.Error("oversized query length accepted")
+	}
+	if _, err := g.QuerySet(db, 0, 10, 0, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestMutateToSimilarityExact(t *testing.T) {
+	g := New(seq.Protein, 9)
+	target := g.Sequence(1000)
+	for _, sim := range []float64{1.0, 0.9, 0.7, 0.5, 0.3} {
+		mut := g.MutateToSimilarity(target, sim)
+		if len(mut) != len(target) {
+			t.Fatalf("length changed at sim %f", sim)
+		}
+		same := 0
+		for i := range target {
+			if mut[i] == target[i] {
+				same++
+			}
+		}
+		got := float64(same) / float64(len(target))
+		if got < sim-0.001 || got > sim+0.001 {
+			t.Fatalf("requested similarity %f, got %f", sim, got)
+		}
+	}
+	// Clamping.
+	if got := g.MutateToSimilarity(target, 1.5); string(got) != string(target) {
+		t.Fatal("similarity > 1 should be identity")
+	}
+}
+
+func TestFamily(t *testing.T) {
+	g := New(seq.Protein, 11)
+	target := g.Sequence(200)
+	fam, err := g.Family(target, 10, 0.8, "fam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 10 {
+		t.Fatalf("family size = %d", fam.Len())
+	}
+	for _, s := range fam.Seqs {
+		if s.Len() != 200 {
+			t.Fatal("family member length drifted")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package invindex defines the inverted index block, Mendel's basic unit of
+// computation and storage (§V-A1): a fixed-length segment of a reference
+// sequence produced by a stride-1 sliding window, together with the metadata
+// needed at query time — the sequence ID, start/end positions, and access to
+// neighbouring residues so candidate matches can be extended into anchors.
+//
+// Blocks are identified by a packed 64-bit reference (sequence ID in the
+// high word, start offset in the low word). Because the indexing stride is
+// one, the references to the previous and next blocks the paper calls for
+// are implicit: Ref±1 within the same sequence.
+package invindex
+
+import (
+	"fmt"
+
+	"mendel/internal/seq"
+)
+
+// Block is one inverted-index entry. Content is the w-residue segment the
+// vp-tree indexes; Context carries up to Margin additional residues on each
+// side so storage nodes can extend matches locally without fetching
+// neighbouring blocks from other nodes (those neighbours were dispersed by
+// the intra-group flat hash and may live anywhere in the group).
+type Block struct {
+	Seq     seq.ID
+	Start   int
+	Content []byte
+	Context []byte
+	CtxOff  int // offset of Content within Context
+}
+
+// Ref returns the packed block reference.
+func (b *Block) Ref() uint64 { return PackRef(b.Seq, b.Start) }
+
+// End returns the exclusive end offset of the block in its sequence.
+func (b *Block) End() int { return b.Start + len(b.Content) }
+
+// String implements fmt.Stringer.
+func (b *Block) String() string {
+	return fmt.Sprintf("block seq=%d [%d:%d)", b.Seq, b.Start, b.End())
+}
+
+// PackRef packs a sequence ID and start offset into a block reference.
+func PackRef(id seq.ID, start int) uint64 {
+	return uint64(id)<<32 | uint64(uint32(start))
+}
+
+// UnpackRef splits a packed block reference.
+func UnpackRef(ref uint64) (seq.ID, int) {
+	return seq.ID(ref >> 32), int(uint32(ref))
+}
+
+// Config controls block creation.
+type Config struct {
+	// BlockLen is the sliding-window length w; every block carries exactly
+	// this many residues. The paper's index produces L-w+1 blocks for a
+	// sequence of length L.
+	BlockLen int
+	// Margin is the number of extra residues captured on each side of the
+	// block in Context (clamped at the sequence bounds).
+	Margin int
+}
+
+// DefaultConfig is the block geometry used throughout the repository:
+// 16-residue windows with a 32-residue extension margin per side.
+var DefaultConfig = Config{BlockLen: 16, Margin: 32}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BlockLen <= 0 {
+		return fmt.Errorf("invindex: BlockLen = %d", c.BlockLen)
+	}
+	if c.Margin < 0 {
+		return fmt.Errorf("invindex: Margin = %d", c.Margin)
+	}
+	return nil
+}
+
+// Blocks fragments a sequence into stride-1 inverted index blocks. The
+// Content and Context slices alias the sequence data; blocks are immutable
+// views, so this is safe and keeps indexing allocation-free per block.
+// Sequences shorter than BlockLen yield no blocks.
+func Blocks(s *seq.Sequence, cfg Config) []Block {
+	w := cfg.BlockLen
+	if w <= 0 || s.Len() < w {
+		return nil
+	}
+	out := make([]Block, 0, s.Len()-w+1)
+	for start := 0; start+w <= s.Len(); start++ {
+		ctxStart := start - cfg.Margin
+		if ctxStart < 0 {
+			ctxStart = 0
+		}
+		ctxEnd := start + w + cfg.Margin
+		if ctxEnd > s.Len() {
+			ctxEnd = s.Len()
+		}
+		out = append(out, Block{
+			Seq:     s.ID,
+			Start:   start,
+			Content: s.Data[start : start+w],
+			Context: s.Data[ctxStart:ctxEnd],
+			CtxOff:  start - ctxStart,
+		})
+	}
+	return out
+}
+
+// BlockCount returns the number of blocks Blocks would produce for a
+// sequence of length l.
+func BlockCount(l, blockLen int) int {
+	if blockLen <= 0 || l < blockLen {
+		return 0
+	}
+	return l - blockLen + 1
+}

@@ -1,0 +1,123 @@
+package invindex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mendel/internal/seq"
+)
+
+func TestPackUnpackRef(t *testing.T) {
+	f := func(id uint32, start uint32) bool {
+		gotID, gotStart := UnpackRef(PackRef(seq.ID(id), int(start)))
+		return gotID == seq.ID(id) && gotStart == int(start)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighbourRefsAreAdjacent(t *testing.T) {
+	// With stride-1 indexing, the previous/next block references of the
+	// paper are Ref-1 and Ref+1.
+	r := PackRef(3, 100)
+	id, start := UnpackRef(r + 1)
+	if id != 3 || start != 101 {
+		t.Fatalf("next ref = (%d,%d)", id, start)
+	}
+	id, start = UnpackRef(r - 1)
+	if id != 3 || start != 99 {
+		t.Fatalf("prev ref = (%d,%d)", id, start)
+	}
+}
+
+func TestBlocksGeometry(t *testing.T) {
+	s := seq.MustNew(5, "s", seq.DNA, "ACGTACGTACGTACGTACGT") // 20 residues
+	cfg := Config{BlockLen: 8, Margin: 4}
+	blocks := Blocks(s, cfg)
+	if len(blocks) != 13 { // L-w+1
+		t.Fatalf("blocks = %d, want 13", len(blocks))
+	}
+	first := blocks[0]
+	if first.Start != 0 || string(first.Content) != "ACGTACGT" {
+		t.Fatalf("first block = %+v", first)
+	}
+	// First block has no left margin, 4 right margin residues.
+	if first.CtxOff != 0 || len(first.Context) != 12 {
+		t.Fatalf("first context = off %d len %d", first.CtxOff, len(first.Context))
+	}
+	mid := blocks[6]
+	if mid.Start != 6 || mid.CtxOff != 4 || len(mid.Context) != 16 {
+		t.Fatalf("mid block = %+v (ctx len %d)", mid, len(mid.Context))
+	}
+	if string(mid.Context[mid.CtxOff:mid.CtxOff+8]) != string(mid.Content) {
+		t.Fatal("context does not embed content at CtxOff")
+	}
+	last := blocks[len(blocks)-1]
+	if last.Start != 12 || last.End() != 20 {
+		t.Fatalf("last block = %+v", last)
+	}
+	if last.Ref() != PackRef(5, 12) {
+		t.Fatal("ref mismatch")
+	}
+}
+
+func TestBlocksShortSequence(t *testing.T) {
+	s := seq.MustNew(0, "s", seq.DNA, "ACG")
+	if got := Blocks(s, Config{BlockLen: 8, Margin: 2}); got != nil {
+		t.Fatalf("short sequence produced %d blocks", len(got))
+	}
+}
+
+func TestBlocksExactLength(t *testing.T) {
+	s := seq.MustNew(0, "s", seq.DNA, "ACGTACGT")
+	blocks := Blocks(s, Config{BlockLen: 8, Margin: 2})
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if len(blocks[0].Context) != 8 || blocks[0].CtxOff != 0 {
+		t.Fatal("context should equal content for exact-length sequence")
+	}
+}
+
+func TestBlockCountMatches(t *testing.T) {
+	f := func(l uint8, w uint8) bool {
+		ln := int(l)
+		wn := int(w)%24 + 1
+		data := make([]byte, ln)
+		for i := range data {
+			data[i] = 'A'
+		}
+		var blocks []Block
+		if ln > 0 {
+			s, err := seq.New(0, "s", seq.DNA, data)
+			if err != nil {
+				return ln == 0
+			}
+			blocks = Blocks(s, Config{BlockLen: wn, Margin: 3})
+		}
+		return len(blocks) == BlockCount(ln, wn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{BlockLen: 0, Margin: 1}).Validate(); err == nil {
+		t.Error("zero BlockLen accepted")
+	}
+	if err := (Config{BlockLen: 8, Margin: -1}).Validate(); err == nil {
+		t.Error("negative margin accepted")
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	b := Block{Seq: 2, Start: 5, Content: []byte("ACGT")}
+	if got := b.String(); got != "block seq=2 [5:9)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,42 @@
+package matrix
+
+import "mendel/internal/seq"
+
+// ProteinBackground returns the Robinson & Robinson amino-acid background
+// frequencies used by BLAST, indexed by the dense protein alphabet. The
+// ambiguity codes B, Z, X and * receive zero probability; the 20 standard
+// residues sum to 1 (after normalization).
+//
+// These frequencies also drive the synthetic nr-like database generator,
+// standing in for the UniProtKB composition statistics the paper cites
+// (Leucine is ~7-9x more frequent than Tryptophan).
+func ProteinBackground() []float64 {
+	rr := map[byte]float64{
+		'A': 0.07805, 'R': 0.05129, 'N': 0.04487, 'D': 0.05364, 'C': 0.01925,
+		'Q': 0.04264, 'E': 0.06295, 'G': 0.07377, 'H': 0.02199, 'I': 0.05142,
+		'L': 0.09019, 'K': 0.05744, 'M': 0.02243, 'F': 0.03856, 'P': 0.05203,
+		'S': 0.07120, 'T': 0.05841, 'W': 0.01330, 'Y': 0.03216, 'V': 0.06441,
+	}
+	a := seq.ProteinAlphabet
+	out := make([]float64, a.Len())
+	total := 0.0
+	for c, p := range rr {
+		out[a.Index(c)] = p
+		total += p
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// DNABackground returns uniform frequencies over A, C, G, T with zero mass
+// on N, indexed by the dense DNA alphabet.
+func DNABackground() []float64 {
+	a := seq.DNAAlphabet
+	out := make([]float64, a.Len())
+	for _, c := range []byte("ACGT") {
+		out[a.Index(c)] = 0.25
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package matrix
+
+import (
+	"testing"
+
+	"mendel/internal/seq"
+)
+
+func TestBLOSUM62KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'L', 'L', 4}, {'C', 'C', 9},
+		{'W', 'Y', 2}, {'A', 'R', -1}, {'G', 'I', -4}, {'*', '*', 1},
+		{'A', '*', -4}, {'B', 'D', 4}, {'E', 'Z', 4}, {'X', 'X', -1},
+	}
+	for _, c := range cases {
+		if got := BLOSUM62.Score(c.a, c.b); got != c.want {
+			t.Errorf("BLOSUM62(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := BLOSUM62.Score(c.b, c.a); got != c.want {
+			t.Errorf("BLOSUM62(%c,%c) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPAM250KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'W', 'W', 17}, {'C', 'C', 12}, {'A', 'A', 2}, {'F', 'Y', 7}, {'W', 'A', -6},
+	}
+	for _, c := range cases {
+		if got := PAM250.Score(c.a, c.b); got != c.want {
+			t.Errorf("PAM250(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLowercaseScoring(t *testing.T) {
+	if got := BLOSUM62.Score('a', 'a'); got != 4 {
+		t.Fatalf("lowercase score = %d", got)
+	}
+	if got := BLOSUM62.Score('a', 'R'); got != -1 {
+		t.Fatalf("mixed-case score = %d", got)
+	}
+}
+
+func TestInvalidResidueScoresAtMinimum(t *testing.T) {
+	if got := BLOSUM62.Score('!', 'A'); got != BLOSUM62.Min() {
+		t.Fatalf("invalid residue score = %d, want %d", got, BLOSUM62.Min())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if BLOSUM62.Min() != -4 || BLOSUM62.Max() != 11 {
+		t.Fatalf("BLOSUM62 min/max = %d/%d", BLOSUM62.Min(), BLOSUM62.Max())
+	}
+	if PAM250.Min() != -8 || PAM250.Max() != 17 {
+		t.Fatalf("PAM250 min/max = %d/%d", PAM250.Min(), PAM250.Max())
+	}
+}
+
+func TestGapDefaults(t *testing.T) {
+	if BLOSUM62.GapOpen != 11 || BLOSUM62.GapExtend != 1 {
+		t.Fatalf("BLOSUM62 gaps = %d/%d", BLOSUM62.GapOpen, BLOSUM62.GapExtend)
+	}
+}
+
+func TestDNAMatrix(t *testing.T) {
+	m := DNAUnit
+	if got := m.Score('A', 'A'); got != 1 {
+		t.Fatalf("match = %d", got)
+	}
+	if got := m.Score('A', 'G'); got != -2 {
+		t.Fatalf("mismatch = %d", got)
+	}
+	if got := m.Score('N', 'N'); got != -2 {
+		t.Fatalf("N-N should score as mismatch, got %d", got)
+	}
+	custom := NewDNA(5, -4, 10, 2)
+	if custom.Score('C', 'C') != 5 || custom.Score('C', 'T') != -4 {
+		t.Fatal("custom DNA matrix wrong")
+	}
+}
+
+func TestScoreSegments(t *testing.T) {
+	got := BLOSUM62.ScoreSegments([]byte("WWW"), []byte("WWY"))
+	if want := 11 + 11 + 2; got != want {
+		t.Fatalf("ScoreSegments = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unequal lengths")
+		}
+	}()
+	BLOSUM62.ScoreSegments([]byte("AB"), []byte("A"))
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"BLOSUM62", "blosum62", "PAM250", "pam250", "DNA", "dna"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("BLOSUM999"); ok {
+		t.Error("unknown matrix resolved")
+	}
+}
+
+func TestNewRejectsBadShapes(t *testing.T) {
+	a := seq.DNAAlphabet
+	if _, err := New("x", a, [][]int{{0}}, 1, 1); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	bad := make([][]int, a.Len())
+	for i := range bad {
+		bad[i] = make([]int, a.Len())
+	}
+	bad[0] = bad[0][:2]
+	if _, err := New("x", a, bad, 1, 1); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	asym := make([][]int, a.Len())
+	for i := range asym {
+		asym[i] = make([]int, a.Len())
+	}
+	asym[0][1] = 3
+	if _, err := New("x", a, asym, 1, 1); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+}
+
+func TestProteinBackground(t *testing.T) {
+	bg := ProteinBackground()
+	if len(bg) != seq.ProteinAlphabet.Len() {
+		t.Fatalf("len = %d", len(bg))
+	}
+	sum := 0.0
+	for _, p := range bg {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("sum = %f", sum)
+	}
+	a := seq.ProteinAlphabet
+	leu, trp := bg[a.Index('L')], bg[a.Index('W')]
+	if leu < 5*trp {
+		t.Fatalf("Leu/Trp ratio = %f, paper expects Leu far more frequent", leu/trp)
+	}
+	for _, c := range []byte("BZX*") {
+		if bg[a.Index(c)] != 0 {
+			t.Errorf("ambiguity code %c has nonzero background", c)
+		}
+	}
+}
+
+func TestDNABackground(t *testing.T) {
+	bg := DNABackground()
+	for _, c := range []byte("ACGT") {
+		if bg[seq.DNAAlphabet.Index(c)] != 0.25 {
+			t.Errorf("freq(%c) = %f", c, bg[seq.DNAAlphabet.Index(c)])
+		}
+	}
+	if bg[seq.DNAAlphabet.Index('N')] != 0 {
+		t.Error("N has nonzero background")
+	}
+}

@@ -1,0 +1,101 @@
+package matrix
+
+import "fmt"
+
+// DistanceMatrix converts a similarity scoring matrix into a per-residue
+// metric per the Mendel transform (see the package comment): column-correct
+// against the diagonal, symmetrize with max, force a positive floor on
+// off-diagonal zeros, then take the shortest-path metric closure.
+//
+// The result satisfies all metric axioms (verified by CheckMetric and by the
+// property tests) so that summing it position-wise over equal-length residue
+// segments yields a metric on segments — the distance the vp-tree uses.
+func DistanceMatrix(m *Matrix) [][]int {
+	n := m.Dim()
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			di := abs(m.ScoreIndex(i, j) - m.ScoreIndex(i, i))
+			dj := abs(m.ScoreIndex(i, j) - m.ScoreIndex(j, j))
+			v := di
+			if dj > v {
+				v = dj
+			}
+			if v == 0 {
+				v = 1 // identity of indiscernibles for distinct residues
+			}
+			d[i][j] = v
+		}
+	}
+	metricClosure(d)
+	return d
+}
+
+// metricClosure replaces d with its shortest-path closure, the largest
+// pointwise-smaller matrix satisfying the triangle inequality. Symmetry and
+// the zero diagonal are preserved; off-diagonal entries stay positive
+// because all edge weights are positive.
+func metricClosure(d [][]int) {
+	n := len(d)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			for j := 0; j < n; j++ {
+				if via := dik + d[k][j]; via < d[i][j] {
+					d[i][j] = via
+				}
+			}
+		}
+	}
+}
+
+// CheckMetric verifies the metric axioms on a dense distance table:
+// non-negativity, zero diagonal, positivity off the diagonal, symmetry, and
+// the triangle inequality. It returns a descriptive error on the first
+// violation found.
+func CheckMetric(d [][]int) error {
+	n := len(d)
+	for i := 0; i < n; i++ {
+		if len(d[i]) != n {
+			return fmt.Errorf("matrix: row %d has length %d, want %d", i, len(d[i]), n)
+		}
+		if d[i][i] != 0 {
+			return fmt.Errorf("matrix: d[%d][%d] = %d, want 0", i, i, d[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if d[i][j] < 0 {
+				return fmt.Errorf("matrix: negative distance d[%d][%d] = %d", i, j, d[i][j])
+			}
+			if i != j && d[i][j] == 0 {
+				return fmt.Errorf("matrix: zero distance between distinct residues %d, %d", i, j)
+			}
+			if d[i][j] != d[j][i] {
+				return fmt.Errorf("matrix: asymmetric at (%d,%d): %d vs %d", i, j, d[i][j], d[j][i])
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][j] > d[i][k]+d[k][j] {
+					return fmt.Errorf("matrix: triangle violated: d(%d,%d)=%d > d(%d,%d)+d(%d,%d)=%d",
+						i, j, d[i][j], i, k, k, j, d[i][k]+d[k][j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

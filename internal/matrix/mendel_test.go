@@ -1,0 +1,114 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mendel/internal/seq"
+)
+
+func TestDistanceMatrixIsMetric(t *testing.T) {
+	for _, m := range []*Matrix{BLOSUM62, PAM250, DNAUnit} {
+		d := DistanceMatrix(m)
+		if err := CheckMetric(d); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestDistanceMatrixExactMatchIsZero(t *testing.T) {
+	d := DistanceMatrix(BLOSUM62)
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Fatalf("d[%d][%d] = %d", i, i, d[i][i])
+		}
+	}
+}
+
+func TestDistanceMatrixOrdersMismatchStrength(t *testing.T) {
+	// Conservative substitutions must sit closer than radical ones: the
+	// paper's rationale is that mismatch penalties "retain the same
+	// amplitude" relative to the exact match. I<->L (BLOSUM62 +2) should be
+	// nearer than W<->G (-2, against diagonals 11 and 6).
+	d := DistanceMatrix(BLOSUM62)
+	a := seq.ProteinAlphabet
+	il := d[a.Index('I')][a.Index('L')]
+	wg := d[a.Index('W')][a.Index('G')]
+	if il >= wg {
+		t.Fatalf("d(I,L)=%d should be < d(W,G)=%d", il, wg)
+	}
+}
+
+func TestDistanceMatrixDNA(t *testing.T) {
+	d := DistanceMatrix(DNAUnit)
+	a := seq.DNAAlphabet
+	// All nucleotide mismatches are equidistant for a flat match/mismatch
+	// matrix (N differs since its diagonal is also a mismatch score).
+	want := d[a.Index('A')][a.Index('C')]
+	for _, pair := range [][2]byte{{'A', 'G'}, {'A', 'T'}, {'C', 'G'}, {'C', 'T'}, {'G', 'T'}} {
+		if got := d[a.Index(pair[0])][a.Index(pair[1])]; got != want {
+			t.Errorf("d(%c,%c) = %d, want %d", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestCheckMetricDetectsViolations(t *testing.T) {
+	ok := [][]int{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}}
+	if err := CheckMetric(ok); err != nil {
+		t.Fatalf("valid metric rejected: %v", err)
+	}
+	cases := map[string][][]int{
+		"ragged":       {{0, 1}, {1}},
+		"nonzero diag": {{1, 1}, {1, 0}},
+		"negative":     {{0, -1}, {-1, 0}},
+		"zero offdiag": {{0, 0}, {0, 0}},
+		"asymmetric":   {{0, 1, 2}, {2, 0, 1}, {2, 1, 0}},
+		"triangle":     {{0, 1, 9}, {1, 0, 1}, {9, 1, 0}},
+	}
+	for name, d := range cases {
+		if err := CheckMetric(d); err == nil {
+			t.Errorf("%s: violation not detected", name)
+		}
+	}
+}
+
+func TestMetricClosureIdempotent(t *testing.T) {
+	d := DistanceMatrix(BLOSUM62)
+	before := make([][]int, len(d))
+	for i := range d {
+		before[i] = append([]int(nil), d[i]...)
+	}
+	metricClosure(d)
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] != before[i][j] {
+				t.Fatalf("closure not idempotent at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMetricClosureOnRandomMatrices(t *testing.T) {
+	// Closure of any positive symmetric matrix must satisfy the axioms.
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		n := rng.Intn(8) + 2
+		d := make([][]int, n)
+		for i := range d {
+			d[i] = make([]int, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Intn(30) + 1
+				d[i][j], d[j][i] = v, v
+			}
+		}
+		metricClosure(d)
+		return CheckMetric(d) == nil
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

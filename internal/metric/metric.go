@@ -1,0 +1,166 @@
+// Package metric defines the metric-space distance functions Mendel uses to
+// compare fixed-length sequence segments, as required by the vantage point
+// tree (§III-B of the paper).
+//
+// For DNA, the distance is plain Hamming distance. For proteins, Hamming
+// distance is a poor similarity proxy (residue background frequencies and
+// mutation rates are highly non-uniform), so the distance is the position-wise
+// sum of a per-residue metric derived from a scoring matrix via
+// matrix.DistanceMatrix. Both are true metrics on equal-length strings.
+package metric
+
+import (
+	"fmt"
+
+	"mendel/internal/matrix"
+	"mendel/internal/seq"
+)
+
+// Metric measures the distance between two equal-length residue segments.
+// Implementations must satisfy the metric axioms; the vp-tree relies on the
+// triangle inequality for search-space pruning.
+type Metric interface {
+	// Distance returns the distance between a and b, which must have equal
+	// length. Implementations panic on unequal lengths: segment lengths are
+	// a structural invariant of the Mendel index, not a runtime condition.
+	Distance(a, b []byte) int
+	// MaxPerResidue returns the largest possible single-position distance,
+	// used to normalize distances into [0,1] for thresholding.
+	MaxPerResidue() int
+	// Name identifies the metric for logs and wire messages.
+	Name() string
+}
+
+// Hamming is the DNA distance: the number of positions at which two
+// equal-length segments differ (§III-B). Ambiguity code N counts as a
+// mismatch against everything including itself, making it conservatively far
+// from all residues while remaining a metric (d(N,N)=0 would also be fine;
+// we use byte equality so d(N,N)=0 holds).
+type Hamming struct{}
+
+// Distance implements Metric.
+func (Hamming) Distance(a, b []byte) int {
+	checkLen(a, b)
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxPerResidue implements Metric.
+func (Hamming) MaxPerResidue() int { return 1 }
+
+// Name implements Metric.
+func (Hamming) Name() string { return "hamming" }
+
+// MatrixMetric sums a per-residue metric table over positions. The table
+// comes from matrix.DistanceMatrix and is addressed through a byte-indexed
+// lookup so the hot path performs no alphabet translation.
+type MatrixMetric struct {
+	name   string
+	maxPer int
+	table  [256][256]uint16
+}
+
+// NewMatrixMetric builds the segment metric for a scoring matrix. Residues
+// outside the matrix alphabet sit at the maximum per-residue distance from
+// everything (including themselves), which keeps malformed input safely far
+// rather than panicking mid-query.
+func NewMatrixMetric(m *matrix.Matrix) *MatrixMetric {
+	d := matrix.DistanceMatrix(m)
+	mm := &MatrixMetric{name: "mendel-" + m.Name}
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] > mm.maxPer {
+				mm.maxPer = d[i][j]
+			}
+		}
+	}
+	for x := range mm.table {
+		for y := range mm.table[x] {
+			mm.table[x][y] = uint16(mm.maxPer)
+		}
+	}
+	letters := m.Alphabet.Letters()
+	for i, ci := range letters {
+		for j, cj := range letters {
+			v := uint16(d[i][j])
+			mm.table[ci][cj] = v
+			mm.table[lowerByte(ci)][cj] = v
+			mm.table[ci][lowerByte(cj)] = v
+			mm.table[lowerByte(ci)][lowerByte(cj)] = v
+		}
+	}
+	return mm
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+// Distance implements Metric.
+func (m *MatrixMetric) Distance(a, b []byte) int {
+	checkLen(a, b)
+	d := 0
+	for i := range a {
+		d += int(m.table[a[i]][b[i]])
+	}
+	return d
+}
+
+// MaxPerResidue implements Metric.
+func (m *MatrixMetric) MaxPerResidue() int { return m.maxPer }
+
+// Name implements Metric.
+func (m *MatrixMetric) Name() string { return m.name }
+
+// ResidueDistance exposes the per-residue distance, used by tests and by
+// consecutivity scoring.
+func (m *MatrixMetric) ResidueDistance(a, b byte) int { return int(m.table[a][b]) }
+
+// ForKind returns the Mendel default metric for a molecule kind: Hamming for
+// DNA and the BLOSUM62-derived matrix metric for proteins (§III-B).
+func ForKind(kind seq.Kind) Metric {
+	if kind == seq.DNA {
+		return Hamming{}
+	}
+	return defaultProtein
+}
+
+// ByName resolves a metric from its wire name, the inverse of Name. Cluster
+// nodes use this to agree on the index metric during bootstrap.
+func ByName(name string) (Metric, error) {
+	switch name {
+	case "hamming":
+		return Hamming{}, nil
+	case "mendel-BLOSUM62":
+		return defaultProtein, nil
+	case "mendel-PAM250":
+		return pam250Once(), nil
+	default:
+		return nil, fmt.Errorf("metric: unknown metric %q", name)
+	}
+}
+
+var defaultProtein = NewMatrixMetric(matrix.BLOSUM62)
+
+var pam250Metric *MatrixMetric
+
+func pam250Once() *MatrixMetric {
+	if pam250Metric == nil {
+		pam250Metric = NewMatrixMetric(matrix.PAM250)
+	}
+	return pam250Metric
+}
+
+func checkLen(a, b []byte) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metric: segment lengths differ: %d vs %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,87 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mendel/internal/anchorset"
+	"mendel/internal/transport"
+	"mendel/internal/wire"
+)
+
+// groupSearch implements the group entry point role (§V-B): blocks within a
+// group were dispersed by a flat hash, so any member may hold a relevant
+// block and the subqueries are replicated to every node of the group in
+// parallel. The entry point then performs the first aggregation stage,
+// combining overlapping anchors on the same diagonal before forwarding the
+// merged set to the system entry point.
+//
+// Nodes that fail mid-query are skipped rather than failing the whole
+// search: a partial answer from the surviving replicas is the behaviour a
+// storage system should degrade to, and the paper's symmetric design makes
+// every node's contribution independent.
+func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error) {
+	n.mu.RLock()
+	booted := n.booted
+	topo := n.topo
+	group := n.group
+	n.mu.RUnlock()
+	if !booted {
+		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
+	}
+	if r.Group != group {
+		return nil, fmt.Errorf("node %s: group search for group %d routed to group %d", n.addr, r.Group, group)
+	}
+	local := wire.LocalSearch{
+		Query:     r.Query,
+		Offsets:   r.Offsets,
+		WindowLen: r.WindowLen,
+		Params:    r.Params,
+	}
+	members := topo.GroupNodes(group)
+	type reply struct {
+		anchors []wire.Anchor
+		err     error
+	}
+	ch := make(chan reply, len(members))
+	for _, member := range members {
+		go func(member string) {
+			if member == n.addr {
+				// Answer our own share without a self-RPC.
+				resp, err := n.localSearch(local)
+				if err != nil {
+					ch <- reply{err: err}
+					return
+				}
+				ch <- reply{anchors: resp.(wire.LocalSearchResult).Anchors}
+				return
+			}
+			resp, err := n.caller.Call(ctx, member, local)
+			if err != nil {
+				ch <- reply{err: err}
+				return
+			}
+			ch <- reply{anchors: resp.(wire.LocalSearchResult).Anchors}
+		}(member)
+	}
+	var all []wire.Anchor
+	var failures int
+	var lastErr error
+	for range members {
+		rep := <-ch
+		if rep.err != nil {
+			if errors.Is(rep.err, transport.ErrUnreachable) {
+				failures++
+				lastErr = rep.err
+				continue
+			}
+			return nil, rep.err
+		}
+		all = append(all, rep.anchors...)
+	}
+	if failures == len(members) {
+		return nil, fmt.Errorf("node %s: every member of group %d unreachable: %w", n.addr, group, lastErr)
+	}
+	return wire.GroupSearchResult{Anchors: anchorset.Merge(all)}, nil
+}

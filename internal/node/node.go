@@ -1,0 +1,237 @@
+// Package node implements a Mendel storage node: the local inverted-index
+// block store, the memory-resident dynamic vp-tree over those blocks
+// (§V-A3), the node's shard of the distributed sequence repository, and the
+// query-side roles every node can play — local searcher and group entry
+// point (§V-B). The architecture is symmetric: all nodes run identical code
+// and differ only in the data the two-tier DHT routed to them.
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mendel/internal/dht"
+	"mendel/internal/invindex"
+	"mendel/internal/metric"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/vphash"
+	"mendel/internal/vptree"
+	"mendel/internal/wire"
+)
+
+// Node is one storage node. Create with New, wire it to a transport, then
+// drive it entirely through Handle.
+type Node struct {
+	addr   string
+	caller transport.Caller
+
+	mu sync.RWMutex
+	// Cluster state, set by Bootstrap.
+	booted       bool
+	kind         seq.Kind
+	met          metric.Metric
+	blockLen     int
+	margin       int
+	searchBudget int
+	topo         *dht.Topology
+	hashTree     *vphash.Tree
+	group        int
+	// Storage state.
+	tree     *vptree.Tree
+	blocks   map[uint64]wire.Block
+	residues int
+	seqs     map[seq.ID]storedSeq
+
+	// busyNS accumulates time spent in localSearch (atomic).
+	busyNS atomic.Int64
+}
+
+type storedSeq struct {
+	name string
+	data []byte
+}
+
+// New creates an unbooted node. caller is used when the node acts as a
+// group entry point and fans subqueries out to its peers.
+func New(addr string, caller transport.Caller) *Node {
+	return &Node{
+		addr:   addr,
+		caller: caller,
+		blocks: make(map[uint64]wire.Block),
+		seqs:   make(map[seq.ID]storedSeq),
+	}
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.addr }
+
+// Handle implements transport.Handler, dispatching every wire message the
+// node understands.
+func (n *Node) Handle(ctx context.Context, req any) (any, error) {
+	switch r := req.(type) {
+	case wire.Ping:
+		return wire.Pong{Node: n.addr}, nil
+	case wire.Bootstrap:
+		return n.bootstrap(r)
+	case wire.UpdateTopology:
+		return n.updateTopology(r)
+	case wire.IndexBlocks:
+		return n.indexBlocks(r)
+	case wire.StoreSequences:
+		return n.storeSequences(r)
+	case wire.FetchRegion:
+		return n.fetchRegion(r)
+	case wire.LocalSearch:
+		return n.localSearch(r)
+	case wire.GroupSearch:
+		return n.groupSearch(ctx, r)
+	case wire.Stats:
+		return n.stats(), nil
+	default:
+		return nil, fmt.Errorf("node %s: unknown request %T", n.addr, req)
+	}
+}
+
+func (n *Node) bootstrap(b wire.Bootstrap) (any, error) {
+	met, err := metric.ByName(b.Metric)
+	if err != nil {
+		return nil, err
+	}
+	var hashTree *vphash.Tree
+	if len(b.HashTree) > 0 {
+		hashTree = new(vphash.Tree)
+		if err := hashTree.UnmarshalBinary(b.HashTree); err != nil {
+			return nil, err
+		}
+	}
+	topo, err := dht.NewTopology(b.Groups, 0)
+	if err != nil {
+		return nil, err
+	}
+	group, ok := topo.GroupOf(n.addr)
+	if !ok {
+		return nil, fmt.Errorf("node %s: not a member of the bootstrapped topology", n.addr)
+	}
+	if b.BlockLen <= 0 {
+		return nil, fmt.Errorf("node %s: bad block length %d", n.addr, b.BlockLen)
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.booted = true
+	n.kind = b.Kind
+	n.met = met
+	n.blockLen = b.BlockLen
+	n.margin = b.Margin
+	n.searchBudget = b.SearchBudget
+	n.topo = topo
+	n.hashTree = hashTree
+	n.group = group
+	n.tree = vptree.New(met, 0, 1)
+	n.blocks = make(map[uint64]wire.Block)
+	n.residues = 0
+	n.seqs = make(map[seq.ID]storedSeq)
+	return wire.BootstrapAck{}, nil
+}
+
+// updateTopology applies a membership change. The node's stored blocks and
+// sequences are untouched: intra-group queries fan to every member, so data
+// that no longer matches the ring placement is still found, and the ring
+// only steers future placements.
+func (n *Node) updateTopology(r wire.UpdateTopology) (any, error) {
+	topo, err := dht.NewTopology(r.Groups, 0)
+	if err != nil {
+		return nil, err
+	}
+	group, ok := topo.GroupOf(n.addr)
+	if !ok {
+		return nil, fmt.Errorf("node %s: excluded from updated topology", n.addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.booted {
+		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
+	}
+	n.topo = topo
+	n.group = group
+	return wire.UpdateTopologyAck{}, nil
+}
+
+func (n *Node) indexBlocks(r wire.IndexBlocks) (any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.booted {
+		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
+	}
+	items := make([]vptree.Item, 0, len(r.Blocks))
+	for _, b := range r.Blocks {
+		if len(b.Content) != n.blockLen {
+			return nil, fmt.Errorf("node %s: block length %d, expected %d", n.addr, len(b.Content), n.blockLen)
+		}
+		ref := invindex.PackRef(b.Seq, b.Start)
+		if _, dup := n.blocks[ref]; dup {
+			continue
+		}
+		n.blocks[ref] = b
+		n.residues += len(b.Content)
+		items = append(items, vptree.Item{Key: b.Content, Ref: ref})
+	}
+	// Batched insertion into the local dynamic vp-tree (§III-D's middle
+	// ground between per-element inserts and full rebuilds).
+	n.tree.InsertBatch(items)
+	return wire.IndexBlocksAck{Accepted: len(items)}, nil
+}
+
+func (n *Node) storeSequences(r wire.StoreSequences) (any, error) {
+	if len(r.IDs) != len(r.Data) || len(r.IDs) != len(r.Names) {
+		return nil, fmt.Errorf("node %s: malformed StoreSequences", n.addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, id := range r.IDs {
+		n.seqs[id] = storedSeq{name: r.Names[i], data: r.Data[i]}
+	}
+	return wire.StoreSequencesAck{}, nil
+}
+
+func (n *Node) fetchRegion(r wire.FetchRegion) (any, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.seqs[r.Seq]
+	if !ok {
+		return nil, fmt.Errorf("node %s: sequence %d not stored here", n.addr, r.Seq)
+	}
+	start, end := r.Start, r.End
+	if start < 0 {
+		start = 0
+	}
+	if end > len(s.data) {
+		end = len(s.data)
+	}
+	if start > end {
+		start = end
+	}
+	data := make([]byte, end-start)
+	copy(data, s.data[start:end])
+	return wire.Region{Seq: r.Seq, Start: start, Data: data, Len: len(s.data)}, nil
+}
+
+func (n *Node) stats() wire.StatsResult {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	treeSize := 0
+	if n.tree != nil {
+		treeSize = n.tree.Size()
+	}
+	return wire.StatsResult{
+		Node:      n.addr,
+		Blocks:    len(n.blocks),
+		Residues:  n.residues,
+		Sequences: len(n.seqs),
+		TreeSize:  treeSize,
+		BusyNS:    n.busyNS.Load(),
+	}
+}

@@ -1,0 +1,123 @@
+package node
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mendel/internal/invindex"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/wire"
+)
+
+func TestSnapshotRoundTripRestoresSearch(t *testing.T) {
+	_, nodes, _ := testCluster(t, 1, 8)
+	n := nodes[0]
+	ctx := context.Background()
+	ref := "ACGTACGTGGCCTTAAGGCCTTACGTACGT"
+	if _, err := n.Handle(ctx, wire.IndexBlocks{Blocks: blocksFor(t, 3, ref, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Handle(ctx, wire.StoreSequences{
+		IDs: []seq.ID{3}, Names: []string{"ref"}, Data: [][]byte{[]byte(ref)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := n.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A brand-new node process on the same address restores everything.
+	restored := New("n0", transport.NewMemNetwork())
+	if err := restored.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	origStats := n.stats()
+	newStats := restored.stats()
+	if newStats.Blocks != origStats.Blocks || newStats.TreeSize != origStats.TreeSize ||
+		newStats.Sequences != origStats.Sequences || newStats.Residues != origStats.Residues {
+		t.Fatalf("restored stats %+v != original %+v", newStats, origStats)
+	}
+
+	params := wire.DefaultParams()
+	params.Matrix = "DNA"
+	params.Identity = 0.9
+	params.CScore = 0.5
+	resp, err := restored.Handle(ctx, wire.LocalSearch{
+		Query: []byte(ref[10:18]), Offsets: []int{0}, WindowLen: 8, Params: params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.(wire.LocalSearchResult).Anchors) == 0 {
+		t.Fatal("restored node found nothing")
+	}
+	// The repository shard also survives.
+	region, err := restored.Handle(ctx, wire.FetchRegion{Seq: 3, Start: 0, End: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(region.(wire.Region).Data) != ref[:8] {
+		t.Fatal("restored repository wrong")
+	}
+}
+
+func TestSnapshotOfUnbootedNodeIsNoop(t *testing.T) {
+	n := New("solo", transport.NewMemNetwork())
+	var buf bytes.Buffer
+	if err := n.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New("solo", transport.NewMemNetwork())
+	if err := restored.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.stats().Blocks != 0 {
+		t.Fatal("empty snapshot produced data")
+	}
+	// Operations still require bootstrap.
+	if _, err := restored.Handle(context.Background(), wire.IndexBlocks{}); err == nil {
+		t.Fatal("unbooted restore accepted indexing")
+	}
+}
+
+func TestLoadFromRejectsGarbage(t *testing.T) {
+	n := New("solo", transport.NewMemNetwork())
+	if err := n.LoadFrom(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestLoadFromRejectsForeignTopology(t *testing.T) {
+	_, nodes, _ := testCluster(t, 1, 8)
+	var buf bytes.Buffer
+	if err := nodes[0].SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring under a different address must fail: the node is not part
+	// of the snapshot's topology.
+	other := New("different-addr", transport.NewMemNetwork())
+	if err := other.LoadFrom(&buf); err == nil {
+		t.Fatal("foreign snapshot accepted")
+	}
+}
+
+func TestBlockByRefHook(t *testing.T) {
+	_, nodes, _ := testCluster(t, 1, 8)
+	n := nodes[0]
+	blocks := blocksFor(t, 2, "ACGTACGTACGTACGT", 8)
+	if _, err := n.Handle(context.Background(), wire.IndexBlocks{Blocks: blocks}); err != nil {
+		t.Fatal(err)
+	}
+	ref := invindex.PackRef(blocks[0].Seq, blocks[0].Start)
+	b, ok := n.blockByRef(ref)
+	if !ok || b.Start != blocks[0].Start {
+		t.Fatalf("blockByRef = %+v %v", b, ok)
+	}
+	if _, ok := n.blockByRef(^uint64(0)); ok {
+		t.Fatal("missing ref resolved")
+	}
+}

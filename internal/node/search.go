@@ -1,0 +1,165 @@
+package node
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mendel/internal/align"
+	"mendel/internal/anchorset"
+	"mendel/internal/matrix"
+	"mendel/internal/wire"
+)
+
+// xDrop is the score drop-off that terminates ungapped anchor extension,
+// mirroring BLAST's ungapped X parameter.
+const xDrop = 20
+
+// localSearch executes the per-node half of §V-B: for each subquery window,
+// an n-NN lookup in the local vp-tree produces candidates; candidates are
+// filtered by percent identity and consecutivity score; survivors become
+// anchors extended in both directions within the block's stored context.
+func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
+	start := time.Now()
+	defer func() { n.busyNS.Add(time.Since(start).Nanoseconds()) }()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.booted {
+		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
+	}
+	if err := r.Params.Validate(); err != nil {
+		return nil, err
+	}
+	m, ok := matrix.ByName(r.Params.Matrix)
+	if !ok {
+		return nil, fmt.Errorf("node %s: unknown scoring matrix %q", n.addr, r.Params.Matrix)
+	}
+	if r.WindowLen != n.blockLen {
+		return nil, fmt.Errorf("node %s: window length %d, index uses %d", n.addr, r.WindowLen, n.blockLen)
+	}
+	for _, off := range r.Offsets {
+		if off < 0 || off+r.WindowLen > len(r.Query) {
+			return nil, fmt.Errorf("node %s: window [%d:%d] outside query of length %d",
+				n.addr, off, off+r.WindowLen, len(r.Query))
+		}
+	}
+	// Subquery windows are independent; shard them over a few workers.
+	// The node's read lock is held for the whole request, so workers may
+	// touch the tree and block store freely.
+	workers := runtime.GOMAXPROCS(0) / 2
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(r.Offsets) {
+		workers = len(r.Offsets)
+	}
+	perWorker := make([][]wire.Anchor, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var anchors []wire.Anchor
+			for i := w; i < len(r.Offsets); i += workers {
+				off := r.Offsets[i]
+				window := r.Query[off : off+r.WindowLen]
+				for _, cand := range n.tree.NearestBudget(window, r.Params.Neighbors, n.searchBudget) {
+					block, ok := n.blocks[cand.Ref]
+					if !ok {
+						continue // cannot happen; defensive against store drift
+					}
+					if identity(window, block.Content) < r.Params.Identity {
+						continue
+					}
+					if cScore(window, block.Content, m) < r.Params.CScore {
+						continue
+					}
+					anchors = append(anchors, extendAnchor(r.Query, off, r.WindowLen, block, m))
+				}
+			}
+			perWorker[w] = anchors
+		}(w)
+	}
+	wg.Wait()
+	var anchors []wire.Anchor
+	for _, a := range perWorker {
+		anchors = append(anchors, a...)
+	}
+	// Adjacent subqueries routinely rediscover the same region; merge
+	// locally so the group entry point aggregates less data.
+	return wire.LocalSearchResult{Anchors: anchorset.Merge(anchors)}, nil
+}
+
+// identity is the fraction of positions at which the window matches the
+// candidate exactly — the complement of the paper's normalized Hamming
+// formula, oriented so that larger is better.
+func identity(window, candidate []byte) float64 {
+	if len(window) == 0 {
+		return 0
+	}
+	matches := 0
+	for i := range window {
+		if window[i] == candidate[i] {
+			matches++
+		}
+	}
+	return float64(matches) / float64(len(candidate))
+}
+
+// cScore is the paper's consecutivity score: of the matching positions, the
+// fraction that sit in runs of at least two. For protein data a position
+// "matches" when the scoring matrix gives the substitution a positive score
+// (§V-B); exact equality always matches.
+func cScore(window, candidate []byte, m *matrix.Matrix) float64 {
+	n := len(window)
+	if n == 0 {
+		return 0
+	}
+	matched := make([]bool, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		if window[i] == candidate[i] || m.Score(window[i], candidate[i]) > 0 {
+			matched[i] = true
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	consecutive := 0
+	for i := 0; i < n; i++ {
+		if !matched[i] {
+			continue
+		}
+		if (i > 0 && matched[i-1]) || (i < n-1 && matched[i+1]) {
+			consecutive++
+		}
+	}
+	return float64(consecutive) / float64(total)
+}
+
+// extendAnchor grows a seed match in both directions: on the subject side
+// within the block's stored context margins (standing in for the paper's
+// walk over neighbouring block references), and on the query side over the
+// full query, stopping via X-drop when the score deteriorates.
+func extendAnchor(query []byte, qOff, w int, block wire.Block, m *matrix.Matrix) wire.Anchor {
+	seg := align.ExtendUngapped(query, block.Context, qOff, block.CtxOff, w, m, xDrop)
+	ctxStart := block.Start - block.CtxOff // context offset -> global subject offset
+	return wire.Anchor{
+		Seq:    block.Seq,
+		QStart: seg.QStart,
+		QEnd:   seg.QEnd,
+		SStart: ctxStart + seg.SStart,
+		SEnd:   ctxStart + seg.SEnd,
+		Score:  seg.Score,
+	}
+}
+
+// blockByRef is a test hook.
+func (n *Node) blockByRef(ref uint64) (wire.Block, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	b, ok := n.blocks[ref]
+	return b, ok
+}

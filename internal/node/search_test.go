@@ -1,0 +1,107 @@
+package node
+
+import (
+	"testing"
+
+	"mendel/internal/matrix"
+	"mendel/internal/seq"
+	"mendel/internal/wire"
+)
+
+func TestIdentity(t *testing.T) {
+	cases := []struct {
+		w, c string
+		want float64
+	}{
+		{"ACGT", "ACGT", 1.0},
+		{"ACGT", "ACGA", 0.75},
+		{"AAAA", "TTTT", 0.0},
+	}
+	for _, c := range cases {
+		if got := identity([]byte(c.w), []byte(c.c)); got != c.want {
+			t.Errorf("identity(%q,%q) = %f, want %f", c.w, c.c, got, c.want)
+		}
+	}
+	if identity(nil, nil) != 0 {
+		t.Error("empty identity should be 0")
+	}
+}
+
+func TestCScoreExactRuns(t *testing.T) {
+	m := matrix.DNAUnit
+	// All matches consecutive: c = 1.
+	if got := cScore([]byte("ACGTACGT"), []byte("ACGTACGT"), m); got != 1.0 {
+		t.Fatalf("full match c-score = %f", got)
+	}
+	// Matches at alternating positions: no runs, c = 0.
+	// window A C A C A C  vs  A G A G A G -> matches at 0,2,4 isolated.
+	if got := cScore([]byte("ACACAC"), []byte("AGAGAG"), m); got != 0.0 {
+		t.Fatalf("isolated matches c-score = %f", got)
+	}
+	// AACGTA vs AATGCA matches at 0,1 (a run), 3 and 5 (isolated):
+	// 2 of 4 matched positions are consecutive -> 0.5.
+	if got := cScore([]byte("AACGTA"), []byte("AATGCA"), m); got != 0.5 {
+		t.Fatalf("mixed c-score = %f, want 0.5", got)
+	}
+	// No matches at all.
+	if got := cScore([]byte("AAAA"), []byte("TTTT"), m); got != 0 {
+		t.Fatalf("no-match c-score = %f", got)
+	}
+	if cScore(nil, nil, m) != 0 {
+		t.Fatal("empty c-score should be 0")
+	}
+}
+
+func TestCScorePositiveSubstitutionsCountForProtein(t *testing.T) {
+	m := matrix.BLOSUM62
+	// I/L scores +2: treated as successive match even though not equal.
+	window := []byte("ILIL")
+	cand := []byte("LILI")
+	if got := cScore(window, cand, m); got != 1.0 {
+		t.Fatalf("conservative substitution c-score = %f, want 1", got)
+	}
+	// W vs G scores negative: not a match.
+	if got := cScore([]byte("WWWW"), []byte("GGGG"), m); got != 0 {
+		t.Fatalf("radical substitution c-score = %f, want 0", got)
+	}
+}
+
+func TestExtendAnchorCoordinates(t *testing.T) {
+	// Block from subject positions [10,18) with context [6,22) (CtxOff 4).
+	subject := []byte("TTTTTTGGACGTACGTGGCCTT")
+	block := blockAt(subject, 5, 10, 8, 4)
+	query := []byte("ACGTACGT")
+	a := extendAnchor(query, 0, 8, block, matrix.DNAUnit)
+	if a.Seq != 5 {
+		t.Fatalf("seq = %d", a.Seq)
+	}
+	if a.SStart < 6 || a.SEnd > 22 {
+		t.Fatalf("anchor escaped context: %+v", a)
+	}
+	if a.SStart > 10 || a.SEnd < 18 {
+		t.Fatalf("anchor does not cover seed: %+v", a)
+	}
+	if a.QEnd-a.QStart != a.SEnd-a.SStart {
+		t.Fatalf("ungapped anchor with unequal spans: %+v", a)
+	}
+}
+
+// blockAt builds a wire.Block for subject[start:start+w] with margin residues
+// of context on each side (clamped).
+func blockAt(subject []byte, seqID seq.ID, start, w, margin int) wire.Block {
+	ctxStart := start - margin
+	if ctxStart < 0 {
+		ctxStart = 0
+	}
+	ctxEnd := start + w + margin
+	if ctxEnd > len(subject) {
+		ctxEnd = len(subject)
+	}
+	return wire.Block{
+		Seq:     seqID,
+		Start:   start,
+		Content: subject[start : start+w],
+		Context: subject[ctxStart:ctxEnd],
+		CtxOff:  start - ctxStart,
+	}
+}

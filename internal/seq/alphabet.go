@@ -1,0 +1,142 @@
+// Package seq provides the biological sequence substrate used throughout
+// Mendel: alphabets for DNA and protein data, sequence records, FASTA I/O,
+// and sliding-window iteration.
+//
+// Sequences are stored as upper-case ASCII bytes. Every residue is validated
+// against an Alphabet before it enters the system so that downstream distance
+// and scoring code can index matrices without bounds checks.
+package seq
+
+import "fmt"
+
+// Kind identifies the molecule type of a sequence.
+type Kind uint8
+
+// Molecule kinds supported by Mendel.
+const (
+	DNA Kind = iota
+	Protein
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case DNA:
+		return "dna"
+	case Protein:
+		return "protein"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Alphabet defines the residue set of a molecule kind. It maps residue bytes
+// to dense indices usable with scoring and distance matrices.
+type Alphabet struct {
+	kind    Kind
+	letters []byte    // dense index -> residue byte
+	index   [256]int8 // residue byte -> dense index, -1 if invalid
+	ambig   [256]bool // residues that are ambiguity codes
+	comp    [256]byte // complement table (DNA only)
+}
+
+// DNAAlphabet is the nucleotide alphabet A, C, G, T plus the ambiguity
+// code N. N participates in distance computations as a maximal mismatch.
+var DNAAlphabet = newDNAAlphabet()
+
+// ProteinAlphabet is the 20 standard amino acids plus the ambiguity codes
+// B, Z, X and the stop/unknown symbol *. Ordering matches the BLOSUM and PAM
+// matrices in internal/matrix.
+var ProteinAlphabet = newProteinAlphabet()
+
+// ProteinLetters is the canonical residue ordering shared with the scoring
+// matrices: the 20 standard amino acids followed by B, Z, X and *.
+const ProteinLetters = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+// DNALetters is the canonical nucleotide ordering.
+const DNALetters = "ACGTN"
+
+func newAlphabet(kind Kind, letters string, ambig string) *Alphabet {
+	a := &Alphabet{kind: kind, letters: []byte(letters)}
+	for i := range a.index {
+		a.index[i] = -1
+	}
+	for i, c := range []byte(letters) {
+		a.index[c] = int8(i)
+		if c >= 'A' && c <= 'Z' {
+			a.index[c+'a'-'A'] = int8(i) // accept lower case on input
+		}
+	}
+	for _, c := range []byte(ambig) {
+		a.ambig[c] = true
+	}
+	return a
+}
+
+func newDNAAlphabet() *Alphabet {
+	a := newAlphabet(DNA, DNALetters, "N")
+	pairs := map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C', 'N': 'N'}
+	for i := range a.comp {
+		a.comp[i] = 'N'
+	}
+	for b, c := range pairs {
+		a.comp[b] = c
+	}
+	return a
+}
+
+func newProteinAlphabet() *Alphabet {
+	return newAlphabet(Protein, ProteinLetters, "BZX*")
+}
+
+// Kind reports the molecule kind this alphabet describes.
+func (a *Alphabet) Kind() Kind { return a.kind }
+
+// Len returns the number of residues in the alphabet.
+func (a *Alphabet) Len() int { return len(a.letters) }
+
+// Letters returns the residues in dense-index order. The caller must not
+// modify the returned slice.
+func (a *Alphabet) Letters() []byte { return a.letters }
+
+// Index returns the dense index of residue c, or -1 if c is not part of the
+// alphabet. Lower-case input is accepted.
+func (a *Alphabet) Index(c byte) int { return int(a.index[c]) }
+
+// Valid reports whether c is a residue of the alphabet (either case).
+func (a *Alphabet) Valid(c byte) bool { return a.index[c] >= 0 }
+
+// Ambiguous reports whether c is an ambiguity code such as N or X.
+func (a *Alphabet) Ambiguous(c byte) bool { return a.ambig[c] }
+
+// Normalize upper-cases s in place and verifies every residue. It returns an
+// error identifying the first invalid byte.
+func (a *Alphabet) Normalize(s []byte) error {
+	for i, c := range s {
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+			s[i] = c
+		}
+		if a.index[c] < 0 {
+			return fmt.Errorf("seq: invalid %s residue %q at position %d", a.kind, c, i)
+		}
+	}
+	return nil
+}
+
+// Complement returns the complementary nucleotide. It panics if the alphabet
+// is not DNA.
+func (a *Alphabet) Complement(c byte) byte {
+	if a.kind != DNA {
+		panic("seq: Complement on non-DNA alphabet")
+	}
+	return a.comp[c]
+}
+
+// AlphabetFor returns the package-level alphabet for the given kind.
+func AlphabetFor(kind Kind) *Alphabet {
+	if kind == DNA {
+		return DNAAlphabet
+	}
+	return ProteinAlphabet
+}

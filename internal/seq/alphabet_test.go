@@ -1,0 +1,128 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if DNA.String() != "dna" || Protein.String() != "protein" {
+		t.Fatalf("unexpected kind names: %q %q", DNA, Protein)
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestDNAAlphabetIndexRoundTrip(t *testing.T) {
+	a := DNAAlphabet
+	if a.Kind() != DNA {
+		t.Fatalf("kind = %v", a.Kind())
+	}
+	if a.Len() != 5 {
+		t.Fatalf("len = %d, want 5", a.Len())
+	}
+	for i, c := range a.Letters() {
+		if got := a.Index(c); got != i {
+			t.Errorf("Index(%q) = %d, want %d", c, got, i)
+		}
+		lower := c + 'a' - 'A'
+		if got := a.Index(lower); got != i {
+			t.Errorf("Index(%q) = %d, want %d", lower, got, i)
+		}
+	}
+}
+
+func TestProteinAlphabetMatchesLetters(t *testing.T) {
+	a := ProteinAlphabet
+	if a.Len() != len(ProteinLetters) {
+		t.Fatalf("len = %d, want %d", a.Len(), len(ProteinLetters))
+	}
+	for i := 0; i < len(ProteinLetters); i++ {
+		if got := a.Index(ProteinLetters[i]); got != i {
+			t.Errorf("Index(%q) = %d, want %d", ProteinLetters[i], got, i)
+		}
+	}
+}
+
+func TestAlphabetInvalid(t *testing.T) {
+	for _, c := range []byte{'1', ' ', '-', 0, '>'} {
+		if DNAAlphabet.Valid(c) {
+			t.Errorf("DNA Valid(%q) = true", c)
+		}
+		if ProteinAlphabet.Valid(c) {
+			t.Errorf("Protein Valid(%q) = true", c)
+		}
+	}
+	if DNAAlphabet.Valid('E') {
+		t.Error("DNA accepted E")
+	}
+	// '*' is protein-only.
+	if DNAAlphabet.Valid('*') || !ProteinAlphabet.Valid('*') {
+		t.Error("'*' membership wrong")
+	}
+}
+
+func TestAmbiguous(t *testing.T) {
+	if !DNAAlphabet.Ambiguous('N') || DNAAlphabet.Ambiguous('A') {
+		t.Error("DNA ambiguity flags wrong")
+	}
+	for _, c := range []byte("BZX*") {
+		if !ProteinAlphabet.Ambiguous(c) {
+			t.Errorf("Protein Ambiguous(%q) = false", c)
+		}
+	}
+	if ProteinAlphabet.Ambiguous('L') {
+		t.Error("L marked ambiguous")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	buf := []byte("acgtn")
+	if err := DNAAlphabet.Normalize(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ACGTN" {
+		t.Fatalf("normalized = %q", buf)
+	}
+	if err := DNAAlphabet.Normalize([]byte("ACGU")); err == nil {
+		t.Fatal("expected error for U in DNA")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C', 'N': 'N'}
+	for b, want := range pairs {
+		if got := DNAAlphabet.Complement(b); got != want {
+			t.Errorf("Complement(%q) = %q, want %q", b, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for protein complement")
+		}
+	}()
+	ProteinAlphabet.Complement('A')
+}
+
+func TestComplementInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		for _, c := range raw {
+			i := int(c) % len(DNALetters)
+			b := DNALetters[i]
+			if DNAAlphabet.Complement(DNAAlphabet.Complement(b)) != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlphabetFor(t *testing.T) {
+	if AlphabetFor(DNA) != DNAAlphabet || AlphabetFor(Protein) != ProteinAlphabet {
+		t.Fatal("AlphabetFor returned wrong alphabet")
+	}
+}

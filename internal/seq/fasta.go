@@ -1,0 +1,90 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// ReadFASTA parses FASTA records from r into a Set of the given kind.
+// Headers begin with '>'; the first whitespace-delimited token after '>' is
+// kept as the name with the remainder discarded. Blank lines are ignored.
+func ReadFASTA(r io.Reader, kind Kind) (*Set, error) {
+	set := NewSet(kind)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		name string
+		data []byte
+		have bool
+	)
+	flush := func() error {
+		if !have {
+			return nil
+		}
+		if _, err := set.Add(name, data); err != nil {
+			return err
+		}
+		name, data, have = "", nil, false
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			fields := bytes.Fields(line[1:])
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("seq: empty FASTA header at line %d", lineNo)
+			}
+			name = string(fields[0])
+			have = true
+			continue
+		}
+		if !have {
+			return nil, fmt.Errorf("seq: residue data before first FASTA header at line %d", lineNo)
+		}
+		data = append(data, line...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// WriteFASTA writes the set to w in FASTA format with lines wrapped at
+// width residues (width <= 0 means 70).
+func WriteFASTA(w io.Writer, set *Set, width int) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, s := range set.Seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Name); err != nil {
+			return err
+		}
+		for start := 0; start < len(s.Data); start += width {
+			end := start + width
+			if end > len(s.Data) {
+				end = len(s.Data)
+			}
+			if _, err := bw.Write(s.Data[start:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,99 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleFASTA = `>seq1 description ignored
+ACGTAC
+GTACGT
+
+>seq2
+acgt
+`
+
+func TestReadFASTA(t *testing.T) {
+	set, err := ReadFASTA(strings.NewReader(sampleFASTA), DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	if set.Seqs[0].Name != "seq1" || string(set.Seqs[0].Data) != "ACGTACGTACGT" {
+		t.Fatalf("seq1 = %v %q", set.Seqs[0].Name, set.Seqs[0].Data)
+	}
+	if set.Seqs[1].Name != "seq2" || string(set.Seqs[1].Data) != "ACGT" {
+		t.Fatalf("seq2 = %v %q", set.Seqs[1].Name, set.Seqs[1].Data)
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := map[string]string{
+		"data before header": "ACGT\n>ok\nACGT\n",
+		"empty header":       ">\nACGT\n",
+		"bad residue":        ">x\nAC!T\n",
+		"empty record":       ">only-header\n>second\nACGT\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadFASTA(strings.NewReader(in), DNA); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteFASTAWraps(t *testing.T) {
+	set := NewSet(DNA)
+	if _, err := set.Add("x", bytes.Repeat([]byte("ACGT"), 5)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, set, 8); err != nil {
+		t.Fatal(err)
+	}
+	want := ">x\nACGTACGT\nACGTACGT\nACGT\n"
+	if buf.String() != want {
+		t.Fatalf("output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	f := func(raw [][]byte, width uint8) bool {
+		set := NewSet(Protein)
+		for _, r := range raw {
+			if len(r) == 0 {
+				continue
+			}
+			data := make([]byte, len(r))
+			for i, c := range r {
+				data[i] = ProteinLetters[int(c)%len(ProteinLetters)]
+			}
+			if _, err := set.Add("s", data); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, set, int(width)); err != nil {
+			return false
+		}
+		back, err := ReadFASTA(&buf, Protein)
+		if err != nil {
+			return false
+		}
+		if back.Len() != set.Len() {
+			return false
+		}
+		for i := range set.Seqs {
+			if !bytes.Equal(set.Seqs[i].Data, back.Seqs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package seq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies a reference sequence within a Mendel deployment. IDs are
+// assigned by the ingest pipeline and are dense, starting at zero, which lets
+// per-sequence state live in slices instead of maps.
+type ID uint32
+
+// Sequence is a validated biological sequence with an identifier and a
+// human-readable name (typically the FASTA header).
+type Sequence struct {
+	ID   ID
+	Name string
+	Kind Kind
+	Data []byte
+}
+
+// ErrEmptySequence is returned when a sequence has no residues.
+var ErrEmptySequence = errors.New("seq: empty sequence")
+
+// New validates data against the alphabet for kind and returns a Sequence.
+// The data slice is retained (and upper-cased in place).
+func New(id ID, name string, kind Kind, data []byte) (*Sequence, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptySequence
+	}
+	if err := AlphabetFor(kind).Normalize(data); err != nil {
+		return nil, fmt.Errorf("sequence %q: %w", name, err)
+	}
+	return &Sequence{ID: id, Name: name, Kind: kind, Data: data}, nil
+}
+
+// MustNew is like New but panics on error. Intended for tests and literals.
+func MustNew(id ID, name string, kind Kind, data string) *Sequence {
+	s, err := New(id, name, kind, []byte(data))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of residues.
+func (s *Sequence) Len() int { return len(s.Data) }
+
+// Window returns the residues in [start, start+w). It panics if the window
+// is out of range, mirroring slice semantics.
+func (s *Sequence) Window(start, w int) []byte { return s.Data[start : start+w] }
+
+// Region returns the residues in [start, end) clamped to the sequence
+// bounds, so callers extending alignments can over-ask safely.
+func (s *Sequence) Region(start, end int) []byte {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(s.Data) {
+		end = len(s.Data)
+	}
+	if start >= end {
+		return nil
+	}
+	return s.Data[start:end]
+}
+
+// ReverseComplement returns a new residue slice with the reverse complement
+// of s. It panics for non-DNA sequences.
+func (s *Sequence) ReverseComplement() []byte {
+	a := AlphabetFor(s.Kind)
+	out := make([]byte, len(s.Data))
+	for i, c := range s.Data {
+		out[len(s.Data)-1-i] = a.Complement(c)
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a short summary, not the residues,
+// since sequences can be megabytes long.
+func (s *Sequence) String() string {
+	return fmt.Sprintf("%s#%d %s (%d residues)", s.Kind, s.ID, s.Name, len(s.Data))
+}
+
+// Set is an ordered collection of sequences with dense IDs. It is the unit
+// handed to the Mendel ingest pipeline.
+type Set struct {
+	Kind Kind
+	Seqs []*Sequence
+}
+
+// NewSet creates an empty set of the given kind.
+func NewSet(kind Kind) *Set { return &Set{Kind: kind} }
+
+// Add validates data, assigns the next dense ID, and appends the sequence.
+func (ss *Set) Add(name string, data []byte) (*Sequence, error) {
+	s, err := New(ID(len(ss.Seqs)), name, ss.Kind, data)
+	if err != nil {
+		return nil, err
+	}
+	ss.Seqs = append(ss.Seqs, s)
+	return s, nil
+}
+
+// Len returns the number of sequences in the set.
+func (ss *Set) Len() int { return len(ss.Seqs) }
+
+// TotalResidues returns the summed length of all sequences; this is the `n`
+// of Karlin–Altschul E-value statistics.
+func (ss *Set) TotalResidues() int {
+	total := 0
+	for _, s := range ss.Seqs {
+		total += len(s.Data)
+	}
+	return total
+}
+
+// Get returns the sequence with the given ID, or nil if out of range.
+func (ss *Set) Get(id ID) *Sequence {
+	if int(id) >= len(ss.Seqs) {
+		return nil
+	}
+	return ss.Seqs[id]
+}

@@ -1,0 +1,112 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidatesAndUppercases(t *testing.T) {
+	s, err := New(0, "q", DNA, []byte("acGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Data) != "ACGT" {
+		t.Fatalf("data = %q", s.Data)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(0, "q", DNA, nil); err != ErrEmptySequence {
+		t.Fatalf("err = %v, want ErrEmptySequence", err)
+	}
+}
+
+func TestNewRejectsInvalidResidue(t *testing.T) {
+	_, err := New(0, "bad", Protein, []byte("ACDEF!"))
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, "x", DNA, "XYZ!")
+}
+
+func TestWindowAndRegion(t *testing.T) {
+	s := MustNew(0, "s", DNA, "ACGTACGT")
+	if got := string(s.Window(2, 3)); got != "GTA" {
+		t.Fatalf("Window = %q", got)
+	}
+	if got := string(s.Region(-5, 3)); got != "ACG" {
+		t.Fatalf("Region(-5,3) = %q", got)
+	}
+	if got := string(s.Region(6, 100)); got != "GT" {
+		t.Fatalf("Region(6,100) = %q", got)
+	}
+	if got := s.Region(5, 5); got != nil {
+		t.Fatalf("Region(5,5) = %q, want nil", got)
+	}
+	if got := s.Region(7, 2); got != nil {
+		t.Fatalf("inverted region = %q, want nil", got)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	s := MustNew(0, "s", DNA, "AACGTN")
+	if got := string(s.ReverseComplement()); got != "NACGTT" {
+		t.Fatalf("revcomp = %q", got)
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	s := MustNew(7, "chr1", DNA, "ACGT")
+	got := s.String()
+	for _, want := range []string{"dna", "#7", "chr1", "4 residues"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestSetAddAssignsDenseIDs(t *testing.T) {
+	set := NewSet(Protein)
+	for i, d := range []string{"ACD", "EFGH", "IKLMN"} {
+		s, err := set.Add("s", []byte(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ID != ID(i) {
+			t.Fatalf("id = %d, want %d", s.ID, i)
+		}
+	}
+	if set.Len() != 3 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	if set.TotalResidues() != 3+4+5 {
+		t.Fatalf("total = %d", set.TotalResidues())
+	}
+	if set.Get(1).Len() != 4 {
+		t.Fatal("Get(1) wrong")
+	}
+	if set.Get(99) != nil {
+		t.Fatal("Get out of range should be nil")
+	}
+}
+
+func TestSetAddPropagatesError(t *testing.T) {
+	set := NewSet(DNA)
+	if _, err := set.Add("bad", []byte("AXQ")); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if set.Len() != 0 {
+		t.Fatal("failed add must not grow the set")
+	}
+}

@@ -1,0 +1,48 @@
+package seq
+
+// Windows calls fn for each sliding window of length w over data, advancing
+// by step. fn receives the window start offset and the window bytes, which
+// alias data and must not be retained without copying. It returns the number
+// of windows visited. A final partial window is never emitted; callers that
+// need tail coverage should use WindowsCovering.
+func Windows(data []byte, w, step int, fn func(start int, window []byte)) int {
+	if w <= 0 || step <= 0 || len(data) < w {
+		return 0
+	}
+	n := 0
+	for start := 0; start+w <= len(data); start += step {
+		fn(start, data[start:start+w])
+		n++
+	}
+	return n
+}
+
+// WindowsCovering is like Windows but guarantees the final residues are
+// covered: if the last full step would leave a tail shorter than w uncovered,
+// one extra window anchored at len(data)-w is emitted. This is used for query
+// decomposition so the end of a query is always searchable.
+func WindowsCovering(data []byte, w, step int, fn func(start int, window []byte)) int {
+	if w <= 0 || step <= 0 || len(data) < w {
+		return 0
+	}
+	n := 0
+	last := -1
+	for start := 0; start+w <= len(data); start += step {
+		fn(start, data[start:start+w])
+		last = start
+		n++
+	}
+	if tail := len(data) - w; tail > last {
+		fn(tail, data[tail:])
+		n++
+	}
+	return n
+}
+
+// WindowCount returns the number of windows Windows would visit.
+func WindowCount(dataLen, w, step int) int {
+	if w <= 0 || step <= 0 || dataLen < w {
+		return 0
+	}
+	return (dataLen-w)/step + 1
+}

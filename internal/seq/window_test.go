@@ -1,0 +1,110 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func collectWindows(data string, w, step int, covering bool) (starts []int, windows []string) {
+	fn := func(start int, win []byte) {
+		starts = append(starts, start)
+		windows = append(windows, string(win))
+	}
+	if covering {
+		WindowsCovering([]byte(data), w, step, fn)
+	} else {
+		Windows([]byte(data), w, step, fn)
+	}
+	return starts, windows
+}
+
+func TestWindowsStrideOne(t *testing.T) {
+	starts, wins := collectWindows("ABCDE", 3, 1, false)
+	wantStarts := []int{0, 1, 2}
+	wantWins := []string{"ABC", "BCD", "CDE"}
+	if len(starts) != 3 {
+		t.Fatalf("count = %d", len(starts))
+	}
+	for i := range wantStarts {
+		if starts[i] != wantStarts[i] || wins[i] != wantWins[i] {
+			t.Fatalf("window %d = (%d, %q)", i, starts[i], wins[i])
+		}
+	}
+}
+
+func TestWindowsPaperBlockCount(t *testing.T) {
+	// The paper states a k-length sliding window yields L-k segments
+	// (i.e. L-k+1 with inclusive counting); verify our stride-1 count.
+	L, k := 100, 16
+	n := Windows(make([]byte, L), k, 1, func(int, []byte) {})
+	if n != L-k+1 {
+		t.Fatalf("windows = %d, want %d", n, L-k+1)
+	}
+}
+
+func TestWindowsDegenerate(t *testing.T) {
+	if n := Windows([]byte("AB"), 3, 1, nil); n != 0 {
+		t.Fatalf("short data: %d windows", n)
+	}
+	if n := Windows([]byte("ABC"), 0, 1, nil); n != 0 {
+		t.Fatalf("w=0: %d windows", n)
+	}
+	if n := Windows([]byte("ABC"), 2, 0, nil); n != 0 {
+		t.Fatalf("step=0: %d windows", n)
+	}
+	if n := WindowsCovering([]byte("AB"), 3, 1, nil); n != 0 {
+		t.Fatalf("covering short data: %d windows", n)
+	}
+}
+
+func TestWindowsCoveringAddsTail(t *testing.T) {
+	// len 10, w 4, step 4 -> full windows at 0,4; tail window at 6.
+	starts, wins := collectWindows("ABCDEFGHIJ", 4, 4, true)
+	if len(starts) != 3 || starts[2] != 6 || wins[2] != "GHIJ" {
+		t.Fatalf("starts = %v wins = %v", starts, wins)
+	}
+	// Exact tiling adds no tail.
+	starts, _ = collectWindows("ABCDEFGH", 4, 4, true)
+	if len(starts) != 2 {
+		t.Fatalf("exact tiling starts = %v", starts)
+	}
+}
+
+func TestWindowCountMatchesWindows(t *testing.T) {
+	f := func(n uint8, w8, step8 uint8) bool {
+		dataLen := int(n)
+		w := int(w8)%20 + 1
+		step := int(step8)%7 + 1
+		got := Windows(make([]byte, dataLen), w, step, func(int, []byte) {})
+		return got == WindowCount(dataLen, w, step)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowsCoveringCoversEveryResidue(t *testing.T) {
+	f := func(n uint8, w8, step8 uint8) bool {
+		dataLen := int(n)
+		w := int(w8)%20 + 1
+		step := int(step8)%w + 1 // full coverage requires step <= w
+		if dataLen < w {
+			return true
+		}
+		covered := make([]bool, dataLen)
+		WindowsCovering(make([]byte, dataLen), w, step, func(start int, win []byte) {
+			for i := start; i < start+len(win); i++ {
+				covered[i] = true
+			}
+		})
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

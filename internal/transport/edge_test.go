@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mendel/internal/wire"
+)
+
+func TestTCPServerWithoutHandlerReturnsError(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewTCPClient(1)
+	defer c.Close()
+	_, err = c.Call(context.Background(), s.Addr(), wire.Ping{})
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+	// Installing a handler makes the same connection usable.
+	s.SetHandler(echoHandler{"late"})
+	resp, err := c.Call(context.Background(), s.Addr(), wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(wire.Pong).Node != "late" {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestTCPClientRecoversAfterServerRestart(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0", echoHandler{"v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	c := NewTCPClient(2)
+	defer c.Close()
+	if _, err := c.Call(context.Background(), addr, wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart on the same address; the client's pooled connection is dead
+	// and the first call may fail, but a retry must reconnect.
+	s2, err := ListenTCP(addr, echoHandler{"v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var resp any
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		resp, err = c.Call(ctx, addr, wire.Ping{})
+		cancel()
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("client never recovered: %v", err)
+	}
+	if resp.(wire.Pong).Node != "v2" {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestTCPClientCloseIdempotent(t *testing.T) {
+	c := NewTCPClient(1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LatencyModel simulates LAN message delay for the in-memory network: each
+// call sleeps Base plus a uniform jitter in [0, Jitter). The zero value
+// disables simulation entirely, which benchmarks of pure compute use.
+type LatencyModel struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+func (l LatencyModel) enabled() bool { return l.Base > 0 || l.Jitter > 0 }
+
+// MemNetwork is an in-process transport: nodes register handlers under
+// string addresses and calls are direct function invocations, optionally
+// delayed by a latency model and optionally round-tripped through gob to
+// guarantee anything that works in-memory also works over TCP.
+type MemNetwork struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	failed   map[string]bool
+	latency  LatencyModel
+	encode   bool
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithLatency enables simulated per-call latency.
+func WithLatency(l LatencyModel) MemOption {
+	return func(n *MemNetwork) { n.latency = l }
+}
+
+// WithEncodeCheck makes every call serialize its request and response
+// through gob, so encoding bugs surface in in-process tests.
+func WithEncodeCheck() MemOption {
+	return func(n *MemNetwork) { n.encode = true }
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{
+		handlers: make(map[string]Handler),
+		failed:   make(map[string]bool),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Register attaches a handler under addr, replacing any previous handler.
+func (n *MemNetwork) Register(addr string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[addr] = h
+}
+
+// Fail marks a node unreachable (failure injection for tests).
+func (n *MemNetwork) Fail(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed[addr] = true
+}
+
+// Heal clears a failure.
+func (n *MemNetwork) Heal(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.failed, addr)
+}
+
+// Call implements Caller.
+func (n *MemNetwork) Call(ctx context.Context, addr string, req any) (any, error) {
+	n.mu.RLock()
+	h, ok := n.handlers[addr]
+	failed := n.failed[addr]
+	lat := n.latency
+	enc := n.encode
+	n.mu.RUnlock()
+	if !ok || failed {
+		return nil, ErrUnreachable
+	}
+	if lat.enabled() {
+		delay := lat.Base
+		if lat.Jitter > 0 {
+			n.rngMu.Lock()
+			delay += time.Duration(n.rng.Int63n(int64(lat.Jitter)))
+			n.rngMu.Unlock()
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if enc {
+		var err error
+		if req, err = gobRoundTrip(req); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := h.Handle(ctx, req)
+	if err != nil {
+		return nil, &RemoteError{Addr: addr, Msg: err.Error()}
+	}
+	if enc {
+		if resp, err = gobRoundTrip(resp); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+func gobRoundTrip(v any) (any, error) {
+	var buf bytes.Buffer
+	box := struct{ V any }{v}
+	if err := gob.NewEncoder(&buf).Encode(&box); err != nil {
+		return nil, err
+	}
+	var out struct{ V any }
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.V, nil
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// reqEnvelope and respEnvelope frame every TCP exchange. gob streams are
+// self-delimiting, so a persistent encoder/decoder pair per connection is
+// both the simplest and the fastest framing.
+type reqEnvelope struct{ V any }
+
+type respEnvelope struct {
+	V   any
+	Err string
+}
+
+// TCPServer serves a node's handler over a TCP listener.
+type TCPServer struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	handler Handler
+	conns   map[net.Conn]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// SetHandler installs or replaces the request handler. It exists so a node
+// can learn its bound address (needed for its own identity) before wiring
+// itself in; requests arriving while no handler is set receive an error.
+func (s *TCPServer) SetHandler(h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// ListenTCP starts serving handler on addr (e.g. "127.0.0.1:0") and returns
+// the server; Addr reports the bound address.
+func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all open connections, waiting for handler
+// goroutines to drain.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req reqEnvelope
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handler
+		s.mu.Unlock()
+		var env respEnvelope
+		if h == nil {
+			env = respEnvelope{Err: "transport: server has no handler installed"}
+		} else {
+			resp, err := h.Handle(context.Background(), req.V)
+			env = respEnvelope{V: resp}
+			if err != nil {
+				env = respEnvelope{Err: err.Error()}
+			}
+		}
+		if err := enc.Encode(&env); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is a Caller over TCP with a small per-address connection pool.
+type TCPClient struct {
+	dialTimeout time.Duration
+	poolSize    int
+
+	mu    sync.Mutex
+	pools map[string]chan *tcpConn
+}
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewTCPClient creates a client keeping up to poolSize idle connections per
+// address (0 selects 4).
+func NewTCPClient(poolSize int) *TCPClient {
+	if poolSize <= 0 {
+		poolSize = 4
+	}
+	return &TCPClient{
+		dialTimeout: 5 * time.Second,
+		poolSize:    poolSize,
+		pools:       make(map[string]chan *tcpConn),
+	}
+}
+
+func (c *TCPClient) pool(addr string) chan *tcpConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pools[addr]
+	if !ok {
+		p = make(chan *tcpConn, c.poolSize)
+		c.pools[addr] = p
+	}
+	return p
+}
+
+func (c *TCPClient) get(ctx context.Context, addr string) (*tcpConn, error) {
+	select {
+	case tc := <-c.pool(addr):
+		return tc, nil
+	default:
+	}
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	return &tcpConn{c: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *TCPClient) put(addr string, tc *tcpConn) {
+	select {
+	case c.pool(addr) <- tc:
+	default:
+		tc.c.Close()
+	}
+}
+
+// Call implements Caller. Deadlines from ctx apply to the socket I/O.
+func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
+	tc, err := c.get(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		tc.c.SetDeadline(dl)
+	} else {
+		tc.c.SetDeadline(time.Time{})
+	}
+	if err := tc.enc.Encode(&reqEnvelope{V: req}); err != nil {
+		tc.c.Close()
+		return nil, fmt.Errorf("%w: send: %v", ErrUnreachable, err)
+	}
+	var resp respEnvelope
+	if err := tc.dec.Decode(&resp); err != nil {
+		tc.c.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("%w: recv: %v", ErrUnreachable, err)
+	}
+	c.put(addr, tc)
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: addr, Msg: resp.Err}
+	}
+	return resp.V, nil
+}
+
+// Close drops all pooled connections.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for _, p := range c.pools {
+		for {
+			select {
+			case tc := <-p:
+				if err := tc.c.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				continue
+			default:
+			}
+			break
+		}
+	}
+	c.pools = make(map[string]chan *tcpConn)
+	if firstErr != nil && !errors.Is(firstErr, net.ErrClosed) {
+		return firstErr
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mendel/internal/wire"
+)
+
+func startServer(t *testing.T, h Handler) *TCPServer {
+	t.Helper()
+	s, err := ListenTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	s := startServer(t, echoHandler{"srv"})
+	c := NewTCPClient(2)
+	defer c.Close()
+	resp, err := c.Call(context.Background(), s.Addr(), wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong, ok := resp.(wire.Pong); !ok || pong.Node != "srv" {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	s := startServer(t, echoHandler{"srv"})
+	c := NewTCPClient(1)
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Call(context.Background(), s.Addr(), wire.Ping{}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	s := startServer(t, echoHandler{"srv"})
+	c := NewTCPClient(1)
+	defer c.Close()
+	_, err := c.Call(context.Background(), s.Addr(), wire.FetchRegion{Start: -5})
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "bad start") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection must remain usable after an application error.
+	if _, err := c.Call(context.Background(), s.Addr(), wire.Ping{}); err != nil {
+		t.Fatalf("call after remote error: %v", err)
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	c := NewTCPClient(1)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := c.Call(ctx, "127.0.0.1:1", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	s := startServer(t, HandlerFunc(func(_ context.Context, req any) (any, error) {
+		blocks := req.(wire.IndexBlocks)
+		return wire.IndexBlocksAck{Accepted: len(blocks.Blocks)}, nil
+	}))
+	c := NewTCPClient(1)
+	defer c.Close()
+	blocks := make([]wire.Block, 5000)
+	for i := range blocks {
+		blocks[i] = wire.Block{Seq: 1, Start: i, Content: []byte("ACGTACGTACGTACGT")}
+	}
+	resp, err := c.Call(context.Background(), s.Addr(), wire.IndexBlocks{Blocks: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(wire.IndexBlocksAck).Accepted != 5000 {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	s := startServer(t, echoHandler{"srv"})
+	c := NewTCPClient(4)
+	defer c.Close()
+	const workers = 16
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := 0; j < 25; j++ {
+				if _, err := c.Call(context.Background(), s.Addr(), wire.Ping{}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPServerClose(t *testing.T) {
+	s := startServer(t, echoHandler{"srv"})
+	c := NewTCPClient(1)
+	defer c.Close()
+	if _, err := c.Call(context.Background(), s.Addr(), wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := c.Call(ctx, s.Addr(), wire.Ping{}); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
+
+func TestTCPBroadcast(t *testing.T) {
+	s1 := startServer(t, echoHandler{"n1"})
+	s2 := startServer(t, echoHandler{"n2"})
+	c := NewTCPClient(2)
+	defer c.Close()
+	resps, err := Broadcast(context.Background(), c, []string{s1.Addr(), s2.Addr()}, wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].(wire.Pong).Node != "n1" || resps[1].(wire.Pong).Node != "n2" {
+		t.Fatalf("resps = %#v", resps)
+	}
+}

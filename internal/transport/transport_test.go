@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mendel/internal/wire"
+)
+
+type echoHandler struct{ name string }
+
+func (h echoHandler) Handle(_ context.Context, req any) (any, error) {
+	switch r := req.(type) {
+	case wire.Ping:
+		return wire.Pong{Node: h.name}, nil
+	case wire.FetchRegion:
+		if r.Start < 0 {
+			return nil, fmt.Errorf("bad start %d", r.Start)
+		}
+		return wire.Region{Seq: r.Seq, Start: r.Start, Data: []byte("ACGT")}, nil
+	default:
+		return nil, fmt.Errorf("unexpected request %T", req)
+	}
+}
+
+func TestMemCallRoundTrip(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	resp, err := n.Call(context.Background(), "a", wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong, ok := resp.(wire.Pong); !ok || pong.Node != "a" {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestMemUnreachable(t *testing.T) {
+	n := NewMemNetwork()
+	if _, err := n.Call(context.Background(), "ghost", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	n.Register("a", echoHandler{"a"})
+	n.Fail("a")
+	if _, err := n.Call(context.Background(), "a", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("failed node err = %v", err)
+	}
+	n.Heal("a")
+	if _, err := n.Call(context.Background(), "a", wire.Ping{}); err != nil {
+		t.Fatalf("healed node err = %v", err)
+	}
+}
+
+func TestMemRemoteError(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	_, err := n.Call(context.Background(), "a", wire.FetchRegion{Start: -1})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if re.Addr != "a" || !strings.Contains(re.Msg, "bad start") {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestMemEncodeCheck(t *testing.T) {
+	n := NewMemNetwork(WithEncodeCheck())
+	n.Register("a", echoHandler{"a"})
+	resp, err := n.Call(context.Background(), "a", wire.FetchRegion{Seq: 3, Start: 1, End: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, ok := resp.(wire.Region)
+	if !ok || region.Seq != 3 || string(region.Data) != "ACGT" {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestMemLatencyAndCancellation(t *testing.T) {
+	n := NewMemNetwork(WithLatency(LatencyModel{Base: 30 * time.Millisecond}))
+	n.Register("a", echoHandler{"a"})
+	start := time.Now()
+	if _, err := n.Call(context.Background(), "a", wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := n.Call(ctx, "a", wire.Ping{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancel err = %v", err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := NewMemNetwork()
+	for _, name := range []string{"a", "b", "c"} {
+		n.Register(name, echoHandler{name})
+	}
+	resps, err := Broadcast(context.Background(), n, []string{"a", "b", "c"}, wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if resps[i].(wire.Pong).Node != want {
+			t.Fatalf("resp[%d] = %#v", i, resps[i])
+		}
+	}
+}
+
+func TestBroadcastPartialFailure(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	n.Register("b", echoHandler{"b"})
+	n.Fail("b")
+	resps, err := Broadcast(context.Background(), n, []string{"a", "b"}, wire.Ping{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "b") {
+		t.Fatalf("error should name the failed node: %v", err)
+	}
+	// The healthy node's response may still be present.
+	_ = resps
+}
+
+type countingHandler struct{ calls int64 }
+
+func (h *countingHandler) Handle(_ context.Context, req any) (any, error) {
+	atomic.AddInt64(&h.calls, 1)
+	return wire.Pong{Node: "n"}, nil
+}
+
+func TestMemConcurrentCalls(t *testing.T) {
+	n := NewMemNetwork()
+	h := &countingHandler{}
+	n.Register("a", h)
+	const workers = 32
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				if _, err := n.Call(context.Background(), "a", wire.Ping{}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := atomic.LoadInt64(&h.calls); got != workers*50 {
+		t.Fatalf("calls = %d", got)
+	}
+}

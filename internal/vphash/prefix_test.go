@@ -1,0 +1,50 @@
+package vphash
+
+import (
+	"math/rand"
+	"testing"
+
+	"mendel/internal/metric"
+)
+
+func TestGroupOfPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tree := buildTestTree(t, rng, 4, 6)
+	key := randDNA(rng, 16)
+	prefix := tree.Hash(key)
+	g, ok := tree.GroupOfPrefix(prefix)
+	if !ok {
+		t.Fatal("hashed prefix unknown to assignment")
+	}
+	if g != tree.Group(key) {
+		t.Fatalf("GroupOfPrefix = %d, Group = %d", g, tree.Group(key))
+	}
+	if _, ok := tree.GroupOfPrefix(0); ok {
+		t.Fatal("prefix 0 should not exist")
+	}
+}
+
+func TestEveryLeafPrefixAssigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	tree := buildTestTree(t, rng, 5, 4)
+	// Hashing many keys must only ever produce assigned prefixes.
+	for i := 0; i < 1000; i++ {
+		prefix := tree.Hash(randDNA(rng, 16))
+		if _, ok := tree.GroupOfPrefix(prefix); !ok {
+			t.Fatalf("unassigned prefix %b", prefix)
+		}
+	}
+}
+
+func TestDepthZeroSingleGroup(t *testing.T) {
+	tree, err := Build(metric.Hamming{}, [][]byte{[]byte("ACGT"), []byte("TGCA")}, 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 1 {
+		t.Fatalf("depth 0 leaves = %d", tree.Leaves())
+	}
+	if g := tree.Group([]byte("AAAA")); g < 0 || g >= 3 {
+		t.Fatalf("group = %d", g)
+	}
+}

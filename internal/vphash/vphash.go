@@ -1,0 +1,320 @@
+// Package vphash implements the vantage-point prefix tree of §III-E/F: a
+// depth-limited vp-tree used as a locality sensitive hash. Each node carries
+// a binary prefix (root = 1; children shift left and set the low bit on the
+// right branch), so the prefix of the leaf a segment routes to encodes the
+// path taken and collides for similar segments. A cutoff depth bounds the
+// hash cost and sets the resolution of the similarity groups.
+//
+// Leaf prefixes are assigned to storage groups with a greedy balance over
+// the sample mass observed at build time, addressing the load-balancing
+// hazard of similarity grouping (§II-A): heavily populated regions of
+// sequence space are spread across groups as evenly as the leaf granularity
+// allows.
+package vphash
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mendel/internal/metric"
+)
+
+// Tree is an immutable vp-prefix hash tree shared by every node of a Mendel
+// cluster. Build it once from a sample of the data, then hash any number of
+// segments concurrently.
+type Tree struct {
+	metric  metric.Metric
+	depth   int
+	groups  int
+	root    *pnode
+	groupOf map[uint64]int // leaf prefix -> group
+}
+
+type pnode struct {
+	vantage []byte
+	mu      int
+	left    *pnode
+	right   *pnode
+	prefix  uint64
+	samples int // sample points that routed here (leaves only)
+}
+
+// Build constructs a prefix tree of at most the given depth over a sample of
+// segments, assigning leaves to numGroups storage groups. The sample should
+// be representative of the data to be indexed; a few thousand segments
+// suffice. depth is the paper's threshold depth (§III-F); the effective
+// number of leaves is at most 2^depth.
+func Build(m metric.Metric, sample [][]byte, depth, numGroups int, seed int64) (*Tree, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("vphash: empty sample")
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("vphash: negative depth %d", depth)
+	}
+	if numGroups <= 0 {
+		return nil, fmt.Errorf("vphash: numGroups = %d", numGroups)
+	}
+	t := &Tree{metric: m, depth: depth, groups: numGroups}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, len(sample))
+	copy(keys, sample)
+	t.root = build(m, rng, keys, 1, depth)
+	t.assignGroups()
+	return t, nil
+}
+
+// HalfDepth returns the paper's default threshold depth for a sample: half
+// the depth of a balanced vp-tree over it (§V-A2: "the depth threshold is
+// set to half the tree's depth").
+func HalfDepth(sampleSize int) int {
+	full := 0
+	for n := sampleSize; n > 1; n /= 2 {
+		full++
+	}
+	d := full / 2
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func build(m metric.Metric, rng *rand.Rand, keys [][]byte, prefix uint64, depth int) *pnode {
+	if depth == 0 || len(keys) < 2 {
+		return &pnode{prefix: prefix, samples: len(keys)}
+	}
+	vantage := selectVantage(m, rng, keys)
+	ds := make([]int, len(keys))
+	for i, k := range keys {
+		ds[i] = m.Distance(vantage, k)
+	}
+	sorted := append([]int(nil), ds...)
+	sort.Ints(sorted)
+	mu := sorted[len(sorted)/2]
+	var left, right [][]byte
+	for i, k := range keys {
+		if ds[i] <= mu {
+			left = append(left, k)
+		} else {
+			right = append(right, k)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		// Degenerate sample region; stop splitting here.
+		return &pnode{prefix: prefix, samples: len(keys)}
+	}
+	return &pnode{
+		vantage: append([]byte(nil), vantage...),
+		mu:      mu,
+		prefix:  prefix,
+		left:    build(m, rng, left, prefix<<1, depth-1),
+		right:   build(m, rng, right, prefix<<1|1, depth-1),
+	}
+}
+
+func selectVantage(m metric.Metric, rng *rand.Rand, keys [][]byte) []byte {
+	const candidates, probes = 6, 16
+	best, bestSpread := keys[0], -1.0
+	for c := 0; c < candidates; c++ {
+		cand := keys[rng.Intn(len(keys))]
+		ds := make([]int, 0, probes)
+		for p := 0; p < probes; p++ {
+			ds = append(ds, m.Distance(cand, keys[rng.Intn(len(keys))]))
+		}
+		sort.Ints(ds)
+		median := ds[len(ds)/2]
+		spread := 0.0
+		for _, d := range ds {
+			diff := float64(d - median)
+			spread += diff * diff
+		}
+		if spread > bestSpread {
+			best, bestSpread = cand, spread
+		}
+	}
+	return best
+}
+
+// assignGroups distributes leaf prefixes over groups, heaviest sample mass
+// first onto the currently lightest group.
+func (t *Tree) assignGroups() {
+	var leaves []*pnode
+	var walk func(n *pnode)
+	walk = func(n *pnode) {
+		if n == nil {
+			return
+		}
+		if n.left == nil && n.right == nil {
+			leaves = append(leaves, n)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	sort.Slice(leaves, func(a, b int) bool {
+		if leaves[a].samples != leaves[b].samples {
+			return leaves[a].samples > leaves[b].samples
+		}
+		return leaves[a].prefix < leaves[b].prefix
+	})
+	load := make([]int, t.groups)
+	t.groupOf = make(map[uint64]int, len(leaves))
+	for _, leaf := range leaves {
+		g := 0
+		for i := 1; i < t.groups; i++ {
+			if load[i] < load[g] {
+				g = i
+			}
+		}
+		t.groupOf[leaf.prefix] = g
+		load[g] += leaf.samples + 1
+	}
+}
+
+// Depth returns the configured threshold depth.
+func (t *Tree) Depth() int { return t.depth }
+
+// Groups returns the number of storage groups the tree hashes into.
+func (t *Tree) Groups() int { return t.groups }
+
+// Leaves returns the number of leaf prefixes.
+func (t *Tree) Leaves() int { return len(t.groupOf) }
+
+// Hash routes key to its leaf and returns the leaf prefix. The prefix
+// uniquely encodes the root-to-leaf path (§III-E).
+func (t *Tree) Hash(key []byte) uint64 {
+	n := t.root
+	for n.left != nil {
+		if t.metric.Distance(n.vantage, key) <= n.mu {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prefix
+}
+
+// Group returns the storage group for key, the first-tier hash of §V-A2.
+func (t *Tree) Group(key []byte) int { return t.groupOf[t.Hash(key)] }
+
+// GroupsFor returns every group key could plausibly collide into when
+// searched with uncertainty radius eps: traversal branches both ways
+// whenever the eps-ball around the key straddles a vantage boundary
+// (the query-time multi-group case of §V-B). The result is deduplicated
+// and sorted; eps = 0 degenerates to the single Group.
+func (t *Tree) GroupsFor(key []byte, eps int) []int {
+	seen := map[int]bool{}
+	var visit func(n *pnode)
+	visit = func(n *pnode) {
+		for n.left != nil {
+			d := t.metric.Distance(n.vantage, key)
+			if d <= n.mu {
+				if d+eps > n.mu {
+					visit(n.right)
+				}
+				n = n.left
+			} else {
+				if d-eps <= n.mu {
+					visit(n.left)
+				}
+				n = n.right
+			}
+		}
+		seen[t.groupOf[n.prefix]] = true
+	}
+	visit(t.root)
+	out := make([]int, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GroupOfPrefix exposes the leaf-to-group assignment for diagnostics.
+func (t *Tree) GroupOfPrefix(prefix uint64) (int, bool) {
+	g, ok := t.groupOf[prefix]
+	return g, ok
+}
+
+// wire structures for gob serialization, so one node can build the tree and
+// ship it to the rest of the cluster during bootstrap.
+type wireNode struct {
+	Vantage []byte
+	Mu      int
+	Prefix  uint64
+	Samples int
+	Leaf    bool
+}
+
+type wireTree struct {
+	Metric string
+	Depth  int
+	Groups int
+	Nodes  []wireNode // preorder
+	Assign map[uint64]int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var nodes []wireNode
+	var walk func(n *pnode)
+	walk = func(n *pnode) {
+		if n == nil {
+			return
+		}
+		nodes = append(nodes, wireNode{
+			Vantage: n.vantage, Mu: n.mu, Prefix: n.prefix,
+			Samples: n.samples, Leaf: n.left == nil,
+		})
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wireTree{
+		Metric: t.metric.Name(), Depth: t.depth, Groups: t.groups,
+		Nodes: nodes, Assign: t.groupOf,
+	})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	var w wireTree
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("vphash: decode: %w", err)
+	}
+	m, err := metric.ByName(w.Metric)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	var rebuild func() *pnode
+	rebuild = func() *pnode {
+		if pos >= len(w.Nodes) {
+			return nil
+		}
+		rec := w.Nodes[pos]
+		pos++
+		n := &pnode{vantage: rec.Vantage, mu: rec.Mu, prefix: rec.Prefix, samples: rec.Samples}
+		if !rec.Leaf {
+			n.left = rebuild()
+			n.right = rebuild()
+		}
+		return n
+	}
+	root := rebuild()
+	if root == nil || pos != len(w.Nodes) {
+		return fmt.Errorf("vphash: malformed tree encoding")
+	}
+	t.metric = m
+	t.depth = w.Depth
+	t.groups = w.Groups
+	t.root = root
+	t.groupOf = w.Assign
+	return nil
+}

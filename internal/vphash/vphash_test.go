@@ -1,0 +1,277 @@
+package vphash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mendel/internal/metric"
+	"mendel/internal/seq"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	const letters = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(4)]
+	}
+	return out
+}
+
+func sampleDNA(rng *rand.Rand, count, keyLen int) [][]byte {
+	out := make([][]byte, count)
+	for i := range out {
+		out[i] = randDNA(rng, keyLen)
+	}
+	return out
+}
+
+func buildTestTree(t *testing.T, rng *rand.Rand, depth, groups int) *Tree {
+	t.Helper()
+	tree, err := Build(metric.Hamming{}, sampleDNA(rng, 2000, 16), depth, groups, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(metric.Hamming{}, nil, 3, 4, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Build(metric.Hamming{}, [][]byte{[]byte("ACGT")}, -1, 4, 1); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := Build(metric.Hamming{}, [][]byte{[]byte("ACGT")}, 3, 0, 1); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := buildTestTree(t, rng, 4, 8)
+	f := func(raw []byte) bool {
+		key := make([]byte, 16)
+		for i := range key {
+			if len(raw) > 0 {
+				key[i] = "ACGT"[int(raw[i%len(raw)])%4]
+			} else {
+				key[i] = 'A'
+			}
+		}
+		return tree.Hash(key) == tree.Hash(key) && tree.Group(key) == tree.Group(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixEncodesPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := buildTestTree(t, rng, 4, 8)
+	// Every leaf prefix must start with the root's 1 bit: value >= 1 and
+	// its bit length must be at most depth+1.
+	for prefix := range tree.groupOf {
+		if prefix == 0 {
+			t.Fatal("zero prefix")
+		}
+		bits := 0
+		for p := prefix; p > 0; p >>= 1 {
+			bits++
+		}
+		if bits > tree.Depth()+1 {
+			t.Fatalf("prefix %b has %d bits, depth %d", prefix, bits, tree.Depth())
+		}
+	}
+}
+
+func TestGroupsWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := buildTestTree(t, rng, 5, 10)
+	for i := 0; i < 500; i++ {
+		g := tree.Group(randDNA(rng, 16))
+		if g < 0 || g >= 10 {
+			t.Fatalf("group %d out of range", g)
+		}
+	}
+}
+
+func TestSimilarKeysCollide(t *testing.T) {
+	// The LSH property (§III-E): near-identical segments should land in
+	// the same group far more often than random pairs.
+	rng := rand.New(rand.NewSource(4))
+	tree := buildTestTree(t, rng, 4, 8)
+	sameNear, sameRand := 0, 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		a := randDNA(rng, 16)
+		b := append([]byte(nil), a...)
+		b[rng.Intn(16)] = "ACGT"[rng.Intn(4)] // <=1 substitution
+		if tree.Group(a) == tree.Group(b) {
+			sameNear++
+		}
+		if tree.Group(a) == tree.Group(randDNA(rng, 16)) {
+			sameRand++
+		}
+	}
+	if sameNear <= sameRand {
+		t.Fatalf("LSH property violated: near=%d/%d random=%d/%d", sameNear, trials, sameRand, trials)
+	}
+	if float64(sameNear)/trials < 0.5 {
+		t.Fatalf("near-identical collision rate too low: %d/%d", sameNear, trials)
+	}
+}
+
+func TestGroupsForBranching(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree := buildTestTree(t, rng, 4, 8)
+	key := randDNA(rng, 16)
+	exact := tree.GroupsFor(key, 0)
+	if len(exact) != 1 || exact[0] != tree.Group(key) {
+		t.Fatalf("eps=0 GroupsFor = %v, Group = %d", exact, tree.Group(key))
+	}
+	// With a huge epsilon every boundary straddles: all groups selected.
+	all := tree.GroupsFor(key, 1000)
+	if len(all) < 2 {
+		t.Fatalf("eps=inf selected %d groups", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Fatal("GroupsFor result not sorted/deduplicated")
+		}
+	}
+	// Monotone: a larger epsilon can only add groups.
+	small := tree.GroupsFor(key, 1)
+	if len(small) > len(all) {
+		t.Fatal("larger eps returned fewer groups")
+	}
+}
+
+func TestGroupsForContainsExactGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tree := buildTestTree(t, rng, 5, 6)
+	for i := 0; i < 200; i++ {
+		key := randDNA(rng, 16)
+		want := tree.Group(key)
+		found := false
+		for _, g := range tree.GroupsFor(key, 2) {
+			if g == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("GroupsFor missing exact group %d", want)
+		}
+	}
+}
+
+func TestHalfDepth(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 16: 2, 1024: 5, 1 << 20: 10}
+	for n, want := range cases {
+		if got := HalfDepth(n); got != want {
+			t.Errorf("HalfDepth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDegenerateSampleSingleLeaf(t *testing.T) {
+	same := make([][]byte, 50)
+	for i := range same {
+		same[i] = []byte("ACGTACGT")
+	}
+	tree, err := Build(metric.Hamming{}, same, 4, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 1 {
+		t.Fatalf("leaves = %d", tree.Leaves())
+	}
+	if g := tree.Group([]byte("TTTTTTTT")); g < 0 || g >= 4 {
+		t.Fatalf("group = %d", g)
+	}
+}
+
+func TestGroupBalanceOnSample(t *testing.T) {
+	// Hashing the very sample the tree was built from should spread load
+	// across groups: no group should hold more than 3x its fair share.
+	rng := rand.New(rand.NewSource(8))
+	sample := sampleDNA(rng, 4000, 16)
+	const groups = 8
+	tree, err := Build(metric.Hamming{}, sample, 5, groups, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, groups)
+	for _, k := range sample {
+		counts[tree.Group(k)]++
+	}
+	fair := len(sample) / groups
+	for g, c := range counts {
+		if c > 3*fair {
+			t.Fatalf("group %d holds %d of %d (fair share %d)", g, c, len(sample), fair)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree := buildTestTree(t, rng, 4, 8)
+	data, err := tree.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Depth() != tree.Depth() || back.Groups() != tree.Groups() || back.Leaves() != tree.Leaves() {
+		t.Fatal("metadata mismatch after round trip")
+	}
+	for i := 0; i < 300; i++ {
+		key := randDNA(rng, 16)
+		if tree.Hash(key) != back.Hash(key) {
+			t.Fatal("hash mismatch after round trip")
+		}
+		if tree.Group(key) != back.Group(key) {
+			t.Fatal("group mismatch after round trip")
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var tr Tree
+	if err := tr.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestProteinMetricTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := metric.ForKind(seq.Protein)
+	const letters = "ARNDCQEGHILKMFPSTWYV"
+	sample := make([][]byte, 1000)
+	for i := range sample {
+		k := make([]byte, 12)
+		for j := range k {
+			k[j] = letters[rng.Intn(len(letters))]
+		}
+		sample[i] = k
+	}
+	tree, err := Build(m, sample, 4, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tree.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if tree.Group(sample[i]) != back.Group(sample[i]) {
+			t.Fatal("protein tree round trip mismatch")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package vptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mendel/internal/metric"
+)
+
+func TestNearestBudgetZeroIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	items := randomItems(rng, 300, 12)
+	tr := Build(metric.Hamming{}, 8, 7, items)
+	for trial := 0; trial < 20; trial++ {
+		q := randDNA(rng, 12)
+		exact := tr.Nearest(q, 5)
+		budgeted := tr.NearestBudget(q, 5, 0)
+		if len(exact) != len(budgeted) {
+			t.Fatal("budget 0 differs from exact")
+		}
+		for i := range exact {
+			if exact[i].Dist != budgeted[i].Dist {
+				t.Fatal("budget 0 distances differ from exact")
+			}
+		}
+	}
+}
+
+func TestNearestBudgetFindsExactMatchCheaply(t *testing.T) {
+	// A true near-duplicate must surface even under a tight budget: the
+	// traversal descends nearest-region-first, so the matching leaf is
+	// reached within roughly tree-height distance evaluations.
+	rng := rand.New(rand.NewSource(52))
+	items := randomItems(rng, 20000, 16)
+	tr := Build(metric.Hamming{}, 32, 7, items)
+	misses := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		target := items[rng.Intn(len(items))]
+		got := tr.NearestBudget(target.Key, 1, 512)
+		if len(got) == 0 || got[0].Dist != 0 {
+			misses++
+		}
+	}
+	// The budget is ~2.5% of the data; allow a few unlucky paths but the
+	// overwhelming majority must find the exact duplicate.
+	if misses > trials/10 {
+		t.Fatalf("budgeted search missed the exact match %d/%d times", misses, trials)
+	}
+}
+
+func TestNearestBudgetReturnsAtMostK(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	items := randomItems(rng, 500, 10)
+	tr := Build(metric.Hamming{}, 8, 7, items)
+	got := tr.NearestBudget(randDNA(rng, 10), 7, 64)
+	if len(got) > 7 {
+		t.Fatalf("returned %d results for k=7", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestNearestBudgetTinyBudgetStillReturnsSomething(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	items := randomItems(rng, 1000, 10)
+	tr := Build(metric.Hamming{}, 8, 7, items)
+	got := tr.NearestBudget(randDNA(rng, 10), 3, 16)
+	if len(got) == 0 {
+		t.Fatal("tiny budget returned nothing")
+	}
+}
+
+func BenchmarkNearestBudgetVsExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(55))
+	items := randomItems(rng, 50000, 16)
+	tr := Build(metric.Hamming{}, 32, 7, items)
+	queries := make([][]byte, 32)
+	for i := range queries {
+		queries[i] = randDNA(rng, 16)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Nearest(queries[i%len(queries)], 12)
+		}
+	})
+	b.Run("budget4096", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.NearestBudget(queries[i%len(queries)], 12, 4096)
+		}
+	})
+}

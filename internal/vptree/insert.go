@@ -1,0 +1,110 @@
+package vptree
+
+// Insert adds one item using the four-case dynamic update scheme the paper
+// adopts from Fu et al. (§III-D):
+//
+//  1. the target leaf bucket has room — append;
+//  2. the leaf is full but its sibling subtree has room — redistribute all
+//     values under the common parent;
+//  3. both are full but some ancestor's subtree has room — redistribute
+//     under that ancestor;
+//  4. the tree is completely full — split the root (here: rebuild the whole
+//     tree one level taller).
+//
+// "Room" for a subtree of height h is bucketCap * 2^h items, the capacity of
+// a perfectly balanced subtree of that height; redistribution is a balanced
+// rebuild of the affected subtree. This keeps the tree balanced so lookups
+// stay logarithmic, at the cost the paper notes — extra preprocessing —
+// which InsertBatch amortizes.
+func (t *Tree) Insert(it Item) {
+	if t.root == nil {
+		t.root = &node{bucket: []Item{it}, count: 1}
+		t.size = 1
+		return
+	}
+	// Route to the leaf, remembering the path.
+	path := []*node{}
+	n := t.root
+	for n.bucket == nil {
+		path = append(path, n)
+		if t.metric.Distance(n.vantage, it.Key) <= n.mu {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if len(n.bucket) < t.bucketCap { // case 1
+		n.bucket = append(n.bucket, it)
+		n.count++
+		for _, p := range path {
+			p.count++
+		}
+		t.size++
+		return
+	}
+	// Cases 2-3: lowest ancestor (parent first) whose subtree has room.
+	for i := len(path) - 1; i >= 0; i-- {
+		a := path[i]
+		if a.count+1 <= t.capacity(a.height) {
+			items := append(collect(a, nil), it)
+			rebuilt := t.build(items)
+			*a = *rebuilt
+			// Fix counts and heights on the remaining path (leaf-ward
+			// ancestors first so heights propagate upward correctly).
+			for j := i - 1; j >= 0; j-- {
+				p := path[j]
+				p.count++
+				p.height = 1 + maxInt(subHeight(p.left), subHeight(p.right))
+			}
+			t.size++
+			return
+		}
+	}
+	// Case 4: completely full tree.
+	items := append(collect(t.root, nil), it)
+	t.root = t.build(items)
+	t.size++
+}
+
+// InsertBatch adds items in bulk. Large batches (relative to the current
+// size) trigger a single balanced rebuild, which is the paper's middle
+// ground between one-at-a-time insertion and whole-dataset construction.
+func (t *Tree) InsertBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	if t.root == nil || len(items)*4 >= t.size {
+		all := collect(t.root, make([]Item, 0, t.size+len(items)))
+		all = append(all, items...)
+		t.root = t.build(all)
+		t.size += len(items)
+		return
+	}
+	for _, it := range items {
+		t.Insert(it)
+	}
+}
+
+// Items returns a copy of every item in the tree.
+func (t *Tree) Items() []Item {
+	return collect(t.root, make([]Item, 0, t.size))
+}
+
+// capacity is the item capacity of a balanced subtree of the given height.
+func (t *Tree) capacity(height int) int {
+	if height > 30 {
+		return int(^uint(0) >> 1)
+	}
+	return t.bucketCap << uint(height)
+}
+
+func collect(n *node, out []Item) []Item {
+	if n == nil {
+		return out
+	}
+	if n.bucket != nil {
+		return append(out, n.bucket...)
+	}
+	out = collect(n.left, out)
+	return collect(n.right, out)
+}

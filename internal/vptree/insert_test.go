@@ -1,0 +1,165 @@
+package vptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mendel/internal/metric"
+)
+
+func TestInsertIntoEmpty(t *testing.T) {
+	tr := New(metric.Hamming{}, 4, 7)
+	tr.Insert(Item{Key: []byte("ACGT"), Ref: 9})
+	if tr.Size() != 1 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	got := tr.Nearest([]byte("ACGT"), 1)
+	if len(got) != 1 || got[0].Ref != 9 {
+		t.Fatalf("lookup after insert: %v", got)
+	}
+}
+
+func TestInsertCase1BucketHasRoom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := Build(metric.Hamming{}, 8, 7, randomItems(rng, 4, 8))
+	before := tr.Leaves()
+	tr.Insert(Item{Key: randDNA(rng, 8), Ref: 99})
+	if tr.Leaves() != before {
+		t.Fatal("case 1 must not restructure the tree")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertManyKeepsInvariantsAndBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := New(metric.Hamming{}, 8, 7)
+	items := randomItems(rng, 800, 12)
+	for i, it := range items {
+		tr.Insert(it)
+		if i%97 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Size() != 800 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's concern: naive insertion degenerates to a linear
+	// structure. The four-case scheme must keep the height logarithmic.
+	if h := tr.Height(); h > 20 {
+		t.Fatalf("height = %d after dynamic inserts", h)
+	}
+}
+
+func TestInsertedItemsAreFindable(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := New(metric.Hamming{}, 4, 7)
+	items := randomItems(rng, 200, 10)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	for i, it := range items {
+		got := tr.Nearest(it.Key, 1)
+		if len(got) != 1 || got[0].Dist != 0 {
+			t.Fatalf("item %d not found after insertion", i)
+		}
+	}
+}
+
+func TestInsertBatchSmallAndLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tr := Build(metric.Hamming{}, 8, 7, randomItems(rng, 500, 10))
+	// Small batch: incremental path.
+	small := randomItems(rng, 10, 10)
+	for i := range small {
+		small[i].Ref += 10000
+	}
+	tr.InsertBatch(small)
+	if tr.Size() != 510 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	// Large batch: rebuild path.
+	large := randomItems(rng, 400, 10)
+	for i := range large {
+		large[i].Ref += 20000
+	}
+	tr.InsertBatch(large)
+	if tr.Size() != 910 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tr.InsertBatch(nil)
+	if tr.Size() != 910 {
+		t.Fatal("empty batch changed size")
+	}
+}
+
+func TestItemsReturnsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	items := randomItems(rng, 123, 8)
+	tr := Build(metric.Hamming{}, 8, 7, items)
+	got := tr.Items()
+	if len(got) != 123 {
+		t.Fatalf("items = %d", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, it := range got {
+		seen[it.Ref] = true
+	}
+	for _, it := range items {
+		if !seen[it.Ref] {
+			t.Fatalf("ref %d missing", it.Ref)
+		}
+	}
+}
+
+func TestInsertEquivalentToBuildProperty(t *testing.T) {
+	// Property: a tree grown by dynamic insertion answers kNN queries
+	// identically (by distance) to a tree built in one shot.
+	rng := rand.New(rand.NewSource(16))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		items := randomItems(r, r.Intn(200)+20, 8)
+		built := Build(metric.Hamming{}, 4, 7, items)
+		grown := New(metric.Hamming{}, 4, 7)
+		for _, it := range items {
+			grown.Insert(it)
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := randDNA(rng, 8)
+			a := built.Nearest(q, 3)
+			b := grown.Nearest(q, 3)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i].Dist != b[i].Dist {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityOverflowGuard(t *testing.T) {
+	tr := New(metric.Hamming{}, 8, 7)
+	if got := tr.capacity(64); got != int(^uint(0)>>1) {
+		t.Fatalf("capacity(64) = %d", got)
+	}
+	if got := tr.capacity(2); got != 32 {
+		t.Fatalf("capacity(2) = %d", got)
+	}
+}

@@ -1,0 +1,123 @@
+package vptree
+
+import "container/heap"
+
+// resultHeap is a max-heap on distance so the worst of the current k-best
+// sits at the top and can be evicted cheaply.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Nearest returns the k nearest items to query, closest first. The search
+// maintains a shrinking radius tau around the query (the paper's §III-C):
+// a subtree is visited only if the tau-ball can intersect its region, so the
+// average traversal is logarithmic.
+func (t *Tree) Nearest(query []byte, k int) []Result {
+	return t.NearestBudget(query, k, 0)
+}
+
+// NearestBudget is Nearest with a bound on the number of distance
+// evaluations (0 = unlimited, exact search). Metric-space pruning loses its
+// bite on high-entropy segments (the curse of dimensionality makes every
+// tau-ball straddle every boundary), so storage nodes cap per-lookup work:
+// the traversal still descends nearest-region-first, which reaches genuine
+// close neighbours long before the budget runs out, making the result an
+// any-time approximation in the same spirit as the system's LSH tier.
+func (t *Tree) NearestBudget(query []byte, k, budget int) []Result {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	h := make(resultHeap, 0, k+1)
+	tau := int(^uint(0) >> 1) // +inf until k results are known
+	remaining := budget
+	if budget <= 0 {
+		remaining = int(^uint(0) >> 1)
+	}
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil || remaining <= 0 {
+			return
+		}
+		if n.bucket != nil {
+			for _, it := range n.bucket {
+				if remaining <= 0 {
+					return
+				}
+				remaining--
+				d := t.metric.Distance(query, it.Key)
+				if d < tau || h.Len() < k {
+					heap.Push(&h, Result{Item: it, Dist: d})
+					if h.Len() > k {
+						heap.Pop(&h)
+					}
+					if h.Len() == k {
+						tau = h[0].Dist
+					}
+				}
+			}
+			return
+		}
+		remaining--
+		d := t.metric.Distance(query, n.vantage)
+		if d <= n.mu {
+			// Query inside the vantage ball: left first, and the right
+			// subtree only if the tau-ball crosses the boundary
+			// (case 3 of §III-C; cases 1 and 2 are the prunes).
+			visit(n.left)
+			if d+tau > n.mu || h.Len() < k {
+				visit(n.right)
+			}
+		} else {
+			visit(n.right)
+			if d-tau <= n.mu || h.Len() < k {
+				visit(n.left)
+			}
+		}
+	}
+	visit(t.root)
+	// Drain the heap into ascending order.
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Result)
+	}
+	return out
+}
+
+// Range returns every item within distance r of query, in no particular
+// order.
+func (t *Tree) Range(query []byte, r int) []Result {
+	var out []Result
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.bucket != nil {
+			for _, it := range n.bucket {
+				if d := t.metric.Distance(query, it.Key); d <= r {
+					out = append(out, Result{Item: it, Dist: d})
+				}
+			}
+			return
+		}
+		d := t.metric.Distance(query, n.vantage)
+		if d-r <= n.mu {
+			visit(n.left)
+		}
+		if d+r > n.mu {
+			visit(n.right)
+		}
+	}
+	visit(t.root)
+	return out
+}

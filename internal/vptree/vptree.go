@@ -1,0 +1,276 @@
+// Package vptree implements the vantage point tree of Yianilos (SODA '93)
+// over an arbitrary metric, with the two performance refinements the paper
+// adopts (§III-D): bucketed leaves, and dynamic insertion with the
+// four-case rebalancing scheme of Fu et al. so batches of new segments can
+// be added without degrading the tree to linear scans.
+//
+// Internal vertices hold a vantage point (a copy of one element, used only
+// for routing) and a radius mu chosen as the median distance, so elements
+// closer than mu descend left and the rest descend right. Items live only
+// in leaf buckets.
+package vptree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mendel/internal/metric"
+)
+
+// Item is an element of the tree: a fixed-length residue segment and an
+// opaque reference that identifies the indexed block it came from.
+type Item struct {
+	Key []byte
+	Ref uint64
+}
+
+// Result is a search hit with its distance from the query.
+type Result struct {
+	Item
+	Dist int
+}
+
+// Tree is a bucketed vantage point tree. It is not safe for concurrent
+// mutation; storage nodes serialize writes and may serve reads concurrently
+// with other reads.
+type Tree struct {
+	metric    metric.Metric
+	bucketCap int
+	root      *node
+	size      int
+	rng       *rand.Rand
+}
+
+type node struct {
+	vantage []byte // routing vantage point (copy of an item key)
+	mu      int
+	left    *node
+	right   *node
+	bucket  []Item // non-nil iff leaf
+	count   int    // items in this subtree
+	height  int    // leaf = 0
+}
+
+// DefaultBucketCap is the leaf capacity used when the caller passes 0.
+const DefaultBucketCap = 32
+
+// New creates an empty tree using the given metric. bucketCap <= 0 selects
+// DefaultBucketCap. seed makes vantage selection deterministic, which keeps
+// cluster nodes reproducible under test.
+func New(m metric.Metric, bucketCap int, seed int64) *Tree {
+	if bucketCap <= 0 {
+		bucketCap = DefaultBucketCap
+	}
+	return &Tree{
+		metric:    m,
+		bucketCap: bucketCap,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Build constructs a balanced tree over items in one pass, the preferred
+// path when the dataset is known up front (§III-D: the original structure
+// expects whole-dataset construction).
+func Build(m metric.Metric, bucketCap int, seed int64, items []Item) *Tree {
+	t := New(m, bucketCap, seed)
+	owned := make([]Item, len(items))
+	copy(owned, items)
+	t.root = t.build(owned)
+	t.size = len(items)
+	return t
+}
+
+// Size returns the number of items in the tree.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the height of the tree (a single leaf has height 0).
+func (t *Tree) Height() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.height
+}
+
+// Leaves returns the number of leaf buckets.
+func (t *Tree) Leaves() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.bucket != nil {
+			return 1
+		}
+		return walk(n.left) + walk(n.right)
+	}
+	return walk(t.root)
+}
+
+// build recursively constructs a subtree. Items are consumed.
+func (t *Tree) build(items []Item) *node {
+	if len(items) == 0 {
+		return nil
+	}
+	if len(items) <= t.bucketCap {
+		return &node{bucket: items, count: len(items)}
+	}
+	vantage := t.selectVantage(items)
+	type distItem struct {
+		d int
+		i Item
+	}
+	dist := make([]distItem, len(items))
+	for i, it := range items {
+		dist[i] = distItem{t.metric.Distance(vantage, it.Key), it}
+	}
+	sort.Slice(dist, func(a, b int) bool { return dist[a].d < dist[b].d })
+	mid := len(dist) / 2
+	mu := dist[mid].d
+	// Left takes d <= mu to guarantee the left side is non-empty; advance
+	// the split past ties so routing (d <= mu goes left) stays consistent.
+	split := mid
+	for split < len(dist) && dist[split].d <= mu {
+		split++
+	}
+	if split == len(dist) {
+		// Degenerate: every element within mu of the vantage (e.g. all
+		// identical). An oversized leaf is the only consistent shape.
+		return &node{bucket: items, count: len(items)}
+	}
+	left := make([]Item, split)
+	right := make([]Item, len(dist)-split)
+	for i := 0; i < split; i++ {
+		left[i] = dist[i].i
+	}
+	for i := split; i < len(dist); i++ {
+		right[i-split] = dist[i].i
+	}
+	n := &node{
+		vantage: append([]byte(nil), vantage...),
+		mu:      mu,
+		left:    t.build(left),
+		right:   t.build(right),
+		count:   len(items),
+	}
+	n.height = 1 + maxInt(subHeight(n.left), subHeight(n.right))
+	return n
+}
+
+func subHeight(n *node) int {
+	if n == nil {
+		return -1
+	}
+	return n.height
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// selectVantage picks a vantage point by sampling a few candidates and
+// choosing the one whose distances to a probe sample have maximal spread
+// (second moment about the median), per Yianilos' heuristic.
+func (t *Tree) selectVantage(items []Item) []byte {
+	const candidates, probes = 8, 24
+	if len(items) == 1 {
+		return items[0].Key
+	}
+	best, bestSpread := items[0].Key, -1.0
+	for c := 0; c < candidates && c < len(items); c++ {
+		cand := items[t.rng.Intn(len(items))].Key
+		var ds []int
+		for p := 0; p < probes; p++ {
+			ds = append(ds, t.metric.Distance(cand, items[t.rng.Intn(len(items))].Key))
+		}
+		sort.Ints(ds)
+		median := ds[len(ds)/2]
+		spread := 0.0
+		for _, d := range ds {
+			diff := float64(d - median)
+			spread += diff * diff
+		}
+		if spread > bestSpread {
+			best, bestSpread = cand, spread
+		}
+	}
+	return best
+}
+
+// checkInvariants verifies structural invariants for tests: counts, heights,
+// leaf placement, and the routing property (left subtree within mu of the
+// vantage, right subtree beyond).
+func (t *Tree) checkInvariants() error {
+	var walk func(n *node) (count int, err error)
+	walk = func(n *node) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		if n.bucket != nil {
+			if n.left != nil || n.right != nil {
+				return 0, fmt.Errorf("vptree: leaf with children")
+			}
+			if n.count != len(n.bucket) {
+				return 0, fmt.Errorf("vptree: leaf count %d != bucket %d", n.count, len(n.bucket))
+			}
+			return n.count, nil
+		}
+		if n.left == nil || n.right == nil {
+			return 0, fmt.Errorf("vptree: internal node missing a child")
+		}
+		lc, err := walk(n.left)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := walk(n.right)
+		if err != nil {
+			return 0, err
+		}
+		if n.count != lc+rc {
+			return 0, fmt.Errorf("vptree: count %d != %d+%d", n.count, lc, rc)
+		}
+		if want := 1 + maxInt(subHeight(n.left), subHeight(n.right)); n.height != want {
+			return 0, fmt.Errorf("vptree: height %d != %d", n.height, want)
+		}
+		var check func(m *node, left bool) error
+		check = func(m *node, left bool) error {
+			if m == nil {
+				return nil
+			}
+			if m.bucket != nil {
+				for _, it := range m.bucket {
+					d := t.metric.Distance(n.vantage, it.Key)
+					if left && d > n.mu {
+						return fmt.Errorf("vptree: left item at distance %d > mu %d", d, n.mu)
+					}
+					if !left && d <= n.mu {
+						return fmt.Errorf("vptree: right item at distance %d <= mu %d", d, n.mu)
+					}
+				}
+				return nil
+			}
+			if err := check(m.left, left); err != nil {
+				return err
+			}
+			return check(m.right, left)
+		}
+		if err := check(n.left, true); err != nil {
+			return 0, err
+		}
+		if err := check(n.right, false); err != nil {
+			return 0, err
+		}
+		return n.count, nil
+	}
+	count, err := walk(t.root)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("vptree: size %d != walked %d", t.size, count)
+	}
+	return nil
+}

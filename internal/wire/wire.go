@@ -1,0 +1,245 @@
+// Package wire defines the messages exchanged between Mendel cluster nodes
+// and the query parameters of the paper's Table I. Messages are plain
+// structs encoded with encoding/gob; every concrete request/response type is
+// registered here so both the in-memory and TCP transports can carry them as
+// interface values.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"mendel/internal/seq"
+)
+
+// Params are the user-facing query parameters, one field per row of the
+// paper's Table I.
+type Params struct {
+	Step      int     // k: sliding window step over the query
+	Neighbors int     // n: nearest neighbours fetched per subquery
+	Identity  float64 // i: minimum percent-identity of a candidate, in [0,1]
+	CScore    float64 // c: minimum consecutivity score, in [0,1]
+	Matrix    string  // M: scoring matrix name (BLOSUM62, PAM250, DNA)
+	GappedS   int     // S: normalized score threshold for gapped extension
+	Band      int     // l: gapped alignment band width, in diagonals
+	MaxE      float64 // E: expectation value threshold for reporting
+	// BothStrands additionally searches the reverse complement of a DNA
+	// query, reporting minus-strand hits with Hit.Strand == '-'. Ignored
+	// for protein data.
+	BothStrands bool
+	// Mask filters low-complexity regions out of the query before
+	// decomposition (SEG/DUST-style entropy masking): masked windows are
+	// skipped so repeat tracts cannot flood the cluster with meaningless
+	// subqueries.
+	Mask bool
+}
+
+// DefaultParams returns the parameter defaults used throughout the
+// repository for protein searches.
+func DefaultParams() Params {
+	return Params{
+		Step:      16,
+		Neighbors: 12,
+		Identity:  0.30,
+		CScore:    0.40,
+		Matrix:    "BLOSUM62",
+		GappedS:   28,
+		Band:      8,
+		MaxE:      10,
+	}
+}
+
+// Validate checks the ranges of Table I (k,n >= 1; i,c in [0,1]; S,l,E >= 0).
+func (p Params) Validate() error {
+	switch {
+	case p.Step < 1:
+		return fmt.Errorf("params: step k = %d, want >= 1", p.Step)
+	case p.Neighbors < 1:
+		return fmt.Errorf("params: neighbors n = %d, want >= 1", p.Neighbors)
+	case p.Identity < 0 || p.Identity > 1:
+		return fmt.Errorf("params: identity i = %g, want [0,1]", p.Identity)
+	case p.CScore < 0 || p.CScore > 1:
+		return fmt.Errorf("params: c-score c = %g, want [0,1]", p.CScore)
+	case p.Matrix == "":
+		return fmt.Errorf("params: empty scoring matrix M")
+	case p.GappedS < 0:
+		return fmt.Errorf("params: gapped threshold S = %d, want >= 0", p.GappedS)
+	case p.Band < 0:
+		return fmt.Errorf("params: band l = %d, want >= 0", p.Band)
+	case p.MaxE < 0:
+		return fmt.Errorf("params: expectation E = %g, want >= 0", p.MaxE)
+	}
+	return nil
+}
+
+// Block is the wire form of an inverted index block (§V-A1).
+type Block struct {
+	Seq     seq.ID
+	Start   int
+	Content []byte
+	Context []byte
+	CtxOff  int
+}
+
+// Anchor is an extended ungapped match produced on a storage node and
+// aggregated at group and system entry points (§V-B). Coordinates are
+// half-open; SStart/SEnd are subject (reference sequence) offsets.
+type Anchor struct {
+	Seq    seq.ID
+	QStart int
+	QEnd   int
+	SStart int
+	SEnd   int
+	Score  int
+}
+
+// Diagonal returns the anchor's alignment diagonal (subject minus query
+// start), the merge key of the aggregation stages.
+func (a Anchor) Diagonal() int { return a.SStart - a.QStart }
+
+// Ping checks liveness.
+type Ping struct{}
+
+// Pong answers Ping.
+type Pong struct {
+	Node string
+}
+
+// Bootstrap distributes the shared cluster state to a storage node: the
+// serialized vp-prefix hash tree, the metric and block geometry, and the
+// topology (group membership lists).
+type Bootstrap struct {
+	HashTree []byte
+	Metric   string
+	BlockLen int
+	Margin   int
+	Groups   [][]string
+	Kind     seq.Kind
+	// SearchBudget caps the distance evaluations of each local vp-tree
+	// lookup (0 = exact search). See vptree.NearestBudget.
+	SearchBudget int
+}
+
+// BootstrapAck acknowledges Bootstrap.
+type BootstrapAck struct{}
+
+// UpdateTopology informs a node of a membership change (join or graceful
+// leave) without disturbing its stored data, unlike Bootstrap which resets
+// the node. Nodes use the topology when acting as group entry points.
+type UpdateTopology struct {
+	Groups [][]string
+}
+
+// UpdateTopologyAck acknowledges UpdateTopology.
+type UpdateTopologyAck struct{}
+
+// IndexBlocks stores a batch of blocks on the receiving node.
+type IndexBlocks struct {
+	Blocks []Block
+}
+
+// IndexBlocksAck reports how many blocks the node accepted.
+type IndexBlocksAck struct {
+	Accepted int
+}
+
+// StoreSequences places full reference sequences on the receiving node's
+// shard of the distributed sequence repository, which coordinators consult
+// for gapped extension.
+type StoreSequences struct {
+	IDs   []seq.ID
+	Names []string
+	Data  [][]byte
+}
+
+// StoreSequencesAck acknowledges StoreSequences.
+type StoreSequencesAck struct{}
+
+// FetchRegion asks a sequence-repository shard for reference residues
+// [Start, End) of a sequence (clamped to its bounds).
+type FetchRegion struct {
+	Seq   seq.ID
+	Start int
+	End   int
+}
+
+// Region answers FetchRegion. Start carries the clamped effective offset.
+type Region struct {
+	Seq   seq.ID
+	Start int
+	Data  []byte
+	Len   int // full sequence length
+}
+
+// LocalSearch runs subquery windows against the receiving node's local
+// vp-tree: n-NN lookup, identity and c-score filtering, and margin-based
+// anchor extension (§V-B). The full query travels with the request (queries
+// are short relative to the database) so extension can grow anchors beyond
+// the seed window on the query side too.
+type LocalSearch struct {
+	Query     []byte
+	Offsets   []int // window start offsets assigned to this node's group
+	WindowLen int
+	Params    Params
+}
+
+// LocalSearchResult returns the node's extended anchors for the subqueries.
+type LocalSearchResult struct {
+	Anchors []Anchor
+}
+
+// GroupSearch is sent to a group entry point, which fans the contained
+// subqueries out to every node of its group, merges overlapping anchors on
+// the same diagonal, and returns the merged set (first aggregation stage).
+type GroupSearch struct {
+	Group     int
+	Query     []byte
+	Offsets   []int
+	WindowLen int
+	Params    Params
+}
+
+// GroupSearchResult is the group entry point's merged anchor set.
+type GroupSearchResult struct {
+	Anchors []Anchor
+}
+
+// Stats queries a node's storage counters.
+type Stats struct{}
+
+// StatsResult reports per-node storage and work counters; the
+// load-balancing evaluation (Fig. 5) reads the storage fields and the
+// scalability evaluation (Fig. 6c) reads BusyNS, the cumulative time the
+// node has spent answering LocalSearch requests. On an in-process cluster
+// every node shares one machine's cores, so the *maximum per-node busy
+// time* — the critical path — models the turnaround a deployment with one
+// machine per node would see.
+type StatsResult struct {
+	Node      string
+	Blocks    int
+	Residues  int
+	Sequences int
+	TreeSize  int
+	BusyNS    int64
+}
+
+func init() {
+	gob.Register(Ping{})
+	gob.Register(Pong{})
+	gob.Register(Bootstrap{})
+	gob.Register(BootstrapAck{})
+	gob.Register(UpdateTopology{})
+	gob.Register(UpdateTopologyAck{})
+	gob.Register(IndexBlocks{})
+	gob.Register(IndexBlocksAck{})
+	gob.Register(StoreSequences{})
+	gob.Register(StoreSequencesAck{})
+	gob.Register(FetchRegion{})
+	gob.Register(Region{})
+	gob.Register(LocalSearch{})
+	gob.Register(LocalSearchResult{})
+	gob.Register(GroupSearch{})
+	gob.Register(GroupSearchResult{})
+	gob.Register(Stats{})
+	gob.Register(StatsResult{})
+}

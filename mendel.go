@@ -1,0 +1,120 @@
+// Package mendel is a distributed storage framework for similarity
+// searching over genomic sequencing data, reproducing Tolooee, Pallickara
+// and Ben-Hur, "Mendel: A Distributed Storage Framework for Similarity
+// Searching over Sequencing Data" (IEEE IPDPS 2016).
+//
+// Mendel fragments DNA or protein reference sequences into fixed-length
+// inverted index blocks, disperses them over a two-tier distributed hash
+// table — a vantage-point prefix tree groups similar blocks onto the same
+// set of nodes, and a flat SHA-1 ring balances load within each group — and
+// indexes each node's blocks in a memory-resident dynamic vantage point
+// tree. Alignment queries are decomposed into subqueries, resolved by
+// distributed nearest-neighbour search, extended into anchors, aggregated
+// at group and system entry points, gap-extended, and ranked by
+// Karlin–Altschul expectation value.
+//
+// # Quick start
+//
+//	cluster, _ := mendel.NewInProcess(mendel.DefaultConfig(mendel.Protein), 8)
+//	db, _ := mendel.ReadFASTA(f, mendel.Protein)
+//	_ = cluster.Index(ctx, db)
+//	hits, _ := cluster.Search(ctx, query, mendel.DefaultParams())
+//
+// For multi-process deployments run one cmd/mendel-node per machine and
+// assemble a cluster with NewTCPCluster.
+package mendel
+
+import (
+	"io"
+
+	"mendel/internal/blast"
+	"mendel/internal/core"
+	"mendel/internal/matrix"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/wire"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Config fixes the cluster-wide constants (block geometry, group
+	// count, vp-prefix depth threshold, ...).
+	Config = core.Config
+	// Cluster is a coordinator handle for indexing and searching.
+	Cluster = core.Cluster
+	// InProcess is a whole cluster wired through an in-memory transport.
+	InProcess = core.InProcess
+	// Hit is one reported alignment with bit score and E-value.
+	Hit = core.Hit
+	// Params are the query parameters of the paper's Table I.
+	Params = wire.Params
+	// Kind selects DNA or Protein mode.
+	Kind = seq.Kind
+	// Set is an ordered collection of validated sequences.
+	Set = seq.Set
+	// Sequence is a validated biological sequence.
+	Sequence = seq.Sequence
+	// SequenceID identifies a reference sequence within a deployment.
+	SequenceID = seq.ID
+	// LatencyModel simulates LAN delay on the in-memory transport.
+	LatencyModel = transport.LatencyModel
+	// SearchStats is the per-stage execution trace of one search.
+	SearchStats = core.Trace
+	// TranslatedHit is a protein hit from a six-frame translated DNA query.
+	TranslatedHit = core.TranslatedHit
+	// BatchResult pairs one query of a SearchAll batch with its outcome.
+	BatchResult = core.BatchResult
+)
+
+// Molecule kinds.
+const (
+	DNA     = seq.DNA
+	Protein = seq.Protein
+)
+
+// DefaultConfig returns the framework defaults for a molecule kind.
+func DefaultConfig(kind Kind) Config { return core.DefaultConfig(kind) }
+
+// DefaultParams returns the Table I parameter defaults.
+func DefaultParams() Params { return wire.DefaultParams() }
+
+// NewInProcess assembles an in-process cluster of numNodes storage nodes.
+func NewInProcess(cfg Config, numNodes int) (*InProcess, error) {
+	return core.NewInProcess(cfg, numNodes)
+}
+
+// NewInProcessWithLatency is NewInProcess with simulated per-message LAN
+// latency, for scalability experiments.
+func NewInProcessWithLatency(cfg Config, numNodes int, l LatencyModel) (*InProcess, error) {
+	return core.NewInProcess(cfg, numNodes, transport.WithLatency(l))
+}
+
+// ReadFASTA parses FASTA records into a sequence set.
+func ReadFASTA(r io.Reader, kind Kind) (*Set, error) { return seq.ReadFASTA(r, kind) }
+
+// WriteFASTA writes a sequence set in FASTA format.
+func WriteFASTA(w io.Writer, set *Set, width int) error { return seq.WriteFASTA(w, set, width) }
+
+// NewSet creates an empty sequence set of the given kind.
+func NewSet(kind Kind) *Set { return seq.NewSet(kind) }
+
+// Baseline re-exports: the from-scratch BLAST implementation used as the
+// single-machine comparator in the paper's evaluation.
+type (
+	// BlastDB is an indexed single-machine BLAST database.
+	BlastDB = blast.DB
+	// BlastConfig controls the BLAST heuristics.
+	BlastConfig = blast.Config
+	// BlastHit is one BLAST alignment.
+	BlastHit = blast.Hit
+)
+
+// NewBlastDB indexes a sequence set for the BLAST baseline using the
+// conventional defaults for its kind (blastp word 3 / T=11, blastn 11-mers).
+func NewBlastDB(set *Set) (*BlastDB, error) {
+	if set.Kind == DNA {
+		return blast.NewDB(set, blast.DefaultDNAConfig(), matrix.DNAUnit)
+	}
+	return blast.NewDB(set, blast.DefaultProteinConfig(), matrix.BLOSUM62)
+}

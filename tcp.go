@@ -1,0 +1,64 @@
+package mendel
+
+import (
+	"io"
+
+	"mendel/internal/core"
+	"mendel/internal/node"
+	"mendel/internal/transport"
+)
+
+// NodeServer is a storage node serving the Mendel protocol over TCP.
+type NodeServer struct {
+	srv  *transport.TCPServer
+	node *node.Node
+}
+
+// ServeNode starts a storage node listening on addr ("host:port"; port 0
+// picks a free port). The node is inert until a coordinator bootstraps it
+// via Index or LoadManifest+Index.
+func ServeNode(addr string) (*NodeServer, error) {
+	srv, err := transport.ListenTCP(addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The node's advertised identity is the bound listener address (known
+	// only after listening); it uses a TCP client of its own to reach its
+	// group peers when acting as a group entry point.
+	n := node.New(srv.Addr(), transport.NewTCPClient(0))
+	srv.SetHandler(n)
+	return &NodeServer{srv: srv, node: n}, nil
+}
+
+// Addr returns the bound address to hand to NewTCPCluster.
+func (s *NodeServer) Addr() string { return s.srv.Addr() }
+
+// Close shuts the node down.
+func (s *NodeServer) Close() error { return s.srv.Close() }
+
+// Save writes the node's durable state (bootstrap parameters, stored blocks,
+// repository sequences) so a restarted node resumes serving without
+// re-ingestion. Pair with the coordinator-side SaveManifest.
+func (s *NodeServer) Save(w io.Writer) error { return s.node.SaveTo(w) }
+
+// Load restores a node's state from a Save snapshot. The node must have
+// been started on the same advertised address recorded in the snapshot's
+// topology.
+func (s *NodeServer) Load(r io.Reader) error { return s.node.LoadFrom(r) }
+
+// NewTCPCluster creates a coordinator over TCP storage nodes arranged into
+// the given groups of addresses.
+func NewTCPCluster(cfg Config, groups [][]string) (*Cluster, error) {
+	return core.NewCluster(cfg, transport.NewTCPClient(0), groups)
+}
+
+// SaveManifest persists coordinator state (config, topology, hash tree,
+// sequence catalog) so a later process can resume querying nodes that still
+// hold their data — the paper's "save pre-indexed data" extension.
+func SaveManifest(c *Cluster, w io.Writer) error { return c.SaveManifest(w) }
+
+// LoadManifestTCP restores a coordinator from a manifest, talking to its
+// nodes over TCP.
+func LoadManifestTCP(r io.Reader) (*Cluster, error) {
+	return core.LoadManifest(r, transport.NewTCPClient(0))
+}
