@@ -23,9 +23,14 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
 	dataFile := flag.String("data", "", "snapshot file: loaded at startup if present, written on shutdown")
+	rc := mendel.DefaultResilienceConfig()
+	flag.DurationVar(&rc.CallTimeout, "rpc-timeout", rc.CallTimeout, "per-RPC timeout for peer calls (0 disables)")
+	flag.IntVar(&rc.MaxRetries, "rpc-retries", rc.MaxRetries, "retries per RPC on unreachable peers")
+	flag.IntVar(&rc.TripAfter, "breaker-trip", rc.TripAfter, "consecutive failures that trip a peer's circuit breaker (0 disables)")
+	flag.DurationVar(&rc.Cooldown, "breaker-cooldown", rc.Cooldown, "circuit breaker cooldown before a half-open probe")
 	flag.Parse()
 
-	srv, err := mendel.ServeNode(*addr)
+	srv, err := mendel.ServeNodeResilient(*addr, rc)
 	if err != nil {
 		log.Fatalf("mendel-node: %v", err)
 	}

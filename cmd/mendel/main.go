@@ -51,6 +51,23 @@ commands:
 	os.Exit(2)
 }
 
+// resilienceFlags registers the RPC resilience flags shared by every
+// subcommand and returns a function assembling the config after parsing.
+func resilienceFlags(fs *flag.FlagSet) func() mendel.ResilienceConfig {
+	def := mendel.DefaultResilienceConfig()
+	timeout := fs.Duration("rpc-timeout", def.CallTimeout, "per-RPC timeout (0 disables)")
+	retries := fs.Int("rpc-retries", def.MaxRetries, "retries per RPC on unreachable nodes")
+	trip := fs.Int("breaker-trip", def.TripAfter, "consecutive failures that trip a node's circuit breaker (0 disables)")
+	cooldown := fs.Duration("breaker-cooldown", def.Cooldown, "circuit breaker cooldown before a half-open probe")
+	return func() mendel.ResilienceConfig {
+		def.CallTimeout = *timeout
+		def.MaxRetries = *retries
+		def.TripAfter = *trip
+		def.Cooldown = *cooldown
+		return def
+	}
+}
+
 func cmdIndex(args []string) {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	nodeList := fs.String("nodes", "", "comma-separated storage node addresses (required)")
@@ -59,6 +76,7 @@ func cmdIndex(args []string) {
 	fasta := fs.String("fasta", "", "FASTA file with reference sequences (required)")
 	manifest := fs.String("manifest", "cluster.mendel", "manifest file to create or extend")
 	blockLen := fs.Int("block", 16, "inverted index block length w")
+	resilience := resilienceFlags(fs)
 	fs.Parse(args)
 	if *nodeList == "" && !fileExists(*manifest) {
 		log.Fatal("mendel index: -nodes is required for a new cluster")
@@ -69,8 +87,9 @@ func cmdIndex(args []string) {
 
 	kind := parseKind(*kindName)
 	var cluster *mendel.Cluster
+	var rpc *mendel.ResilientCaller
 	if fileExists(*manifest) {
-		cluster = loadManifest(*manifest)
+		cluster, rpc = loadManifest(*manifest, resilience())
 	} else {
 		cfg := mendel.DefaultConfig(kind)
 		cfg.Groups = *groups
@@ -80,7 +99,7 @@ func cmdIndex(args []string) {
 		if err != nil {
 			log.Fatalf("mendel index: %v", err)
 		}
-		cluster, err = mendel.NewTCPCluster(cfg, groupLists)
+		cluster, rpc, err = mendel.NewTCPClusterResilient(cfg, groupLists, resilience())
 		if err != nil {
 			log.Fatalf("mendel index: %v", err)
 		}
@@ -111,6 +130,9 @@ func cmdIndex(args []string) {
 		log.Fatalf("mendel index: %v", err)
 	}
 	fmt.Printf("manifest written to %s\n", *manifest)
+	if st := rpc.Stats(); st.Retries > 0 || st.Trips > 0 {
+		fmt.Printf("rpc: %s\n", st)
+	}
 }
 
 func cmdQuery(args []string) {
@@ -129,9 +151,10 @@ func cmdQuery(args []string) {
 	mask := fs.Bool("mask", false, "mask low-complexity query regions before searching")
 	translated := fs.Bool("translated", false, "treat queries as DNA and search a protein cluster in all six reading frames (blastx-style)")
 	trace := fs.Bool("trace", false, "print a per-stage execution trace for each query")
+	resilience := resilienceFlags(fs)
 	fs.Parse(args)
 
-	cluster := loadManifest(*manifest)
+	cluster, rpc := loadManifest(*manifest, resilience())
 	params := mendel.DefaultParams()
 	params.MaxE = *maxE
 	params.Neighbors = *neighbors
@@ -225,14 +248,18 @@ func cmdQuery(args []string) {
 				h.Alignment.CIGAR(), extra)
 		}
 	}
+	if *trace {
+		fmt.Printf("rpc: %s\n", rpc.Stats())
+	}
 }
 
 func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	resilience := resilienceFlags(fs)
 	fs.Parse(args)
-	cluster := loadManifest(*manifest)
-	stats, err := cluster.Stats(context.Background())
+	cluster, _ := loadManifest(*manifest, resilience())
+	stats, down, err := cluster.StatsDetailed(context.Background())
 	if err != nil {
 		log.Fatalf("mendel stats: %v", err)
 	}
@@ -250,19 +277,23 @@ func cmdStats(args []string) {
 		}
 		fmt.Printf("  %-22s blocks=%-8d (%5.2f%%) repo-seqs=%d\n", s.Node, s.Blocks, pct, s.Sequences)
 	}
+	sort.Strings(down)
+	for _, addr := range down {
+		fmt.Printf("  %-22s UNREACHABLE\n", addr)
+	}
 }
 
-func loadManifest(path string) *mendel.Cluster {
+func loadManifest(path string, rc mendel.ResilienceConfig) (*mendel.Cluster, *mendel.ResilientCaller) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatalf("mendel: opening manifest: %v", err)
 	}
 	defer f.Close()
-	cluster, err := mendel.LoadManifestTCP(f)
+	cluster, rpc, err := mendel.LoadManifestTCPResilient(f, rc)
 	if err != nil {
 		log.Fatalf("mendel: loading manifest: %v", err)
 	}
-	return cluster
+	return cluster, rpc
 }
 
 func parseKind(name string) mendel.Kind {

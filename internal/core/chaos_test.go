@@ -1,0 +1,427 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mendel/internal/node"
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+	"mendel/internal/wire"
+)
+
+// chaosCluster builds the standard chaos testbed: 6 nodes in 2 groups with
+// R=2 replication, so every block and every repository shard has a copy
+// surviving any single-node loss per group.
+func chaosCluster(t *testing.T) (*InProcess, *seq.Set) {
+	t.Helper()
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	cfg.SampleSize = 500
+	cfg.Replicas = 2
+	ip, err := NewInProcess(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(context.Background(), db); err != nil {
+		t.Fatal(err)
+	}
+	return ip, db
+}
+
+// victimsCoverSomeSequence reports whether killing exactly the given nodes
+// destroys every repository copy of some sequence. The repository ring is
+// global (orthogonal to groups), so with R=2 a cross-group victim pair can
+// own both copies of a sequence — an unavoidable data loss, not a fault-
+// tolerance bug — and such pairs must be excluded from full-recall checks.
+func victimsCoverSomeSequence(ip *InProcess, db *seq.Set, victims ...string) bool {
+	dead := make(map[string]bool, len(victims))
+	for _, v := range victims {
+		dead[v] = true
+	}
+	for _, s := range db.Seqs {
+		holders := ip.seqRing.LookupN(seqKey(s.ID), ip.cfg.replicas())
+		alive := false
+		for _, h := range holders {
+			if !dead[h] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosKillOneNodePerGroupKeepsFullRecall is the first acceptance
+// scenario: with R=2, failing one node in EVERY group simultaneously must
+// not degrade the answer at all — correct hits, Trace.Partial == false —
+// whenever at least one copy of every repository shard survives.
+func TestChaosKillOneNodePerGroupKeepsFullRecall(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	query := db.Seqs[11].Data[50:180]
+
+	baseline, err := ip.Search(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) == 0 || baseline[0].Seq != 11 {
+		t.Fatalf("baseline hits = %+v", baseline)
+	}
+
+	// Every combination of one victim per group that keeps a live copy of
+	// each sequence (R=2 tolerates ANY one failure; a two-node loss is only
+	// survivable when the pair doesn't own both copies of a shard).
+	tested := 0
+	for _, v0 := range ip.Topology().GroupNodes(0) {
+		for _, v1 := range ip.Topology().GroupNodes(1) {
+			if victimsCoverSomeSequence(ip, db, v0, v1) {
+				continue
+			}
+			tested++
+			ip.Net.Fail(v0)
+			ip.Net.Fail(v1)
+			hits, trace, err := ip.SearchTrace(ctx, query, defaultTestParams())
+			if err != nil {
+				t.Fatalf("search with %s+%s down: %v", v0, v1, err)
+			}
+			if trace.Partial {
+				t.Fatalf("partial result with one node per group down (%s, %s): %s", v0, v1, trace)
+			}
+			if len(hits) == 0 || hits[0].Seq != 11 {
+				t.Fatalf("recall lost with %s+%s down: %+v", v0, v1, hits)
+			}
+			ip.Net.Heal(v0)
+			ip.Net.Heal(v1)
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no survivable victim pair exists; reshape the test database")
+	}
+
+	// Single-node failures are ALWAYS survivable with R=2, anywhere.
+	for _, n := range ip.Nodes {
+		ip.Net.Fail(n.Addr())
+		hits, trace, err := ip.SearchTrace(ctx, query, defaultTestParams())
+		if err != nil {
+			t.Fatalf("search with %s down: %v", n.Addr(), err)
+		}
+		if trace.Partial || len(hits) == 0 || hits[0].Seq != 11 {
+			t.Fatalf("single failure %s degraded the query: %s %+v", n.Addr(), trace, hits)
+		}
+		ip.Net.Heal(n.Addr())
+	}
+}
+
+// TestChaosFlappingNodesMidWorkload kills and heals one node per group in a
+// tight loop while a query workload runs, asserting no query ever errors
+// and no data race fires (run under -race).
+func TestChaosFlappingNodesMidWorkload(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	p := defaultTestParams()
+
+	stop := make(chan struct{})
+	var flapper sync.WaitGroup
+	flapper.Add(1)
+	go func() {
+		defer flapper.Done()
+		g0, g1 := ip.Topology().GroupNodes(0), ip.Topology().GroupNodes(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v0, v1 := g0[i%len(g0)], g1[i%len(g1)]
+			ip.Net.Fail(v0)
+			ip.Net.Fail(v1)
+			time.Sleep(2 * time.Millisecond)
+			ip.Net.Heal(v0)
+			ip.Net.Heal(v1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				s := db.Seqs[(w*5+i)%len(db.Seqs)]
+				if _, err := ip.Search(ctx, s.Data[40:170], p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	flapper.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("query failed during flapping: %v", err)
+	default:
+	}
+}
+
+// findSpanningQuery returns a query from db that fans out to every group,
+// so killing one whole group is guaranteed to intersect the query's route.
+func findSpanningQuery(t *testing.T, ip *InProcess, db *seq.Set) ([]byte, seq.ID) {
+	t.Helper()
+	ctx := context.Background()
+	for id := 0; id < len(db.Seqs); id++ {
+		q := db.Seqs[id].Data[30:220]
+		hits, trace, err := ip.SearchTrace(ctx, q, defaultTestParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace.GroupRequests == ip.Config().Groups && len(hits) > 0 && hits[0].Seq == seq.ID(id) {
+			return q, seq.ID(id)
+		}
+	}
+	t.Fatal("no query spans all groups; enlarge the test database")
+	return nil, 0
+}
+
+// TestChaosWholeGroupDownDegradesToPartial is the second acceptance
+// scenario: with an entire group unreachable and AllowPartial set (the
+// default), Search answers from the surviving groups and flags the outage
+// in the trace instead of erroring.
+func TestChaosWholeGroupDownDegradesToPartial(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	query, _ := findSpanningQuery(t, ip, db)
+
+	for _, addr := range ip.Topology().GroupNodes(1) {
+		ip.Net.Fail(addr)
+	}
+	hits, trace, err := ip.SearchTrace(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatalf("whole-group outage aborted the query: %v", err)
+	}
+	if trace.GroupsFailed == 0 || !trace.Partial {
+		t.Fatalf("outage not reported: %s", trace)
+	}
+	// The surviving groups' anchors still produce hits unless every anchor
+	// happened to live in the dead group; with a query routed to both
+	// groups the merged result must not be empty.
+	if trace.AnchorsReturned == 0 {
+		t.Fatalf("no anchors from surviving groups: %s", trace)
+	}
+	_ = hits
+
+	// Healing restores full, non-partial answers.
+	for _, addr := range ip.Topology().GroupNodes(1) {
+		ip.Net.Heal(addr)
+	}
+	_, trace, err = ip.SearchTrace(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Partial {
+		t.Fatalf("healed cluster still partial: %s", trace)
+	}
+}
+
+// TestChaosWholeGroupDownStrictMode verifies the AllowPartial=false escape
+// hatch: the pre-fault-tolerance fail-stop contract.
+func TestChaosWholeGroupDownStrictMode(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	cfg.SampleSize = 500
+	cfg.Replicas = 2
+	cfg.AllowPartial = false
+	ip, err := NewInProcess(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(72))
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	query, _ := findSpanningQuery(t, ip, db)
+	for _, addr := range ip.Topology().GroupNodes(0) {
+		ip.Net.Fail(addr)
+	}
+	if _, err := ip.Search(ctx, query, defaultTestParams()); err == nil {
+		t.Fatal("strict mode returned results with a whole group down")
+	}
+}
+
+// TestChaosAllGroupsDownStillErrors: even in partial mode, a query that
+// reaches no group at all is an error, not an empty success.
+func TestChaosAllGroupsDownStillErrors(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	for _, n := range ip.Nodes {
+		ip.Net.Fail(n.Addr())
+	}
+	if _, err := ip.Search(ctx, db.Seqs[3].Data[40:170], defaultTestParams()); err == nil {
+		t.Fatal("total outage returned results")
+	}
+}
+
+// TestChaosFlakyNetworkWithResilientCaller drives every RPC — coordinator
+// and node-to-node — through a 25%-lossy network and asserts the resilient
+// caller's retries keep recall perfect.
+func TestChaosFlakyNetworkWithResilientCaller(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	cfg.SampleSize = 500
+	cfg.Replicas = 2
+	rc := transport.ResilientConfig{
+		MaxRetries: 8,
+		RetryBase:  50 * time.Microsecond,
+		RetryMax:   time.Millisecond,
+		// Breaker off: random loss must not lock out healthy nodes.
+	}
+	ip, err := NewInProcessResilient(cfg, 6, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(73))
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ip.Nodes {
+		ip.Net.SetFlaky(n.Addr(), 0.25)
+	}
+	for i := 0; i < 8; i++ {
+		id := (i * 3) % len(db.Seqs)
+		hits, trace, err := ip.SearchTrace(ctx, db.Seqs[id].Data[40:170], defaultTestParams())
+		if err != nil {
+			t.Fatalf("query %d failed on flaky network: %v", i, err)
+		}
+		if trace.Partial {
+			t.Fatalf("query %d degraded despite retries: %s", i, trace)
+		}
+		if len(hits) == 0 || hits[0].Seq != seq.ID(id) {
+			t.Fatalf("query %d recall lost: %+v", i, hits)
+		}
+	}
+	if st := ip.Resilient.Stats(); st.Retries == 0 {
+		t.Fatalf("flaky network exercised no retries: %+v", st)
+	}
+}
+
+// TestChaosTransientFaultHealedByRetry uses one-shot fault injection: the
+// next few calls to a node fail, then it recovers — a GC pause or dropped
+// packet rather than a crash.
+func TestChaosTransientFaultHealedByRetry(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	cfg.SampleSize = 500
+	cfg.Replicas = 2
+	rc := transport.ResilientConfig{MaxRetries: 4, RetryBase: 50 * time.Microsecond}
+	ip, err := NewInProcessResilient(cfg, 6, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(74))
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ip.Nodes {
+		ip.Net.FailNext(n.Addr(), 2)
+	}
+	hits, trace, err := ip.SearchTrace(ctx, db.Seqs[6].Data[40:170], defaultTestParams())
+	if err != nil {
+		t.Fatalf("transient faults failed the query: %v", err)
+	}
+	if trace.Partial {
+		t.Fatalf("transient faults degraded the query: %s", trace)
+	}
+	if len(hits) == 0 || hits[0].Seq != 6 {
+		t.Fatalf("recall lost: %+v", hits)
+	}
+}
+
+// TestChaosCoordinatorPartitionedFromNode exercises the symmetric
+// architecture: a coordinator that cannot reach one node still gets full
+// recall, because any group member can act as the entry point and the
+// node-to-node links are intact.
+func TestChaosCoordinatorPartitionedFromNode(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	victim := ip.Nodes[1].Addr()
+	ip.Net.Partition("", victim) // coordinator <-/-> victim only
+
+	query := db.Seqs[11].Data[50:180]
+	hits, trace, err := ip.SearchTrace(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatalf("coordinator partition failed the query: %v", err)
+	}
+	if trace.Partial {
+		t.Fatalf("coordinator partition degraded the query: %s", trace)
+	}
+	if len(hits) == 0 || hits[0].Seq != 11 {
+		t.Fatalf("recall lost: %+v", hits)
+	}
+
+	// The victim is down from the coordinator's viewpoint...
+	_, down, err := ip.StatsDetailed(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 1 || down[0] != victim {
+		t.Fatalf("down = %v, want [%s]", down, victim)
+	}
+	// ...but its peers still reach it over node-to-node links.
+	peer := ip.Net.Bind(ip.Nodes[0].Addr())
+	if _, err := peer.Call(ctx, victim, wire.Ping{}); err != nil {
+		t.Fatalf("peer cannot reach partitioned node: %v", err)
+	}
+}
+
+// TestChaosStatsAndMembershipTolerateDownNodes covers the degraded-mode
+// control plane: Stats answers with the survivors' counters and AddNode's
+// topology broadcast is not blocked by an unrelated dead node.
+func TestChaosStatsAndMembershipTolerateDownNodes(t *testing.T) {
+	ip, _ := chaosCluster(t)
+	ctx := context.Background()
+	victim := ip.Nodes[4].Addr()
+	ip.Net.Fail(victim)
+
+	stats, down, err := ip.StatsDetailed(ctx)
+	if err != nil {
+		t.Fatalf("stats with a down node: %v", err)
+	}
+	if len(stats) != 5 {
+		t.Fatalf("got %d stats, want 5 survivors", len(stats))
+	}
+	if len(down) != 1 || down[0] != victim {
+		t.Fatalf("down = %v", down)
+	}
+
+	// Membership changes proceed despite the dead node.
+	joiner := node.New("node-new", ip.Net.Bind("node-new"))
+	ip.Net.Register("node-new", joiner)
+	if err := ip.AddNode(ctx, 0, "node-new"); err != nil {
+		t.Fatalf("join blocked by unrelated dead node: %v", err)
+	}
+	if err := ip.RemoveNode(ctx, victim); err != nil {
+		t.Fatalf("removing the dead node itself: %v", err)
+	}
+	if ip.Topology().NumNodes() != 6 { // 6 - 1 victim + 1 joiner
+		t.Fatalf("nodes = %d", ip.Topology().NumNodes())
+	}
+}

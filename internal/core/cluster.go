@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -94,20 +95,38 @@ func (c *Cluster) NameOf(id seq.ID) string {
 	return c.names[id]
 }
 
-// Stats collects storage counters from every node (Fig. 5's raw data).
+// Stats collects storage counters from every reachable node (Fig. 5's raw
+// data), tolerating individual down nodes: their counters are simply
+// missing from the result. Use StatsDetailed to learn which nodes were
+// unreachable.
 func (c *Cluster) Stats(ctx context.Context) ([]wire.StatsResult, error) {
+	out, _, err := c.StatsDetailed(ctx)
+	return out, err
+}
+
+// StatsDetailed is Stats plus the addresses of the nodes that could not be
+// reached. Only a malformed reply or an application-level failure from a
+// live node is an error.
+func (c *Cluster) StatsDetailed(ctx context.Context) ([]wire.StatsResult, []string, error) {
 	nodes := c.topo.AllNodes()
-	resps, err := transport.Broadcast(ctx, c.caller, nodes, wire.Stats{})
-	if err != nil {
-		return nil, err
-	}
+	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.Stats{})
 	out := make([]wire.StatsResult, 0, len(resps))
-	for _, r := range resps {
-		if r != nil {
-			out = append(out, r.(wire.StatsResult))
+	var down []string
+	for i, r := range resps {
+		if errs[i] != nil {
+			if errors.Is(errs[i], transport.ErrUnreachable) {
+				down = append(down, nodes[i])
+				continue
+			}
+			return nil, nil, fmt.Errorf("core: stats from %s: %w", nodes[i], errs[i])
 		}
+		sr, ok := r.(wire.StatsResult)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: stats from %s: malformed reply %T", nodes[i], r)
+		}
+		out = append(out, sr)
 	}
-	return out, nil
+	return out, down, nil
 }
 
 // Ping verifies every node is reachable.

@@ -50,6 +50,14 @@ type Config struct {
 	// higher values implement the paper's fault-tolerance extension
 	// (§VII-B): queries lose no recall while any replica survives.
 	Replicas int
+	// AllowPartial lets Search degrade to partial results when entire
+	// groups or repository shards are unreachable: instead of failing the
+	// query, the surviving groups' hits are returned and the outage is
+	// reported in Trace.GroupsFailed / Trace.Partial. DefaultConfig turns
+	// it on — a storage cluster built for commodity hardware should
+	// degrade, not fail stop. When false, the first unreachable group
+	// aborts the query (the pre-fault-tolerance behaviour).
+	AllowPartial bool
 	// SearchBudget caps the distance evaluations of each local vp-tree
 	// lookup, making per-subquery cost independent of how much data a
 	// node holds (metric pruning alone cannot guarantee that on
@@ -64,14 +72,15 @@ type Config struct {
 // for the given molecule kind.
 func DefaultConfig(kind seq.Kind) Config {
 	return Config{
-		Kind:       kind,
-		BlockLen:   16,
-		Margin:     32,
-		Groups:     4,
-		SampleSize: 2000,
-		MaxGapped:  256,
-		Replicas:   1,
-		Seed:       1,
+		Kind:         kind,
+		BlockLen:     16,
+		Margin:       32,
+		Groups:       4,
+		SampleSize:   2000,
+		MaxGapped:    256,
+		Replicas:     1,
+		AllowPartial: true,
+		Seed:         1,
 	}
 }
 

@@ -16,11 +16,25 @@ type InProcess struct {
 	*Cluster
 	Net   *transport.MemNetwork
 	Nodes []*node.Node
+	// Resilient is the coordinator's resilient caller when the cluster was
+	// built with NewInProcessResilient, nil otherwise.
+	Resilient *transport.ResilientCaller
 }
 
 // NewInProcess assembles numNodes storage nodes split round-robin into
 // cfg.Groups groups on a fresh in-memory network.
 func NewInProcess(cfg Config, numNodes int, opts ...transport.MemOption) (*InProcess, error) {
+	return newInProcess(cfg, numNodes, nil, opts...)
+}
+
+// NewInProcessResilient is NewInProcess with every caller — the
+// coordinator's and each node's group fan-out caller — wrapped in a
+// ResilientCaller, for chaos tests and flaky-network experiments.
+func NewInProcessResilient(cfg Config, numNodes int, rc transport.ResilientConfig, opts ...transport.MemOption) (*InProcess, error) {
+	return newInProcess(cfg, numNodes, &rc, opts...)
+}
+
+func newInProcess(cfg Config, numNodes int, rc *transport.ResilientConfig, opts ...transport.MemOption) (*InProcess, error) {
 	if numNodes < cfg.Groups {
 		return nil, fmt.Errorf("core: %d nodes cannot fill %d groups", numNodes, cfg.Groups)
 	}
@@ -29,16 +43,28 @@ func NewInProcess(cfg Config, numNodes int, opts ...transport.MemOption) (*InPro
 	nodes := make([]*node.Node, numNodes)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("node-%03d", i)
-		nodes[i] = node.New(addrs[i], net)
+		// Nodes call through a bound view of the network so partition
+		// chaos can tell who is calling whom.
+		var caller transport.Caller = net.Bind(addrs[i])
+		if rc != nil {
+			caller = transport.NewResilientCaller(caller, *rc)
+		}
+		nodes[i] = node.New(addrs[i], caller)
 		net.Register(addrs[i], nodes[i])
 	}
 	groups, err := dht.SplitNodes(addrs, cfg.Groups)
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := NewCluster(cfg, net, groups)
+	var coordCaller transport.Caller = net
+	var resilient *transport.ResilientCaller
+	if rc != nil {
+		resilient = transport.NewResilientCaller(net, *rc)
+		coordCaller = resilient
+	}
+	cluster, err := NewCluster(cfg, coordCaller, groups)
 	if err != nil {
 		return nil, err
 	}
-	return &InProcess{Cluster: cluster, Net: net, Nodes: nodes}, nil
+	return &InProcess{Cluster: cluster, Net: net, Nodes: nodes, Resilient: resilient}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"mendel/internal/transport"
@@ -61,7 +62,10 @@ func (c *Cluster) AddNode(ctx context.Context, g int, addr string) error {
 	c.groups = newGroups
 	c.seqRing.Add(addr)
 	c.mu.Unlock()
-	return c.broadcastTopology(ctx, addr)
+	// Nodes that are down right now miss the update; they are reported by
+	// StatsDetailed and re-learn the topology when re-bootstrapped.
+	_, err = c.broadcastTopology(ctx, addr)
+	return err
 }
 
 // RemoveNode gracefully removes a node from the cluster. Blocks and
@@ -89,12 +93,19 @@ func (c *Cluster) RemoveNode(ctx context.Context, addr string) error {
 	c.seqRing.Remove(addr)
 	c.mu.Unlock()
 	_ = g
-	return c.broadcastTopology(ctx, "")
+	// The removed node itself is typically the unreachable one; a dead
+	// node must not block its own removal.
+	_, err := c.broadcastTopology(ctx, "")
+	return err
 }
 
 // broadcastTopology sends the current group lists to every node except
-// skip (which already has them from its Bootstrap).
-func (c *Cluster) broadcastTopology(ctx context.Context, skip string) error {
+// skip (which already has them from its Bootstrap). Individual unreachable
+// nodes do not fail the broadcast — a membership change must not be blocked
+// by the very failures it often reacts to — and are returned as missed so
+// callers can report them; a node that answers with an application error
+// does fail it.
+func (c *Cluster) broadcastTopology(ctx context.Context, skip string) (missed []string, err error) {
 	c.mu.RLock()
 	groups := c.groups
 	c.mu.RUnlock()
@@ -104,8 +115,16 @@ func (c *Cluster) broadcastTopology(ctx context.Context, skip string) error {
 			targets = append(targets, n)
 		}
 	}
-	if _, err := transport.Broadcast(ctx, c.caller, targets, wire.UpdateTopology{Groups: groups}); err != nil {
-		return fmt.Errorf("core: topology broadcast: %w", err)
+	_, errs := transport.BroadcastAll(ctx, c.caller, targets, wire.UpdateTopology{Groups: groups})
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, transport.ErrUnreachable) {
+			missed = append(missed, targets[i])
+			continue
+		}
+		return missed, fmt.Errorf("core: topology broadcast to %s: %w", targets[i], e)
 	}
-	return nil
+	return missed, nil
 }

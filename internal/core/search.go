@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mendel/internal/align"
@@ -45,6 +46,9 @@ type Trace struct {
 	AnchorsMerged    int           // after system-entry-point merge
 	GappedCandidates int           // anchors above the S threshold (capped)
 	Hits             int           // alignments reported
+	GroupsFailed     int           // groups whose every member was unreachable
+	RegionsFailed    int           // anchors dropped: no repository shard answered
+	Partial          bool          // results degraded by an outage above
 	Decompose        time.Duration // stage 1
 	FanOut           time.Duration // stage 2 (includes group-side work)
 	Extend           time.Duration // stage 4
@@ -53,9 +57,13 @@ type Trace struct {
 
 // String renders a compact single-line summary.
 func (t *Trace) String() string {
-	return fmt.Sprintf("query=%daa windows=%d groups=%d anchors=%d merged=%d gapped=%d hits=%d total=%v (fanout=%v extend=%v)",
+	s := fmt.Sprintf("query=%daa windows=%d groups=%d anchors=%d merged=%d gapped=%d hits=%d total=%v (fanout=%v extend=%v)",
 		t.QueryLen, t.SubQueries, t.GroupRequests, t.AnchorsReturned,
 		t.AnchorsMerged, t.GappedCandidates, t.Hits, t.Total, t.FanOut, t.Extend)
+	if t.Partial {
+		s += fmt.Sprintf(" PARTIAL(groups-failed=%d regions-failed=%d)", t.GroupsFailed, t.RegionsFailed)
+	}
+	return s
 }
 
 // Search evaluates an alignment query against the indexed database (§V-B).
@@ -171,9 +179,13 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 
 	// Stage 2: parallel fan-out to group entry points.
 	start = time.Now()
-	anchors, err := c.fanOut(ctx, q, groupOffsets, p)
+	anchors, groupsFailed, err := c.fanOut(ctx, q, groupOffsets, p)
 	if err != nil {
 		return nil, err
+	}
+	if groupsFailed > 0 {
+		trace.GroupsFailed += groupsFailed
+		trace.Partial = true
 	}
 	trace.FanOut += time.Since(start)
 	trace.AnchorsReturned += len(anchors)
@@ -196,9 +208,13 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 	if err != nil {
 		return nil, err
 	}
-	hits, err := c.gappedExtend(ctx, q, candidates, p, m, gkp, total)
+	hits, regionsFailed, err := c.gappedExtend(ctx, q, candidates, p, m, gkp, total)
 	if err != nil {
 		return nil, err
+	}
+	if regionsFailed > 0 {
+		trace.RegionsFailed += regionsFailed
+		trace.Partial = true
 	}
 	trace.Extend += time.Since(start)
 	for i := range hits {
@@ -221,7 +237,13 @@ func reverseComplement(q []byte) []byte {
 // fanOut sends each group's subqueries to a group entry point, retrying
 // with the next member if the chosen entry point is unreachable (the
 // symmetric architecture makes any member a valid coordinator).
-func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params) ([]wire.Anchor, error) {
+//
+// When every member of a group is unreachable the behaviour depends on
+// Config.AllowPartial: with it set (the default) the dead group is dropped
+// and reported through the failed count so the surviving groups still
+// answer; without it — or when no group answers at all — the query fails
+// with the first error.
+func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params) (anchors []wire.Anchor, failed int, err error) {
 	type result struct {
 		anchors []wire.Anchor
 		err     error
@@ -243,51 +265,61 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 			var lastErr error
 			for i := 0; i < len(members); i++ {
 				entry := members[(start+i)%len(members)]
-				resp, err := c.caller.Call(ctx, entry, msg)
-				if err == nil {
-					ch <- result{anchors: resp.(wire.GroupSearchResult).Anchors}
+				resp, callErr := c.caller.Call(ctx, entry, msg)
+				if callErr == nil {
+					gsr, ok := resp.(wire.GroupSearchResult)
+					if !ok {
+						lastErr = fmt.Errorf("core: group %d entry %s: malformed reply %T", g, entry, resp)
+						break
+					}
+					ch <- result{anchors: gsr.Anchors}
 					return
 				}
-				lastErr = err
-				if !errors.Is(err, transport.ErrUnreachable) {
+				lastErr = callErr
+				if !errors.Is(callErr, transport.ErrUnreachable) {
 					break
 				}
 			}
 			ch <- result{err: fmt.Errorf("core: group %d unreachable: %w", g, lastErr)}
 		}(g, offsets)
 	}
-	var anchors []wire.Anchor
 	var firstErr error
 	for range groupOffsets {
 		r := <-ch
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
+		if r.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
 			continue
 		}
 		anchors = append(anchors, r.anchors...)
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		if !c.cfg.AllowPartial || failed == len(groupOffsets) {
+			return nil, failed, firstErr
+		}
 	}
-	return anchors, nil
+	return anchors, failed, nil
 }
 
 // gappedExtend runs banded gapped extension (within p.Band diagonals of
 // each anchor, §V-B / Gapped BLAST) against subject regions fetched from
-// the distributed sequence repository.
-func (c *Cluster) gappedExtend(ctx context.Context, q []byte, anchors []wire.Anchor, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, dbLen int) ([]Hit, error) {
-	const flank = 16
+// the distributed sequence repository. regionsFailed counts anchors dropped
+// because no repository shard holding their sequence answered — the
+// degraded-mode signal surfaced as Trace.RegionsFailed.
+func (c *Cluster) gappedExtend(ctx context.Context, q []byte, anchors []wire.Anchor, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, dbLen int) (hits []Hit, regionsFailed int, err error) {
 	workers := 8
 	if len(anchors) < workers {
 		workers = len(anchors)
 	}
 	if workers == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	var (
-		mu   sync.Mutex
-		hits []Hit
-		wg   sync.WaitGroup
+		mu     sync.Mutex
+		failed atomic.Int64
+		wg     sync.WaitGroup
 	)
 	work := make(chan wire.Anchor)
 	wg.Add(workers)
@@ -295,7 +327,10 @@ func (c *Cluster) gappedExtend(ctx context.Context, q []byte, anchors []wire.Anc
 		go func() {
 			defer wg.Done()
 			for a := range work {
-				hit, ok := c.extendOne(ctx, q, a, p, m, kp, dbLen)
+				hit, ok, fetchFailed := c.extendOne(ctx, q, a, p, m, kp, dbLen)
+				if fetchFailed {
+					failed.Add(1)
+				}
 				if ok {
 					mu.Lock()
 					hits = append(hits, hit)
@@ -309,26 +344,26 @@ func (c *Cluster) gappedExtend(ctx context.Context, q []byte, anchors []wire.Anc
 	}
 	close(work)
 	wg.Wait()
-	return hits, nil
+	return hits, int(failed.Load()), nil
 }
 
-func (c *Cluster) extendOne(ctx context.Context, q []byte, a wire.Anchor, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, dbLen int) (Hit, bool) {
+func (c *Cluster) extendOne(ctx context.Context, q []byte, a wire.Anchor, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, dbLen int) (Hit, bool, bool) {
 	padLeft := a.QStart + p.Band + 16
 	padRight := (len(q) - a.QEnd) + p.Band + 16
-	region, regionStart, ok := c.fetchRegion(ctx, a.Seq, a.SStart-padLeft, a.SEnd+padRight)
+	region, regionStart, ok, fetchFailed := c.fetchRegion(ctx, a.Seq, a.SStart-padLeft, a.SEnd+padRight)
 	if !ok || len(region) == 0 {
-		return Hit{}, false
+		return Hit{}, false, fetchFailed
 	}
 	centerDiag := (a.SStart - regionStart) - a.QStart
 	al := align.BandedSmithWaterman(q, region, centerDiag-p.Band, centerDiag+p.Band, m)
 	if al.Empty() {
-		return Hit{}, false
+		return Hit{}, false, false
 	}
 	al.SStart += regionStart
 	al.SEnd += regionStart
 	e := kp.EValue(al.Score, len(q), dbLen)
 	if e > p.MaxE {
-		return Hit{}, false
+		return Hit{}, false, false
 	}
 	return Hit{
 		Seq:       a.Seq,
@@ -336,7 +371,7 @@ func (c *Cluster) extendOne(ctx context.Context, q []byte, a wire.Anchor, p wire
 		Alignment: al,
 		Bits:      kp.BitScore(al.Score),
 		E:         e,
-	}, true
+	}, true, false
 }
 
 // fetchRegion reads subject residues from the repository shard owning the
@@ -344,20 +379,37 @@ func (c *Cluster) extendOne(ctx context.Context, q []byte, a wire.Anchor, p wire
 // unreachable or does not hold the sequence (the latter happens transiently
 // after a node joins and takes over a ring range without a data migration).
 // If every candidate fails the anchor is dropped rather than failing the
-// whole query.
-func (c *Cluster) fetchRegion(ctx context.Context, id seq.ID, start, end int) ([]byte, int, bool) {
+// whole query; failed reports whether that drop was caused by node failures
+// (as opposed to the sequence genuinely being absent), so the coordinator
+// can mark the result set partial. A cancelled context aborts the successor
+// probing immediately.
+func (c *Cluster) fetchRegion(ctx context.Context, id seq.ID, start, end int) (data []byte, regionStart int, ok, failed bool) {
 	c.mu.RLock()
 	candidates := c.seqRing.LookupN(seqKey(id), c.cfg.replicas()+2)
 	c.mu.RUnlock()
+	sawFailure := false
 	for _, node := range candidates {
+		if ctx.Err() != nil {
+			return nil, 0, false, true
+		}
 		resp, err := c.caller.Call(ctx, node, wire.FetchRegion{Seq: id, Start: start, End: end})
 		if err != nil {
+			// A RemoteError ("sequence not stored here") is a ring
+			// remapping artifact, not an outage; anything else is.
+			var re *transport.RemoteError
+			if !errors.As(err, &re) {
+				sawFailure = true
+			}
 			continue
 		}
-		region := resp.(wire.Region)
-		return region.Data, region.Start, true
+		region, isRegion := resp.(wire.Region)
+		if !isRegion {
+			sawFailure = true
+			continue
+		}
+		return region.Data, region.Start, true, false
 	}
-	return nil, 0, false
+	return nil, 0, false, sawFailure
 }
 
 // dedupHits removes exact duplicates and hits fully contained in a

@@ -47,22 +47,24 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 	ch := make(chan reply, len(members))
 	for _, member := range members {
 		go func(member string) {
+			var resp any
+			var err error
 			if member == n.addr {
 				// Answer our own share without a self-RPC.
-				resp, err := n.localSearch(local)
-				if err != nil {
-					ch <- reply{err: err}
-					return
-				}
-				ch <- reply{anchors: resp.(wire.LocalSearchResult).Anchors}
-				return
+				resp, err = n.localSearch(local)
+			} else {
+				resp, err = n.caller.Call(ctx, member, local)
 			}
-			resp, err := n.caller.Call(ctx, member, local)
 			if err != nil {
 				ch <- reply{err: err}
 				return
 			}
-			ch <- reply{anchors: resp.(wire.LocalSearchResult).Anchors}
+			lsr, ok := resp.(wire.LocalSearchResult)
+			if !ok {
+				ch <- reply{err: fmt.Errorf("node %s: malformed LocalSearch reply %T from %s", n.addr, resp, member)}
+				return
+			}
+			ch <- reply{anchors: lsr.Anchors}
 		}(member)
 	}
 	var all []wire.Anchor

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mendel/internal/wire"
+)
+
+func TestMemFailNextIsOneShot(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	n.FailNext("a", 2)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := n.Call(ctx, "a", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("call %d: err = %v, want injected failure", i, err)
+		}
+	}
+	if _, err := n.Call(ctx, "a", wire.Ping{}); err != nil {
+		t.Fatalf("fault did not clear: %v", err)
+	}
+}
+
+func TestMemFlakyProbability(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	n.SetFlaky("a", 0.5)
+	ctx := context.Background()
+	failures := 0
+	const calls = 400
+	for i := 0; i < calls; i++ {
+		if _, err := n.Call(ctx, "a", wire.Ping{}); err != nil {
+			if !errors.Is(err, ErrUnreachable) {
+				t.Fatalf("err = %v", err)
+			}
+			failures++
+		}
+	}
+	// Deterministic seed; ~50% must fail, but keep the band generous.
+	if failures < calls/4 || failures > 3*calls/4 {
+		t.Fatalf("failures = %d/%d with p=0.5", failures, calls)
+	}
+	n.SetFlaky("a", 0)
+	for i := 0; i < 50; i++ {
+		if _, err := n.Call(ctx, "a", wire.Ping{}); err != nil {
+			t.Fatalf("flakiness did not clear: %v", err)
+		}
+	}
+}
+
+func TestMemFlakyWithResilientCallerRecovers(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	n.SetFlaky("a", 0.4)
+	rc := NewResilientCaller(n, ResilientConfig{MaxRetries: 8, RetryBase: time.Microsecond})
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, err := rc.Call(ctx, "a", wire.Ping{}); err != nil {
+			t.Fatalf("call %d failed despite retries: %v", i, err)
+		}
+	}
+	if rc.Stats().Retries == 0 {
+		t.Fatal("flaky link exercised no retries")
+	}
+}
+
+func TestMemPartitionIsPairwiseAndSymmetric(t *testing.T) {
+	n := NewMemNetwork()
+	for _, name := range []string{"a", "b", "c"} {
+		n.Register(name, echoHandler{name})
+	}
+	n.Partition("a", "b")
+	ctx := context.Background()
+	aCaller, bCaller, cCaller := n.Bind("a"), n.Bind("b"), n.Bind("c")
+
+	if _, err := aCaller.Call(ctx, "b", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("a->b across partition: %v", err)
+	}
+	if _, err := bCaller.Call(ctx, "a", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("b->a across partition: %v", err)
+	}
+	// Third parties and the anonymous coordinator still reach both sides.
+	for _, dst := range []string{"a", "b"} {
+		if _, err := cCaller.Call(ctx, dst, wire.Ping{}); err != nil {
+			t.Fatalf("c->%s: %v", dst, err)
+		}
+		if _, err := n.Call(ctx, dst, wire.Ping{}); err != nil {
+			t.Fatalf("coordinator->%s: %v", dst, err)
+		}
+	}
+	n.HealPartition("b", "a") // order must not matter
+	if _, err := aCaller.Call(ctx, "b", wire.Ping{}); err != nil {
+		t.Fatalf("healed partition still cut: %v", err)
+	}
+}
+
+func TestMemPartitionFromCoordinator(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	n.Partition("", "a")
+	if _, err := n.Call(context.Background(), "a", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Bind("b").Call(context.Background(), "a", wire.Ping{}); err != nil {
+		t.Fatalf("node-to-node traffic caught by coordinator partition: %v", err)
+	}
+}
+
+func TestMemPerAddressLatency(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("slow", echoHandler{"slow"})
+	n.Register("fast", echoHandler{"fast"})
+	n.SetAddrLatency("slow", LatencyModel{Base: 40 * time.Millisecond})
+	ctx := context.Background()
+	start := time.Now()
+	if _, err := n.Call(ctx, "fast", wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("fast node delayed: %v", elapsed)
+	}
+	start = time.Now()
+	if _, err := n.Call(ctx, "slow", wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("straggler latency not applied: %v", elapsed)
+	}
+	// A straggler plus a tight caller deadline behaves like a timeout.
+	tctx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	if _, err := n.Call(tctx, "slow", wire.Ping{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}

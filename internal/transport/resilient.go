@@ -1,0 +1,279 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCircuitOpen reports a call rejected locally because the destination's
+// circuit breaker is open. It wraps ErrUnreachable so every failover path
+// (group entry-point rotation, repository ring successors, degraded-mode
+// fan-out) treats a tripped address exactly like a dead one.
+var ErrCircuitOpen = fmt.Errorf("%w: circuit open", ErrUnreachable)
+
+// ResilientConfig tunes a ResilientCaller. The zero value disables every
+// mechanism (calls pass straight through); DefaultResilientConfig returns
+// the settings the CLIs use.
+type ResilientConfig struct {
+	// CallTimeout bounds each individual attempt. 0 disables the per-call
+	// deadline (the parent context still applies).
+	CallTimeout time.Duration
+	// MaxRetries is the number of additional attempts after the first when
+	// a call fails with ErrUnreachable (application errors from a live node
+	// are never retried).
+	MaxRetries int
+	// RetryBase is the backoff before the first retry; each subsequent
+	// retry doubles it (with jitter) up to RetryMax.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff. 0 means no cap.
+	RetryMax time.Duration
+	// TripAfter is the number of consecutive transport failures to one
+	// address that trips its circuit breaker. 0 disables the breaker.
+	TripAfter int
+	// Cooldown is how long a tripped breaker rejects calls before letting
+	// a single half-open probe through.
+	Cooldown time.Duration
+}
+
+// DefaultResilientConfig returns the production defaults: 10s per attempt,
+// two retries starting at 25ms, and a breaker tripping after 5 consecutive
+// failures with a 5s cooldown.
+func DefaultResilientConfig() ResilientConfig {
+	return ResilientConfig{
+		CallTimeout: 10 * time.Second,
+		MaxRetries:  2,
+		RetryBase:   25 * time.Millisecond,
+		RetryMax:    2 * time.Second,
+		TripAfter:   5,
+		Cooldown:    5 * time.Second,
+	}
+}
+
+// ResilientStats is a snapshot of a ResilientCaller's counters.
+type ResilientStats struct {
+	Calls          int64 // Call invocations
+	Attempts       int64 // attempts issued to the wrapped caller
+	Retries        int64 // attempts beyond the first
+	Failures       int64 // attempts that failed at the transport level
+	Timeouts       int64 // attempts cut off by the per-call timeout
+	Trips          int64 // breaker transitions closed -> open
+	Rejections     int64 // calls rejected by an open breaker
+	HalfOpenProbes int64 // probe attempts let through a cooled-down breaker
+	OpenBreakers   int   // addresses currently open or half-open
+}
+
+// String renders a compact single-line summary.
+func (s ResilientStats) String() string {
+	return fmt.Sprintf("calls=%d attempts=%d retries=%d failures=%d timeouts=%d trips=%d rejected=%d probes=%d open=%d",
+		s.Calls, s.Attempts, s.Retries, s.Failures, s.Timeouts,
+		s.Trips, s.Rejections, s.HalfOpenProbes, s.OpenBreakers)
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the per-address circuit state. It trips open after TripAfter
+// consecutive transport failures, rejects calls for Cooldown, then admits a
+// single half-open probe whose outcome either closes it or re-opens it.
+type breaker struct {
+	state       int
+	consecutive int
+	openedAt    time.Time
+}
+
+// ResilientCaller decorates a Caller with per-call timeouts, bounded
+// retries with exponential backoff and jitter on ErrUnreachable, and a
+// per-address circuit breaker, making coordinator fan-out robust against
+// slow, flapping, and dead nodes without hammering them.
+type ResilientCaller struct {
+	inner Caller
+	cfg   ResilientConfig
+
+	calls    atomic.Int64
+	attempts atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+	timeouts atomic.Int64
+	trips    atomic.Int64
+	rejected atomic.Int64
+	probes   atomic.Int64
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	rng      *rand.Rand
+}
+
+// NewResilientCaller wraps inner with the given resilience policy.
+func NewResilientCaller(inner Caller, cfg ResilientConfig) *ResilientCaller {
+	return &ResilientCaller{
+		inner:    inner,
+		cfg:      cfg,
+		breakers: make(map[string]*breaker),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Stats returns a snapshot of the caller's counters.
+func (r *ResilientCaller) Stats() ResilientStats {
+	r.mu.Lock()
+	open := 0
+	for _, b := range r.breakers {
+		if b.state != breakerClosed {
+			open++
+		}
+	}
+	r.mu.Unlock()
+	return ResilientStats{
+		Calls:          r.calls.Load(),
+		Attempts:       r.attempts.Load(),
+		Retries:        r.retries.Load(),
+		Failures:       r.failures.Load(),
+		Timeouts:       r.timeouts.Load(),
+		Trips:          r.trips.Load(),
+		Rejections:     r.rejected.Load(),
+		HalfOpenProbes: r.probes.Load(),
+		OpenBreakers:   open,
+	}
+}
+
+// admit consults addr's breaker. It returns false when the call must be
+// rejected; probe is true when the call was admitted as the half-open probe.
+func (r *ResilientCaller) admit(addr string) (admitted, probe bool) {
+	if r.cfg.TripAfter <= 0 {
+		return true, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[addr]
+	if b == nil {
+		b = &breaker{}
+		r.breakers[addr] = b
+	}
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if time.Since(b.openedAt) >= r.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: one probe already in flight
+		return false, false
+	}
+}
+
+// report records an attempt's outcome in addr's breaker.
+func (r *ResilientCaller) report(addr string, probe, success bool) {
+	if r.cfg.TripAfter <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[addr]
+	if b == nil {
+		return
+	}
+	if success {
+		b.state = breakerClosed
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if probe || b.consecutive >= r.cfg.TripAfter {
+		if b.state != breakerOpen {
+			r.trips.Add(1)
+		}
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// backoff returns the jittered exponential delay before retry number
+// attempt (1-based): uniform in [d/2, d) where d = RetryBase << (attempt-1),
+// capped at RetryMax.
+func (r *ResilientCaller) backoff(attempt int) time.Duration {
+	d := r.cfg.RetryBase << uint(attempt-1)
+	if r.cfg.RetryMax > 0 && d > r.cfg.RetryMax {
+		d = r.cfg.RetryMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	return d/2 + j
+}
+
+// Call implements Caller.
+func (r *ResilientCaller) Call(ctx context.Context, addr string, req any) (any, error) {
+	r.calls.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.MaxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			r.retries.Add(1)
+			select {
+			case <-time.After(r.backoff(attempt)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		admitted, probe := r.admit(addr)
+		if !admitted {
+			r.rejected.Add(1)
+			lastErr = ErrCircuitOpen
+			continue
+		}
+		if probe {
+			r.probes.Add(1)
+		}
+		r.attempts.Add(1)
+		resp, err := r.callOnce(ctx, addr, req)
+		if err == nil {
+			r.report(addr, probe, true)
+			return resp, nil
+		}
+		if !errors.Is(err, ErrUnreachable) {
+			// The node answered: an application error, a malformed reply,
+			// or the parent context expiring. Not the transport's fault —
+			// leave the breaker alone and do not retry.
+			r.report(addr, probe, true)
+			return nil, err
+		}
+		r.failures.Add(1)
+		r.report(addr, probe, false)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// callOnce issues one attempt under the per-call timeout, mapping an
+// attempt-deadline expiry to ErrUnreachable (a node too slow to answer is
+// indistinguishable from a dead one) while letting the parent context's own
+// cancellation surface unchanged.
+func (r *ResilientCaller) callOnce(ctx context.Context, addr string, req any) (any, error) {
+	if r.cfg.CallTimeout <= 0 {
+		return r.inner.Call(ctx, addr, req)
+	}
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
+	defer cancel()
+	resp, err := r.inner.Call(cctx, addr, req)
+	if err != nil && cctx.Err() != nil && ctx.Err() == nil {
+		r.timeouts.Add(1)
+		return nil, fmt.Errorf("%w: no answer from %s within %v", ErrUnreachable, addr, r.cfg.CallTimeout)
+	}
+	return resp, err
+}

@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mendel/internal/wire"
+)
+
+// scriptedCaller fails the first failN calls with ErrUnreachable and then
+// succeeds, counting every attempt it receives.
+type scriptedCaller struct {
+	attempts atomic.Int64
+	failN    int64
+	err      error
+	sleep    time.Duration
+}
+
+func (s *scriptedCaller) Call(ctx context.Context, addr string, req any) (any, error) {
+	n := s.attempts.Add(1)
+	if s.sleep > 0 {
+		select {
+		case <-time.After(s.sleep):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if n <= s.failN {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, ErrUnreachable
+	}
+	return wire.Pong{Node: addr}, nil
+}
+
+func TestResilientRetriesUntilSuccess(t *testing.T) {
+	inner := &scriptedCaller{failN: 2}
+	rc := NewResilientCaller(inner, ResilientConfig{
+		MaxRetries: 3,
+		RetryBase:  time.Millisecond,
+	})
+	resp, err := rc.Call(context.Background(), "a", wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(wire.Pong).Node != "a" {
+		t.Fatalf("resp = %#v", resp)
+	}
+	st := rc.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Failures != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilientExhaustsRetries(t *testing.T) {
+	inner := &scriptedCaller{failN: 100}
+	rc := NewResilientCaller(inner, ResilientConfig{
+		MaxRetries: 2,
+		RetryBase:  time.Millisecond,
+	})
+	_, err := rc.Call(context.Background(), "a", wire.Ping{})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := inner.attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestResilientDoesNotRetryRemoteErrors(t *testing.T) {
+	inner := &scriptedCaller{failN: 100, err: &RemoteError{Addr: "a", Msg: "boom"}}
+	rc := NewResilientCaller(inner, ResilientConfig{
+		MaxRetries: 5,
+		RetryBase:  time.Millisecond,
+	})
+	_, err := rc.Call(context.Background(), "a", wire.Ping{})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := inner.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, application errors must not be retried", got)
+	}
+}
+
+func TestResilientPerCallTimeout(t *testing.T) {
+	inner := &scriptedCaller{sleep: time.Second}
+	rc := NewResilientCaller(inner, ResilientConfig{CallTimeout: 10 * time.Millisecond})
+	start := time.Now()
+	_, err := rc.Call(context.Background(), "a", wire.Ping{})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want timeout mapped to ErrUnreachable", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("per-call timeout not applied")
+	}
+	if rc.Stats().Timeouts != 1 {
+		t.Fatalf("stats = %+v", rc.Stats())
+	}
+}
+
+func TestResilientParentContextWins(t *testing.T) {
+	inner := &scriptedCaller{sleep: time.Second}
+	rc := NewResilientCaller(inner, ResilientConfig{CallTimeout: time.Minute, MaxRetries: 3})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := rc.Call(ctx, "a", wire.Ping{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the parent deadline to surface unchanged", err)
+	}
+	if got := inner.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, expired context must stop retries", got)
+	}
+}
+
+// TestCircuitBreakerStopsHammeringDeadAddress is the acceptance test for
+// the breaker: once tripped, attempts to the dead address drop to the
+// half-open probe rate instead of one (or more, with retries) per call.
+func TestCircuitBreakerStopsHammeringDeadAddress(t *testing.T) {
+	inner := &scriptedCaller{failN: 1 << 30}
+	rc := NewResilientCaller(inner, ResilientConfig{
+		TripAfter: 3,
+		Cooldown:  time.Hour, // no probe during the hammering phase
+	})
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if _, err := rc.Call(ctx, "dead", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if got := inner.attempts.Load(); got != 3 {
+		t.Fatalf("inner attempts = %d, want exactly TripAfter=3 before the breaker opens", got)
+	}
+	st := rc.Stats()
+	if st.Trips != 1 {
+		t.Fatalf("trips = %d, want 1", st.Trips)
+	}
+	if st.Rejections != 47 {
+		t.Fatalf("rejections = %d, want 47", st.Rejections)
+	}
+	if st.OpenBreakers != 1 {
+		t.Fatalf("open breakers = %d", st.OpenBreakers)
+	}
+}
+
+func TestCircuitBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	inner := &scriptedCaller{failN: 4} // trips at 3; probe 4 fails; probe 5 heals
+	rc := NewResilientCaller(inner, ResilientConfig{
+		TripAfter: 3,
+		Cooldown:  20 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		rc.Call(ctx, "flappy", wire.Ping{})
+	}
+	if got := inner.attempts.Load(); got != 3 {
+		t.Fatalf("attempts before cooldown = %d, want 3", got)
+	}
+
+	// After the cooldown one probe is admitted; it fails and re-opens.
+	time.Sleep(25 * time.Millisecond)
+	if _, err := rc.Call(ctx, "flappy", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("probe err = %v", err)
+	}
+	if got := inner.attempts.Load(); got != 4 {
+		t.Fatalf("attempts after first probe = %d, want 4", got)
+	}
+	if _, err := rc.Call(ctx, "flappy", wire.Ping{}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("post-probe call err = %v, want immediate rejection", err)
+	}
+
+	// Next probe succeeds and closes the breaker; traffic flows again.
+	time.Sleep(25 * time.Millisecond)
+	if _, err := rc.Call(ctx, "flappy", wire.Ping{}); err != nil {
+		t.Fatalf("healing probe err = %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rc.Call(ctx, "flappy", wire.Ping{}); err != nil {
+			t.Fatalf("post-recovery call err = %v", err)
+		}
+	}
+	st := rc.Stats()
+	if st.HalfOpenProbes != 2 {
+		t.Fatalf("probes = %d, want 2", st.HalfOpenProbes)
+	}
+	if st.OpenBreakers != 0 {
+		t.Fatalf("open breakers = %d after recovery", st.OpenBreakers)
+	}
+	if st.Trips != 2 {
+		t.Fatalf("trips = %d, want 2 (initial + failed probe)", st.Trips)
+	}
+}
+
+func TestCircuitBreakerIsPerAddress(t *testing.T) {
+	net := NewMemNetwork()
+	net.Register("alive", echoHandler{"alive"})
+	rc := NewResilientCaller(net, ResilientConfig{TripAfter: 2, Cooldown: time.Hour})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		rc.Call(ctx, "dead", wire.Ping{})
+	}
+	if _, err := rc.Call(ctx, "alive", wire.Ping{}); err != nil {
+		t.Fatalf("healthy address affected by dead address's breaker: %v", err)
+	}
+}
+
+func TestResilientZeroConfigPassesThrough(t *testing.T) {
+	net := NewMemNetwork()
+	net.Register("a", echoHandler{"a"})
+	rc := NewResilientCaller(net, ResilientConfig{})
+	resp, err := rc.Call(context.Background(), "a", wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(wire.Pong).Node != "a" {
+		t.Fatalf("resp = %#v", resp)
+	}
+	if _, err := rc.Call(context.Background(), "ghost", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -116,7 +116,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if h == nil {
 			env = respEnvelope{Err: "transport: server has no handler installed"}
 		} else {
-			resp, err := h.Handle(context.Background(), req.V)
+			resp, err := safeHandle(h, req.V)
 			env = respEnvelope{V: resp}
 			if err != nil {
 				env = respEnvelope{Err: err.Error()}
@@ -126,6 +126,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// safeHandle invokes the handler, converting a panic into an error so one
+// poisoned request surfaces as a RemoteError on the client instead of
+// killing the connection goroutine (and, unrecovered, the whole node).
+func safeHandle(h Handler, req any) (resp any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("transport: handler panic on %T: %v", req, r)
+		}
+	}()
+	return h.Handle(context.Background(), req)
 }
 
 // TCPClient is a Caller over TCP with a small per-address connection pool.
@@ -167,18 +179,18 @@ func (c *TCPClient) pool(addr string) chan *tcpConn {
 	return p
 }
 
-func (c *TCPClient) get(ctx context.Context, addr string) (*tcpConn, error) {
+func (c *TCPClient) get(ctx context.Context, addr string) (tc *tcpConn, pooled bool, err error) {
 	select {
 	case tc := <-c.pool(addr):
-		return tc, nil
+		return tc, true, nil
 	default:
 	}
 	d := net.Dialer{Timeout: c.dialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return nil, false, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
-	return &tcpConn{c: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &tcpConn{c: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, false, nil
 }
 
 func (c *TCPClient) put(addr string, tc *tcpConn) {
@@ -190,33 +202,50 @@ func (c *TCPClient) put(addr string, tc *tcpConn) {
 }
 
 // Call implements Caller. Deadlines from ctx apply to the socket I/O.
+//
+// A pooled connection may have gone stale — the server restarted, or an
+// idle-connection timeout fired — between the call that parked it and now.
+// An I/O failure on a pooled connection therefore drops it and
+// transparently retries (draining further stale pool entries, then dialing
+// fresh) before any error is reported; Mendel's RPCs are idempotent (pure
+// lookups, dedup-on-insert stores), so replaying the request on a fresh
+// connection is safe. A freshly dialed connection's failure is final.
 func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
-	tc, err := c.get(ctx, addr)
-	if err != nil {
-		return nil, err
-	}
-	if dl, ok := ctx.Deadline(); ok {
-		tc.c.SetDeadline(dl)
-	} else {
-		tc.c.SetDeadline(time.Time{})
-	}
-	if err := tc.enc.Encode(&reqEnvelope{V: req}); err != nil {
-		tc.c.Close()
-		return nil, fmt.Errorf("%w: send: %v", ErrUnreachable, err)
-	}
-	var resp respEnvelope
-	if err := tc.dec.Decode(&resp); err != nil {
-		tc.c.Close()
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
+	for {
+		tc, pooled, err := c.get(ctx, addr)
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("%w: recv: %v", ErrUnreachable, err)
+		if dl, ok := ctx.Deadline(); ok {
+			tc.c.SetDeadline(dl)
+		} else {
+			tc.c.SetDeadline(time.Time{})
+		}
+		retriable := pooled && ctx.Err() == nil
+		if err := tc.enc.Encode(&reqEnvelope{V: req}); err != nil {
+			tc.c.Close()
+			if retriable {
+				continue
+			}
+			return nil, fmt.Errorf("%w: send: %v", ErrUnreachable, err)
+		}
+		var resp respEnvelope
+		if err := tc.dec.Decode(&resp); err != nil {
+			tc.c.Close()
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			if retriable {
+				continue
+			}
+			return nil, fmt.Errorf("%w: recv: %v", ErrUnreachable, err)
+		}
+		c.put(addr, tc)
+		if resp.Err != "" {
+			return nil, &RemoteError{Addr: addr, Msg: resp.Err}
+		}
+		return resp.V, nil
 	}
-	c.put(addr, tc)
-	if resp.Err != "" {
-		return nil, &RemoteError{Addr: addr, Msg: resp.Err}
-	}
-	return resp.V, nil
 }
 
 // Close drops all pooled connections.

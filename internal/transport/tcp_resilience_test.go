@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mendel/internal/wire"
+)
+
+// panicHandler panics on Stats requests and echoes Pings.
+type panicHandler struct{}
+
+func (panicHandler) Handle(_ context.Context, req any) (any, error) {
+	if _, ok := req.(wire.Stats); ok {
+		panic("poisoned request")
+	}
+	return wire.Pong{Node: "srv"}, nil
+}
+
+func TestTCPServerRecoversHandlerPanic(t *testing.T) {
+	s := startServer(t, panicHandler{})
+	c := NewTCPClient(1)
+	defer c.Close()
+	ctx := context.Background()
+
+	_, err := c.Call(ctx, s.Addr(), wire.Stats{})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want a RemoteError carrying the panic", err)
+	}
+	if !strings.Contains(re.Msg, "panic") || !strings.Contains(re.Msg, "poisoned request") {
+		t.Fatalf("remote error = %q", re.Msg)
+	}
+	// The connection goroutine must survive: the same client (and the same
+	// pooled connection) keeps working.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call(ctx, s.Addr(), wire.Ping{}); err != nil {
+			t.Fatalf("call %d after panic: %v", i, err)
+		}
+	}
+}
+
+func TestTCPClientSurvivesServerRestart(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0", echoHandler{"gen1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	c := NewTCPClient(2)
+	defer c.Close()
+	ctx := context.Background()
+
+	// Park a healthy connection in the pool, then restart the server on
+	// the same address so the pooled connection goes stale.
+	if _, err := c.Call(ctx, addr, wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ListenTCP(addr, echoHandler{"gen2"})
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer s2.Close()
+
+	resp, err := c.Call(ctx, addr, wire.Ping{})
+	if err != nil {
+		t.Fatalf("call over stale pooled connection: %v", err)
+	}
+	if pong := resp.(wire.Pong); pong.Node != "gen2" {
+		t.Fatalf("resp = %#v, want the restarted server's answer", resp)
+	}
+}
+
+func TestTCPClientDrainsMultipleStaleConns(t *testing.T) {
+	s, err := ListenTCP("127.0.0.1:0", echoHandler{"gen1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	c := NewTCPClient(4)
+	defer c.Close()
+	ctx := context.Background()
+
+	// Park several connections at once, then restart the server.
+	const parallel = 3
+	done := make(chan error, parallel)
+	for i := 0; i < parallel; i++ {
+		go func() {
+			_, err := c.Call(ctx, addr, wire.Ping{})
+			done <- err
+		}()
+	}
+	for i := 0; i < parallel; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ListenTCP(addr, echoHandler{"gen2"})
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer s2.Close()
+
+	// One call must chew through every stale pooled connection and still
+	// succeed on a fresh dial.
+	if _, err := c.Call(ctx, addr, wire.Ping{}); err != nil {
+		t.Fatalf("call with %d stale pooled conns: %v", parallel, err)
+	}
+}
+
+func TestTCPResilientEndToEnd(t *testing.T) {
+	s := startServer(t, echoHandler{"srv"})
+	inner := NewTCPClient(2)
+	defer inner.Close()
+	rc := NewResilientCaller(inner, ResilientConfig{
+		CallTimeout: 2 * time.Second,
+		MaxRetries:  2,
+		RetryBase:   time.Millisecond,
+		TripAfter:   3,
+		Cooldown:    time.Hour,
+	})
+	ctx := context.Background()
+	if _, err := rc.Call(ctx, s.Addr(), wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	// A dead TCP address trips the breaker after TripAfter transport
+	// failures; further calls are rejected without touching the network.
+	for i := 0; i < 5; i++ {
+		if _, err := rc.Call(ctx, "127.0.0.1:1", wire.Ping{}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	st := rc.Stats()
+	if st.Trips != 1 || st.Rejections == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The live server is unaffected.
+	if _, err := rc.Call(ctx, s.Addr(), wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -79,3 +79,31 @@ func Broadcast(ctx context.Context, c Caller, addrs []string, req any) ([]any, e
 	}
 	return out, firstErr
 }
+
+// BroadcastAll calls every address concurrently and waits for all calls to
+// finish: a failure never cancels the siblings. It returns the responses and
+// errors in input order, errs[i] being non-nil exactly when the call to
+// addrs[i] failed — the degraded-mode primitive for operations that should
+// tolerate individual down nodes rather than abort (topology broadcasts,
+// cluster-wide stats).
+func BroadcastAll(ctx context.Context, c Caller, addrs []string, req any) (resps []any, errs []error) {
+	type reply struct {
+		i    int
+		resp any
+		err  error
+	}
+	ch := make(chan reply, len(addrs))
+	for i, addr := range addrs {
+		go func(i int, addr string) {
+			resp, err := c.Call(ctx, addr, req)
+			ch <- reply{i, resp, err}
+		}(i, addr)
+	}
+	resps = make([]any, len(addrs))
+	errs = make([]error, len(addrs))
+	for range addrs {
+		r := <-ch
+		resps[r.i], errs[r.i] = r.resp, r.err
+	}
+	return resps, errs
+}

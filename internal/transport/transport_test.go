@@ -131,6 +131,86 @@ func TestBroadcastPartialFailure(t *testing.T) {
 	_ = resps
 }
 
+// TestBroadcastFirstErrorCancelsSiblings pins down the strict broadcast
+// contract: the first error cancels every in-flight sibling call, while
+// replies that already arrived are preserved in the partial result slice.
+func TestBroadcastFirstErrorCancelsSiblings(t *testing.T) {
+	n := NewMemNetwork()
+	okDone := make(chan struct{})
+	slowStarted := make(chan struct{})
+	var sawCancel atomic.Bool
+
+	n.Register("ok", HandlerFunc(func(_ context.Context, _ any) (any, error) {
+		close(okDone)
+		return wire.Pong{Node: "ok"}, nil
+	}))
+	n.Register("slow", HandlerFunc(func(ctx context.Context, _ any) (any, error) {
+		close(slowStarted)
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return wire.Pong{Node: "slow"}, nil
+		}
+	}))
+	// The failer errors only once "ok" has answered and "slow" is parked in
+	// its select, so the outcome of each sibling is deterministic.
+	n.Register("failer", HandlerFunc(func(_ context.Context, _ any) (any, error) {
+		<-okDone
+		<-slowStarted
+		return nil, errors.New("boom")
+	}))
+
+	start := time.Now()
+	resps, err := Broadcast(context.Background(), n, []string{"ok", "slow", "failer"}, wire.Ping{})
+	if err == nil || !strings.Contains(err.Error(), "failer") {
+		t.Fatalf("err = %v, want broadcast error naming failer", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("first error did not cancel the slow sibling (took %v)", elapsed)
+	}
+	if !sawCancel.Load() {
+		t.Fatal("slow handler never observed cancellation")
+	}
+	if pong, ok := resps[0].(wire.Pong); !ok || pong.Node != "ok" {
+		t.Fatalf("completed sibling's reply lost: resps[0] = %#v", resps[0])
+	}
+	if resps[1] != nil {
+		t.Fatalf("cancelled sibling produced a reply: %#v", resps[1])
+	}
+}
+
+// TestBroadcastAllToleratesFailures pins down the degraded-mode contract:
+// one dead address never cancels the others, and per-address errors line up
+// with the input order.
+func TestBroadcastAllToleratesFailures(t *testing.T) {
+	n := NewMemNetwork()
+	n.Register("a", echoHandler{"a"})
+	n.Register("b", echoHandler{"b"})
+	n.Register("c", echoHandler{"c"})
+	n.Fail("b")
+	// A slow healthy node must still answer after the dead one has errored.
+	n.SetAddrLatency("c", LatencyModel{Base: 20 * time.Millisecond})
+
+	resps, errs := BroadcastAll(context.Background(), n, []string{"a", "b", "c"}, wire.Ping{})
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy nodes errored: %v", errs)
+	}
+	if !errors.Is(errs[1], ErrUnreachable) {
+		t.Fatalf("errs[1] = %v, want ErrUnreachable", errs[1])
+	}
+	if pong, ok := resps[0].(wire.Pong); !ok || pong.Node != "a" {
+		t.Fatalf("resps[0] = %#v", resps[0])
+	}
+	if resps[1] != nil {
+		t.Fatalf("dead node produced a reply: %#v", resps[1])
+	}
+	if pong, ok := resps[2].(wire.Pong); !ok || pong.Node != "c" {
+		t.Fatalf("slow sibling was cancelled by the dead node: %#v", resps[2])
+	}
+}
+
 type countingHandler struct{ calls int64 }
 
 func (h *countingHandler) Handle(_ context.Context, req any) (any, error) {

@@ -8,6 +8,22 @@ import (
 	"mendel/internal/transport"
 )
 
+// Resilient RPC layer re-exports. A ResilienceConfig turns any TCP caller
+// into one with per-call timeouts, bounded retries with exponential backoff
+// on unreachable peers, and a per-address circuit breaker.
+type (
+	// ResilienceConfig tunes timeouts, retries and the circuit breaker.
+	ResilienceConfig = transport.ResilientConfig
+	// ResilienceStats is a snapshot of retry/trip/rejection counters.
+	ResilienceStats = transport.ResilientStats
+	// ResilientCaller decorates a transport with the resilience policy.
+	ResilientCaller = transport.ResilientCaller
+)
+
+// DefaultResilienceConfig returns the production defaults (10s call
+// timeout, 2 retries, breaker tripping after 5 consecutive failures).
+func DefaultResilienceConfig() ResilienceConfig { return transport.DefaultResilientConfig() }
+
 // NodeServer is a storage node serving the Mendel protocol over TCP.
 type NodeServer struct {
 	srv  *transport.TCPServer
@@ -18,6 +34,13 @@ type NodeServer struct {
 // picks a free port). The node is inert until a coordinator bootstraps it
 // via Index or LoadManifest+Index.
 func ServeNode(addr string) (*NodeServer, error) {
+	return ServeNodeResilient(addr, DefaultResilienceConfig())
+}
+
+// ServeNodeResilient is ServeNode with an explicit resilience policy for
+// the node's own outbound client (used for group fan-out and aggregation
+// when the node acts as a group entry point).
+func ServeNodeResilient(addr string, rc ResilienceConfig) (*NodeServer, error) {
 	srv, err := transport.ListenTCP(addr, nil)
 	if err != nil {
 		return nil, err
@@ -25,7 +48,7 @@ func ServeNode(addr string) (*NodeServer, error) {
 	// The node's advertised identity is the bound listener address (known
 	// only after listening); it uses a TCP client of its own to reach its
 	// group peers when acting as a group entry point.
-	n := node.New(srv.Addr(), transport.NewTCPClient(0))
+	n := node.New(srv.Addr(), transport.NewResilientCaller(transport.NewTCPClient(0), rc))
 	srv.SetHandler(n)
 	return &NodeServer{srv: srv, node: n}, nil
 }
@@ -47,9 +70,21 @@ func (s *NodeServer) Save(w io.Writer) error { return s.node.SaveTo(w) }
 func (s *NodeServer) Load(r io.Reader) error { return s.node.LoadFrom(r) }
 
 // NewTCPCluster creates a coordinator over TCP storage nodes arranged into
-// the given groups of addresses.
+// the given groups of addresses, with the default resilience policy.
 func NewTCPCluster(cfg Config, groups [][]string) (*Cluster, error) {
-	return core.NewCluster(cfg, transport.NewTCPClient(0), groups)
+	c, _, err := NewTCPClusterResilient(cfg, groups, DefaultResilienceConfig())
+	return c, err
+}
+
+// NewTCPClusterResilient is NewTCPCluster with an explicit resilience
+// policy; the returned ResilientCaller exposes Stats() for observability.
+func NewTCPClusterResilient(cfg Config, groups [][]string, rc ResilienceConfig) (*Cluster, *ResilientCaller, error) {
+	caller := transport.NewResilientCaller(transport.NewTCPClient(0), rc)
+	c, err := core.NewCluster(cfg, caller, groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, caller, nil
 }
 
 // SaveManifest persists coordinator state (config, topology, hash tree,
@@ -58,7 +93,19 @@ func NewTCPCluster(cfg Config, groups [][]string) (*Cluster, error) {
 func SaveManifest(c *Cluster, w io.Writer) error { return c.SaveManifest(w) }
 
 // LoadManifestTCP restores a coordinator from a manifest, talking to its
-// nodes over TCP.
+// nodes over TCP with the default resilience policy.
 func LoadManifestTCP(r io.Reader) (*Cluster, error) {
-	return core.LoadManifest(r, transport.NewTCPClient(0))
+	c, _, err := LoadManifestTCPResilient(r, DefaultResilienceConfig())
+	return c, err
+}
+
+// LoadManifestTCPResilient is LoadManifestTCP with an explicit resilience
+// policy; the returned ResilientCaller exposes Stats() for observability.
+func LoadManifestTCPResilient(r io.Reader, rc ResilienceConfig) (*Cluster, *ResilientCaller, error) {
+	caller := transport.NewResilientCaller(transport.NewTCPClient(0), rc)
+	c, err := core.LoadManifest(r, caller)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, caller, nil
 }
