@@ -7,6 +7,9 @@ package mendel
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -28,8 +31,16 @@ func buildTool(t *testing.T, dir, pkg string) string {
 }
 
 // startNode launches a mendel-node daemon and returns its bound address and
-// a stopper that delivers SIGTERM and waits for exit.
+// a stopper that delivers SIGTERM and waits for exit. When the daemon runs
+// with -metrics-addr it announces the metrics URL before the listen line;
+// startNodeMetrics exposes it.
 func startNode(t *testing.T, bin string, args ...string) (string, func()) {
+	t.Helper()
+	addr, _, stop := startNodeMetrics(t, bin, args...)
+	return addr, stop
+}
+
+func startNodeMetrics(t *testing.T, bin string, args ...string) (string, string, func()) {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
@@ -41,7 +52,7 @@ func startNode(t *testing.T, bin string, args ...string) (string, func()) {
 		t.Fatal(err)
 	}
 	sc := bufio.NewScanner(stdout)
-	addr := ""
+	addr, metricsURL := "", ""
 	deadline := time.After(10 * time.Second)
 	lineCh := make(chan string, 4)
 	go func() {
@@ -55,6 +66,10 @@ func startNode(t *testing.T, bin string, args ...string) (string, func()) {
 		case line, ok := <-lineCh:
 			if !ok {
 				t.Fatal("mendel-node exited before announcing its address")
+			}
+			if strings.Contains(line, "metrics on ") {
+				metricsURL = strings.TrimSpace(line[strings.Index(line, "metrics on ")+len("metrics on "):])
+				metricsURL = strings.TrimSuffix(metricsURL, "/metrics")
 			}
 			if strings.Contains(line, "listening on ") {
 				addr = strings.TrimSpace(line[strings.Index(line, "listening on ")+len("listening on "):])
@@ -79,7 +94,7 @@ func startNode(t *testing.T, bin string, args ...string) (string, func()) {
 			<-done
 		}
 	}
-	return addr, stop
+	return addr, metricsURL, stop
 }
 
 func runTool(t *testing.T, bin string, args ...string) string {
@@ -153,5 +168,85 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = runTool(t, cliBin, "query", "-manifest", manifest, "-fasta", queryFasta)
 	if strings.Contains(out, ": 0 hits") {
 		t.Fatalf("restarted cluster lost data:\n%s", out)
+	}
+}
+
+// TestCLIObservability starts nodes with -metrics-addr, runs a query, and
+// asserts the HTTP observability surface and the cluster-wide stats view
+// both report the work: /metrics exposes RPC-server and search metrics,
+// /debug/spans serves the node's span tree as JSON, and
+// `mendel stats -metrics` merges every node's registry over the wire.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	nodeBin := buildTool(t, dir, "./cmd/mendel-node")
+	cliBin := buildTool(t, dir, "./cmd/mendel")
+	genBin := buildTool(t, dir, "./cmd/mendel-datagen")
+
+	dbFasta := filepath.Join(dir, "nr.fasta")
+	runTool(t, genBin, "-kind", "protein", "-n", "20", "-len", "300", "-out", dbFasta)
+	queryFasta := filepath.Join(dir, "q.fasta")
+	runTool(t, genBin, "-kind", "protein", "-queries-from", dbFasta,
+		"-n", "1", "-len", "120", "-sub", "0.05", "-indel", "0.0", "-out", queryFasta)
+
+	addr1, metrics1, stop1 := startNodeMetrics(t, nodeBin,
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
+	defer stop1()
+	addr2, _, stop2 := startNodeMetrics(t, nodeBin,
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
+	defer stop2()
+	if metrics1 == "" {
+		t.Fatal("mendel-node did not announce its metrics address")
+	}
+
+	manifest := filepath.Join(dir, "cluster.mendel")
+	runTool(t, cliBin, "index",
+		"-nodes", addr1+","+addr2, "-groups", "2", "-kind", "protein",
+		"-fasta", dbFasta, "-manifest", manifest)
+	out := runTool(t, cliBin, "query", "-manifest", manifest, "-fasta", queryFasta)
+	if strings.Contains(out, ": 0 hits") {
+		t.Fatalf("query found nothing:\n%s", out)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(url string) string {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	body := get(metrics1 + "/metrics")
+	for _, want := range []string{"server_requests ", "node_local_searches ", "server_handle_ns_p95 "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body = get(metrics1 + "/debug/spans?format=json")
+	var spans []json.RawMessage
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/debug/spans JSON invalid: %v\n%s", err, body)
+	}
+	if len(spans) == 0 || !strings.Contains(body, `"group_search"`) && !strings.Contains(body, `"local_search"`) {
+		t.Fatalf("/debug/spans has no search spans:\n%s", body)
+	}
+
+	out = runTool(t, cliBin, "stats", "-manifest", manifest, "-metrics")
+	if !strings.Contains(out, "cluster metrics (2/2 nodes reporting") {
+		t.Fatalf("stats -metrics header wrong:\n%s", out)
+	}
+	for _, want := range []string{"node_local_searches", "server_handle_ns", "p95="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats -metrics missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mendel"
 )
@@ -23,6 +24,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
 	dataFile := flag.String("data", "", "snapshot file: loaded at startup if present, written on shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "host:port for the HTTP observability endpoint (/metrics, /debug/spans, /debug/pprof); empty disables")
+	slowQuery := flag.Duration("slow-query", 0, "log group searches slower than this to stderr (0 disables)")
 	rc := mendel.DefaultResilienceConfig()
 	flag.DurationVar(&rc.CallTimeout, "rpc-timeout", rc.CallTimeout, "per-RPC timeout for peer calls (0 disables)")
 	flag.IntVar(&rc.MaxRetries, "rpc-retries", rc.MaxRetries, "retries per RPC on unreachable peers")
@@ -33,6 +36,22 @@ func main() {
 	srv, err := mendel.ServeNodeResilient(*addr, rc)
 	if err != nil {
 		log.Fatalf("mendel-node: %v", err)
+	}
+	if *metricsAddr != "" {
+		reg := mendel.NewMetricsRegistry()
+		tracer := mendel.NewQueryTracer(0)
+		if *slowQuery > 0 {
+			tracer.SetSlowThreshold(*slowQuery)
+			tracer.OnSlow(func(sp mendel.SpanSnapshot) {
+				log.Printf("mendel-node: slow query: %s took %v", sp.Name, time.Duration(sp.NS))
+			})
+		}
+		srv.Observe(reg, tracer)
+		_, bound, err := mendel.ServeMetrics(*metricsAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("mendel-node: metrics endpoint: %v", err)
+		}
+		fmt.Printf("mendel-node metrics on http://%s/metrics\n", bound)
 	}
 	if *dataFile != "" {
 		if f, err := os.Open(*dataFile); err == nil {

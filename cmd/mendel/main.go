@@ -151,10 +151,22 @@ func cmdQuery(args []string) {
 	mask := fs.Bool("mask", false, "mask low-complexity query regions before searching")
 	translated := fs.Bool("translated", false, "treat queries as DNA and search a protein cluster in all six reading frames (blastx-style)")
 	trace := fs.Bool("trace", false, "print a per-stage execution trace for each query")
+	metricsAddr := fs.String("metrics-addr", "", "host:port for the coordinator's HTTP observability endpoint (/metrics, /debug/spans, /debug/pprof); empty disables")
 	resilience := resilienceFlags(fs)
 	fs.Parse(args)
 
 	cluster, rpc := loadManifest(*manifest, resilience())
+	if *metricsAddr != "" {
+		reg := mendel.NewMetricsRegistry()
+		tracer := mendel.NewQueryTracer(0)
+		cluster.SetObservability(reg, tracer)
+		rpc.Register(reg)
+		_, bound, err := mendel.ServeMetrics(*metricsAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("mendel query: metrics endpoint: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
+	}
 	params := mendel.DefaultParams()
 	params.MaxE = *maxE
 	params.Neighbors = *neighbors
@@ -256,6 +268,7 @@ func cmdQuery(args []string) {
 func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	showMetrics := fs.Bool("metrics", false, "also aggregate observability metrics cluster-wide")
 	resilience := resilienceFlags(fs)
 	fs.Parse(args)
 	cluster, _ := loadManifest(*manifest, resilience())
@@ -280,6 +293,52 @@ func cmdStats(args []string) {
 	sort.Strings(down)
 	for _, addr := range down {
 		fmt.Printf("  %-22s UNREACHABLE\n", addr)
+	}
+	if *showMetrics {
+		printClusterMetrics(cluster)
+	}
+}
+
+// printClusterMetrics collects every node's registry snapshot and prints
+// the cluster-wide aggregate: counters summed, histograms merged bucket-wise
+// so the quantiles reflect the whole deployment.
+func printClusterMetrics(cluster *mendel.Cluster) {
+	metrics, down, err := cluster.MetricsDetailed(context.Background())
+	if err != nil {
+		log.Fatalf("mendel stats: %v", err)
+	}
+	reporting := 0
+	groups := make([][]mendel.MetricSnapshot, 0, len(metrics))
+	for _, m := range metrics {
+		if len(m.Metrics) > 0 {
+			reporting++
+		}
+		groups = append(groups, m.Metrics)
+	}
+	merged := mendel.MergeMetricSnapshots(groups...)
+	fmt.Printf("\ncluster metrics (%d/%d nodes reporting; start nodes with -metrics-addr to enable):\n",
+		reporting, len(metrics))
+	if len(down) > 0 {
+		fmt.Printf("  %d nodes unreachable\n", len(down))
+	}
+	for _, s := range merged {
+		if s.Kind == "histogram" {
+			if strings.HasSuffix(s.Name, "_ns") {
+				// Nanosecond histograms read better as durations.
+				fmt.Printf("  %-28s count=%-8d p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+					s.Name, s.Count,
+					time.Duration(s.Quantile(0.50)),
+					time.Duration(s.Quantile(0.95)),
+					time.Duration(s.Quantile(0.99)),
+					time.Duration(s.Max))
+			} else {
+				fmt.Printf("  %-28s count=%-8d p50=%-10d p95=%-10d p99=%-10d max=%d\n",
+					s.Name, s.Count,
+					s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Max)
+			}
+			continue
+		}
+		fmt.Printf("  %-28s %d\n", s.Name, s.Value)
 	}
 }
 

@@ -1,0 +1,150 @@
+package align
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mendel/internal/matrix"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenCases pin the exact alignments — coordinates, score, CIGAR, and
+// Karlin–Altschul statistics — the three aligners produce on fixed inputs.
+// Any change to scoring, traceback or statistics shows up as a golden diff,
+// reviewed (and re-recorded with -update) rather than silently absorbed.
+var goldenCases = []struct {
+	name    string
+	algo    string // sw | nw | banded
+	matrix  *matrix.Matrix
+	query   string
+	subject string
+	minDiag int // banded only
+	maxDiag int
+}{
+	{
+		name: "sw_blosum62_identical", algo: "sw", matrix: matrix.BLOSUM62,
+		query:   "MKVLATNNPQRSTWYCF",
+		subject: "MKVLATNNPQRSTWYCF",
+	},
+	{
+		name: "sw_blosum62_substitutions", algo: "sw", matrix: matrix.BLOSUM62,
+		query:   "MKVLATNNPQRSTWYCF",
+		subject: "MKILASNNPQKSTWYCF",
+	},
+	{
+		name: "sw_blosum62_gap", algo: "sw", matrix: matrix.BLOSUM62,
+		query:   "MKVLATNNWWPQRSTWYCF",
+		subject: "MKVLATNNPQRSTWYCF",
+	},
+	{
+		name: "sw_blosum62_local_island", algo: "sw", matrix: matrix.BLOSUM62,
+		query:   "GGGGWWWWHHHHGGGG",
+		subject: "PPPPWWWWHHHHPPPP",
+	},
+	{
+		name: "sw_pam250_substitutions", algo: "sw", matrix: matrix.PAM250,
+		query:   "MKVLATNNPQRSTWYCF",
+		subject: "MKILASNNPQKSTWYCF",
+	},
+	{
+		name: "sw_dna_mismatch", algo: "sw", matrix: matrix.DNAUnit,
+		query:   "ACGTACGTACGTACGT",
+		subject: "ACGTACCTACGTACGT",
+	},
+	{
+		name: "nw_blosum62_global_gap", algo: "nw", matrix: matrix.BLOSUM62,
+		query:   "MKVLATNNPQRSTW",
+		subject: "MKVLATPQRSTW",
+	},
+	{
+		name: "nw_dna_global", algo: "nw", matrix: matrix.DNAUnit,
+		query:   "ACGTACGTACGT",
+		subject: "ACGTTACGTACG",
+	},
+	{
+		name: "banded_blosum62_center", algo: "banded", matrix: matrix.BLOSUM62,
+		query:   "MKVLATNNPQRSTWYCF",
+		subject: "MKILASNNPQKSTWYCF",
+		minDiag: -4, maxDiag: 4,
+	},
+	{
+		name: "banded_dna_offset_diagonal", algo: "banded", matrix: matrix.DNAUnit,
+		query:   "ACGTACGTACGT",
+		subject: "TTTTACGTACGTACGTTTTT",
+		minDiag: 0, maxDiag: 8,
+	},
+	{
+		name: "banded_excludes_best_path", algo: "banded", matrix: matrix.DNAUnit,
+		query:   "ACGTACGTACGT",
+		subject: "TTTTACGTACGTACGTTTTT",
+		minDiag: -2, maxDiag: 2,
+	},
+}
+
+// formatGolden renders one case's outcome as the golden line. E-values use
+// the gapped Karlin–Altschul parameters against a nominal 1e6-residue
+// database; global alignments have no E-value semantics, so they pin only
+// coordinates, score and CIGAR.
+func formatGolden(t *testing.T, c struct {
+	name    string
+	algo    string
+	matrix  *matrix.Matrix
+	query   string
+	subject string
+	minDiag int
+	maxDiag int
+}) string {
+	q, s := []byte(c.query), []byte(c.subject)
+	var al Alignment
+	switch c.algo {
+	case "sw":
+		al = SmithWaterman(q, s, c.matrix)
+	case "nw":
+		al = NeedlemanWunsch(q, s, c.matrix)
+	case "banded":
+		al = BandedSmithWaterman(q, s, c.minDiag, c.maxDiag, c.matrix)
+	default:
+		t.Fatalf("%s: unknown algo %q", c.name, c.algo)
+	}
+	line := fmt.Sprintf("%s: q[%d:%d] s[%d:%d] score=%d cigar=%s",
+		c.name, al.QStart, al.QEnd, al.SStart, al.SEnd, al.Score, al.CIGAR())
+	if c.algo != "nw" {
+		kp, err := GappedParamsForMatrix(c.matrix)
+		if err != nil {
+			t.Fatalf("%s: gapped params: %v", c.name, err)
+		}
+		line += fmt.Sprintf(" bits=%.4f E=%.6g", kp.BitScore(al.Score), kp.EValue(al.Score, len(q), 1000000))
+	}
+	return line + "\n"
+}
+
+func TestAlignmentsGolden(t *testing.T) {
+	var got bytes.Buffer
+	for _, c := range goldenCases {
+		got.WriteString(formatGolden(t, c))
+	}
+	path := filepath.Join("testdata", "alignments.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run 'go test ./internal/align -update' to record): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("alignment output drifted from %s (re-record deliberately with -update):\n--- got ---\n%s--- want ---\n%s",
+			path, got.Bytes(), want)
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +15,24 @@ import (
 	"mendel/internal/wire"
 )
 
+// chaosSeed returns the seed for the MemNetwork chaos RNG (flaky-drop
+// decisions and latency jitter) and logs it, so a failing run names the
+// exact random sequence that produced it. Override with MENDEL_CHAOS_SEED
+// to replay a reported failure.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(1)
+	if s := os.Getenv("MENDEL_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad MENDEL_CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("chaos rng seed %d (override with MENDEL_CHAOS_SEED)", seed)
+	return seed
+}
+
 // chaosCluster builds the standard chaos testbed: 6 nodes in 2 groups with
 // R=2 replication, so every block and every repository shard has a copy
 // surviving any single-node loss per group.
@@ -22,7 +42,7 @@ func chaosCluster(t *testing.T) (*InProcess, *seq.Set) {
 	cfg.Groups = 2
 	cfg.SampleSize = 500
 	cfg.Replicas = 2
-	ip, err := NewInProcess(cfg, 6)
+	ip, err := NewInProcess(cfg, 6, transport.WithChaosSeed(chaosSeed(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +264,7 @@ func TestChaosWholeGroupDownStrictMode(t *testing.T) {
 	cfg.SampleSize = 500
 	cfg.Replicas = 2
 	cfg.AllowPartial = false
-	ip, err := NewInProcess(cfg, 6)
+	ip, err := NewInProcess(cfg, 6, transport.WithChaosSeed(chaosSeed(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +310,7 @@ func TestChaosFlakyNetworkWithResilientCaller(t *testing.T) {
 		RetryMax:   time.Millisecond,
 		// Breaker off: random loss must not lock out healthy nodes.
 	}
-	ip, err := NewInProcessResilient(cfg, 6, rc)
+	ip, err := NewInProcessResilient(cfg, 6, rc, transport.WithChaosSeed(chaosSeed(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +350,7 @@ func TestChaosTransientFaultHealedByRetry(t *testing.T) {
 	cfg.SampleSize = 500
 	cfg.Replicas = 2
 	rc := transport.ResilientConfig{MaxRetries: 4, RetryBase: 50 * time.Microsecond}
-	ip, err := NewInProcessResilient(cfg, 6, rc)
+	ip, err := NewInProcessResilient(cfg, 6, rc, transport.WithChaosSeed(chaosSeed(t)))
 	if err != nil {
 		t.Fatal(err)
 	}

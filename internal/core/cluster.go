@@ -10,6 +10,7 @@ import (
 
 	"mendel/internal/dht"
 	"mendel/internal/metric"
+	"mendel/internal/obs"
 	"mendel/internal/seq"
 	"mendel/internal/transport"
 	"mendel/internal/vphash"
@@ -26,6 +27,11 @@ type Cluster struct {
 	groups [][]string
 	topo   *dht.Topology
 	met    metric.Metric
+
+	// Observability sinks; both may be nil (no-op). Set via SetObservability
+	// before serving queries.
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
 	mu            sync.RWMutex
 	hashTree      *vphash.Tree
@@ -69,6 +75,49 @@ func NewCluster(cfg Config, caller transport.Caller, groups [][]string) (*Cluste
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// SetObservability attaches the coordinator's observability sinks: reg
+// accumulates query counters and stage-latency histograms, tracer records a
+// span tree per query covering the paper's five pipeline stages. Either may
+// be nil (that sink stays off). Call before serving queries; the fields are
+// read without synchronization by concurrent Searches.
+func (c *Cluster) SetObservability(reg *obs.Registry, tracer *obs.Tracer) {
+	c.reg = reg
+	c.tracer = tracer
+}
+
+// Registry returns the coordinator's metrics registry (nil if unset).
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// Tracer returns the coordinator's query tracer (nil if unset).
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// MetricsDetailed collects an observability snapshot from every reachable
+// node plus the addresses of the nodes that could not be reached, mirroring
+// StatsDetailed. Nodes without an attached registry report an empty
+// snapshot. The per-node bucket vectors share a fixed layout, so callers can
+// merge them cluster-wide with obs.MergeSnapshots.
+func (c *Cluster) MetricsDetailed(ctx context.Context) ([]wire.MetricsResult, []string, error) {
+	nodes := c.topo.AllNodes()
+	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.Metrics{})
+	out := make([]wire.MetricsResult, 0, len(resps))
+	var down []string
+	for i, r := range resps {
+		if errs[i] != nil {
+			if errors.Is(errs[i], transport.ErrUnreachable) {
+				down = append(down, nodes[i])
+				continue
+			}
+			return nil, nil, fmt.Errorf("core: metrics from %s: %w", nodes[i], errs[i])
+		}
+		mr, ok := r.(wire.MetricsResult)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: metrics from %s: malformed reply %T", nodes[i], r)
+		}
+		out = append(out, mr)
+	}
+	return out, down, nil
+}
 
 // Topology exposes the node layout for diagnostics.
 func (c *Cluster) Topology() *dht.Topology { return c.topo }

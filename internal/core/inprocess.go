@@ -5,6 +5,7 @@ import (
 
 	"mendel/internal/dht"
 	"mendel/internal/node"
+	"mendel/internal/obs"
 	"mendel/internal/transport"
 )
 
@@ -67,4 +68,21 @@ func newInProcess(cfg Config, numNodes int, rc *transport.ResilientConfig, opts 
 		return nil, err
 	}
 	return &InProcess{Cluster: cluster, Net: net, Nodes: nodes, Resilient: resilient}, nil
+}
+
+// Observe attaches one registry/tracer pair to the coordinator and to every
+// storage node in the cluster. Because everything runs in one process, the
+// nodes' vp-tree and extension metrics land in the same registry as the
+// coordinator's query histograms, and node-side group_search span trees
+// interleave with the coordinator's search spans. Either argument may be
+// nil. If the cluster was built resilient, the coordinator's circuit-breaker
+// counters are exported too.
+func (p *InProcess) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	p.Cluster.SetObservability(reg, tracer)
+	for _, n := range p.Nodes {
+		n.Observe(reg, tracer)
+	}
+	if p.Resilient != nil {
+		p.Resilient.Register(reg)
+	}
 }

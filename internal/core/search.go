@@ -12,6 +12,7 @@ import (
 	"mendel/internal/align"
 	"mendel/internal/anchorset"
 	"mendel/internal/matrix"
+	"mendel/internal/obs"
 	"mendel/internal/seq"
 	"mendel/internal/transport"
 	"mendel/internal/vphash"
@@ -36,7 +37,10 @@ type Hit struct {
 var ErrNotIndexed = errors.New("core: cluster has no indexed data")
 
 // Trace records what one Search did at each stage of §V-B, for
-// observability and for the turnaround breakdowns in the evaluation.
+// observability and for the turnaround breakdowns in the evaluation. The
+// KNN/Ungapped/Aggregate durations are node-reported (summed across every
+// storage node that served the query), so they can exceed the wall-clock
+// FanOut time when nodes work in parallel.
 type Trace struct {
 	QueryLen         int
 	Strands          int
@@ -49,17 +53,22 @@ type Trace struct {
 	GroupsFailed     int           // groups whose every member was unreachable
 	RegionsFailed    int           // anchors dropped: no repository shard answered
 	Partial          bool          // results degraded by an outage above
+	TreeVisits       int64         // vp-tree distance evaluations, all nodes
 	Decompose        time.Duration // stage 1
 	FanOut           time.Duration // stage 2 (includes group-side work)
+	KNN              time.Duration // stage 2a: node-side vp-tree lookups (CPU-summed)
+	Ungapped         time.Duration // stage 2b: node-side filter + ungapped extension
+	Aggregate        time.Duration // stage 3: group + system entry point merges
 	Extend           time.Duration // stage 4
 	Total            time.Duration
 }
 
 // String renders a compact single-line summary.
 func (t *Trace) String() string {
-	s := fmt.Sprintf("query=%daa windows=%d groups=%d anchors=%d merged=%d gapped=%d hits=%d total=%v (fanout=%v extend=%v)",
+	s := fmt.Sprintf("query=%daa windows=%d groups=%d anchors=%d merged=%d gapped=%d hits=%d total=%v (fanout=%v knn=%v ungapped=%v aggregate=%v extend=%v visits=%d)",
 		t.QueryLen, t.SubQueries, t.GroupRequests, t.AnchorsReturned,
-		t.AnchorsMerged, t.GappedCandidates, t.Hits, t.Total, t.FanOut, t.Extend)
+		t.AnchorsMerged, t.GappedCandidates, t.Hits, t.Total,
+		t.FanOut, t.KNN, t.Ungapped, t.Aggregate, t.Extend, t.TreeVisits)
 	if t.Partial {
 		s += fmt.Sprintf(" PARTIAL(groups-failed=%d regions-failed=%d)", t.GroupsFailed, t.RegionsFailed)
 	}
@@ -88,7 +97,10 @@ func (c *Cluster) SearchTrace(ctx context.Context, query []byte, p wire.Params) 
 
 func (c *Cluster) searchTraced(ctx context.Context, query []byte, p wire.Params) ([]Hit, *Trace, error) {
 	startTotal := time.Now()
+	root := c.tracer.Start("search")
+	defer root.End()
 	if err := p.Validate(); err != nil {
+		c.reg.Counter("search_rejected").Inc()
 		return nil, nil, err
 	}
 	m, ok := matrix.ByName(p.Matrix)
@@ -118,15 +130,17 @@ func (c *Cluster) searchTraced(ctx context.Context, query []byte, p wire.Params)
 	}
 
 	trace := &Trace{QueryLen: len(q), Strands: 1}
-	hits, err := c.searchStrand(ctx, q, p, m, kp, total, tree, '+', trace)
+	hits, err := c.searchStrand(ctx, q, p, m, kp, total, tree, '+', trace, root)
 	if err != nil {
+		c.reg.Counter("search_errors").Inc()
 		return nil, nil, err
 	}
 	if p.BothStrands && c.cfg.Kind == seq.DNA {
 		trace.Strands = 2
 		rc := reverseComplement(q)
-		minus, err := c.searchStrand(ctx, rc, p, m, kp, total, tree, '-', trace)
+		minus, err := c.searchStrand(ctx, rc, p, m, kp, total, tree, '-', trace, root)
 		if err != nil {
+			c.reg.Counter("search_errors").Inc()
 			return nil, nil, err
 		}
 		hits = append(hits, minus...)
@@ -145,14 +159,31 @@ func (c *Cluster) searchTraced(ctx context.Context, query []byte, p wire.Params)
 	})
 	trace.Hits = len(hits)
 	trace.Total = time.Since(startTotal)
+	root.SetAttr("query_len", int64(trace.QueryLen))
+	root.SetAttr("strands", int64(trace.Strands))
+	root.SetAttr("hits", int64(trace.Hits))
+	if trace.Partial {
+		root.SetAttr("partial", 1)
+		c.reg.Counter("search_partial").Inc()
+	}
+	c.reg.Counter("search_total").Inc()
+	c.reg.Counter("search_hits").Add(int64(trace.Hits))
+	c.reg.Histogram("search_ns").Observe(trace.Total.Nanoseconds())
+	c.reg.Histogram("search_fanout_ns").Observe(trace.FanOut.Nanoseconds())
+	c.reg.Histogram("search_gapped_ns").Observe(trace.Extend.Nanoseconds())
 	return hits, trace, nil
 }
 
 // searchStrand runs stages 1-4 of the pipeline for one query orientation,
-// accumulating counters and timings into trace.
-func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, total int, tree *vphash.Tree, strand byte, trace *Trace) ([]Hit, error) {
+// accumulating counters and timings into trace and recording one child span
+// per pipeline stage under root. The k-NN and ungapped-extension stages
+// execute node-side; their spans are synthesized from the nanosecond
+// breakdowns the storage nodes ship back in GroupSearchResult, so the span
+// tree still covers all five stages of §V-B from the coordinator alone.
+func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *matrix.Matrix, kp align.KarlinParams, total int, tree *vphash.Tree, strand byte, trace *Trace, root *obs.Span) ([]Hit, error) {
 	// Stage 1: subquery decomposition and group routing.
 	start := time.Now()
+	spDecompose := root.Child("decompose")
 	eps := c.queryEps()
 	groupOffsets := make(map[int][]int)
 	alphabet := seq.AlphabetFor(c.cfg.Kind)
@@ -176,11 +207,16 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 	})
 	trace.Decompose += time.Since(start)
 	trace.GroupRequests += len(groupOffsets)
+	spDecompose.SetAttr("windows", int64(trace.SubQueries))
+	spDecompose.SetAttr("groups", int64(len(groupOffsets)))
+	spDecompose.End()
 
 	// Stage 2: parallel fan-out to group entry points.
 	start = time.Now()
-	anchors, groupsFailed, err := c.fanOut(ctx, q, groupOffsets, p)
+	spFanOut := root.Child("fanout")
+	anchors, gt, groupsFailed, err := c.fanOut(ctx, q, groupOffsets, p)
 	if err != nil {
+		spFanOut.End()
 		return nil, err
 	}
 	if groupsFailed > 0 {
@@ -189,13 +225,34 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 	}
 	trace.FanOut += time.Since(start)
 	trace.AnchorsReturned += len(anchors)
+	trace.KNN += time.Duration(gt.knnNs)
+	trace.Ungapped += time.Duration(gt.extendNs)
+	trace.TreeVisits += gt.visits
+	spFanOut.SetAttr("groups", int64(len(groupOffsets)))
+	spFanOut.SetAttr("groups_failed", int64(groupsFailed))
+	spFanOut.SetAttr("anchors", int64(len(anchors)))
+	// Stages 2a/2b ran inside the fan-out on the storage nodes; attach them
+	// as completed children carrying the CPU time summed across all nodes.
+	spFanOut.AddTimed("knn", time.Duration(gt.knnNs),
+		obs.Attr{Key: "visits", Value: gt.visits})
+	spFanOut.AddTimed("ungapped", time.Duration(gt.extendNs))
+	spFanOut.End()
 
-	// Stage 3: system entry point aggregation.
+	// Stage 3: system entry point aggregation (the group entry points'
+	// merge time, shipped back as mergeNs, counts toward this stage too).
+	start = time.Now()
 	merged := anchorset.Merge(anchors)
+	aggregate := time.Since(start) + time.Duration(gt.mergeNs)
+	trace.Aggregate += aggregate
 	trace.AnchorsMerged += len(merged)
+	root.AddTimed("aggregate", aggregate,
+		obs.Attr{Key: "in", Value: int64(len(anchors))},
+		obs.Attr{Key: "out", Value: int64(len(merged))})
 
 	// Stage 4: gapped extension of anchors above the S threshold.
 	start = time.Now()
+	spGapped := root.Child("gapped")
+	defer spGapped.End()
 	var candidates []wire.Anchor
 	for _, a := range merged {
 		if kp.BitScore(a.Score) >= float64(p.GappedS) {
@@ -217,6 +274,9 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 		trace.Partial = true
 	}
 	trace.Extend += time.Since(start)
+	spGapped.SetAttr("candidates", int64(len(candidates)))
+	spGapped.SetAttr("hits", int64(len(hits)))
+	spGapped.SetAttr("regions_failed", int64(regionsFailed))
 	for i := range hits {
 		hits[i].Strand = strand
 	}
@@ -234,6 +294,17 @@ func reverseComplement(q []byte) []byte {
 	return out
 }
 
+// groupTiming sums the node-side work breakdowns the group entry points
+// ship back in GroupSearchResult: nanoseconds of vp-tree k-NN time, of
+// filter + ungapped extension time, distance evaluations performed, and the
+// group-level merge time. All are CPU-summed across nodes, not wall-clock.
+type groupTiming struct {
+	knnNs    int64
+	extendNs int64
+	visits   int64
+	mergeNs  int64
+}
+
 // fanOut sends each group's subqueries to a group entry point, retrying
 // with the next member if the chosen entry point is unreachable (the
 // symmetric architecture makes any member a valid coordinator).
@@ -243,9 +314,10 @@ func reverseComplement(q []byte) []byte {
 // and reported through the failed count so the surviving groups still
 // answer; without it — or when no group answers at all — the query fails
 // with the first error.
-func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params) (anchors []wire.Anchor, failed int, err error) {
+func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params) (anchors []wire.Anchor, gt groupTiming, failed int, err error) {
 	type result struct {
 		anchors []wire.Anchor
+		timing  groupTiming
 		err     error
 	}
 	ch := make(chan result, len(groupOffsets))
@@ -272,7 +344,12 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 						lastErr = fmt.Errorf("core: group %d entry %s: malformed reply %T", g, entry, resp)
 						break
 					}
-					ch <- result{anchors: gsr.Anchors}
+					ch <- result{anchors: gsr.Anchors, timing: groupTiming{
+						knnNs:    gsr.KNNNs,
+						extendNs: gsr.ExtendNs,
+						visits:   gsr.Visits,
+						mergeNs:  gsr.MergeNs,
+					}}
 					return
 				}
 				lastErr = callErr
@@ -294,13 +371,17 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 			continue
 		}
 		anchors = append(anchors, r.anchors...)
+		gt.knnNs += r.timing.knnNs
+		gt.extendNs += r.timing.extendNs
+		gt.visits += r.timing.visits
+		gt.mergeNs += r.timing.mergeNs
 	}
 	if firstErr != nil {
 		if !c.cfg.AllowPartial || failed == len(groupOffsets) {
-			return nil, failed, firstErr
+			return nil, gt, failed, firstErr
 		}
 	}
-	return anchors, failed, nil
+	return anchors, gt, failed, nil
 }
 
 // gappedExtend runs banded gapped extension (within p.Band diagonals of

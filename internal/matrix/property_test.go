@@ -1,0 +1,105 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// propertySeed makes the random-triple property tests reproducible; change
+// it only deliberately, and quote it when reporting a failure.
+const propertySeed = 42
+
+func distanceMatrices(t *testing.T) map[string][][]int {
+	t.Helper()
+	return map[string][][]int{
+		"BLOSUM62": DistanceMatrix(BLOSUM62),
+		"PAM250":   DistanceMatrix(PAM250),
+		"DNA":      DistanceMatrix(DNAUnit),
+	}
+}
+
+// TestDistancePropertiesRandomTriples samples residue triples with a
+// deterministic seed and checks the metric axioms pointwise: zero diagonal,
+// positivity for distinct residues, symmetry, and the triangle inequality.
+// CheckMetric already sweeps the full table; this test documents the axioms
+// independently and pins them to the exact matrices the vp-tree consumes.
+func TestDistancePropertiesRandomTriples(t *testing.T) {
+	for name, d := range distanceMatrices(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(propertySeed))
+			n := len(d)
+			for trial := 0; trial < 10000; trial++ {
+				i, j, k := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+				if d[i][i] != 0 {
+					t.Fatalf("seed %d trial %d: d[%d][%d] = %d, want 0", propertySeed, trial, i, i, d[i][i])
+				}
+				if i != j && d[i][j] <= 0 {
+					t.Fatalf("seed %d trial %d: d[%d][%d] = %d, want > 0 for distinct residues",
+						propertySeed, trial, i, j, d[i][j])
+				}
+				if d[i][j] != d[j][i] {
+					t.Fatalf("seed %d trial %d: asymmetric d[%d][%d]=%d d[%d][%d]=%d",
+						propertySeed, trial, i, j, d[i][j], j, i, d[j][i])
+				}
+				if d[i][j] > d[i][k]+d[k][j] {
+					t.Fatalf("seed %d trial %d: triangle violated: d(%d,%d)=%d > d(%d,%d)+d(%d,%d)=%d",
+						propertySeed, trial, i, j, d[i][j], i, k, k, j, d[i][k]+d[k][j])
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentDistanceIsMetric lifts the pointwise axioms to equal-length
+// segments: the position-wise sum of a per-residue metric (the distance the
+// vp-tree actually evaluates over index blocks) must itself satisfy
+// symmetry, identity of indiscernibles, and the triangle inequality on
+// random segment triples.
+func TestSegmentDistanceIsMetric(t *testing.T) {
+	segDist := func(d [][]int, a, b []int) int {
+		total := 0
+		for i := range a {
+			total += d[a[i]][b[i]]
+		}
+		return total
+	}
+	for name, d := range distanceMatrices(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(propertySeed))
+			n := len(d)
+			const segLen = 16
+			randSeg := func() []int {
+				s := make([]int, segLen)
+				for i := range s {
+					s[i] = rng.Intn(n)
+				}
+				return s
+			}
+			equal := func(a, b []int) bool {
+				for i := range a {
+					if a[i] != b[i] {
+						return false
+					}
+				}
+				return true
+			}
+			for trial := 0; trial < 2000; trial++ {
+				x, y, z := randSeg(), randSeg(), randSeg()
+				dxy, dyx := segDist(d, x, y), segDist(d, y, x)
+				if dxy != dyx {
+					t.Fatalf("seed %d trial %d: segment distance asymmetric: %d vs %d", propertySeed, trial, dxy, dyx)
+				}
+				if segDist(d, x, x) != 0 {
+					t.Fatalf("seed %d trial %d: nonzero self distance", propertySeed, trial)
+				}
+				if !equal(x, y) && dxy <= 0 {
+					t.Fatalf("seed %d trial %d: distance %d between distinct segments", propertySeed, trial, dxy)
+				}
+				if dxz, dzy := segDist(d, x, z), segDist(d, z, y); dxy > dxz+dzy {
+					t.Fatalf("seed %d trial %d: segment triangle violated: %d > %d + %d",
+						propertySeed, trial, dxy, dxz, dzy)
+				}
+			}
+		})
+	}
+}

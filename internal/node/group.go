@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"mendel/internal/anchorset"
+	"mendel/internal/obs"
 	"mendel/internal/transport"
 	"mendel/internal/wire"
 )
@@ -26,6 +28,8 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 	booted := n.booted
 	topo := n.topo
 	group := n.group
+	reg := n.reg
+	tracer := n.tracer
 	n.mu.RUnlock()
 	if !booted {
 		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
@@ -33,6 +37,10 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 	if r.Group != group {
 		return nil, fmt.Errorf("node %s: group search for group %d routed to group %d", n.addr, r.Group, group)
 	}
+	sp := tracer.Start("group_search")
+	defer sp.End()
+	sp.SetAttr("group", int64(group))
+	sp.SetAttr("offsets", int64(len(r.Offsets)))
 	local := wire.LocalSearch{
 		Query:     r.Query,
 		Offsets:   r.Offsets,
@@ -41,12 +49,15 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 	}
 	members := topo.GroupNodes(group)
 	type reply struct {
-		anchors []wire.Anchor
+		member  string
+		elapsed time.Duration
+		res     wire.LocalSearchResult
 		err     error
 	}
 	ch := make(chan reply, len(members))
 	for _, member := range members {
 		go func(member string) {
+			began := time.Now()
 			var resp any
 			var err error
 			if member == n.addr {
@@ -56,20 +67,21 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 				resp, err = n.caller.Call(ctx, member, local)
 			}
 			if err != nil {
-				ch <- reply{err: err}
+				ch <- reply{member: member, err: err}
 				return
 			}
 			lsr, ok := resp.(wire.LocalSearchResult)
 			if !ok {
-				ch <- reply{err: fmt.Errorf("node %s: malformed LocalSearch reply %T from %s", n.addr, resp, member)}
+				ch <- reply{member: member, err: fmt.Errorf("node %s: malformed LocalSearch reply %T from %s", n.addr, resp, member)}
 				return
 			}
-			ch <- reply{anchors: lsr.Anchors}
+			ch <- reply{member: member, elapsed: time.Since(began), res: lsr}
 		}(member)
 	}
 	var all []wire.Anchor
 	var failures int
 	var lastErr error
+	out := wire.GroupSearchResult{}
 	for range members {
 		rep := <-ch
 		if rep.err != nil {
@@ -80,10 +92,25 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 			}
 			return nil, rep.err
 		}
-		all = append(all, rep.anchors...)
+		all = append(all, rep.res.Anchors...)
+		out.KNNNs += rep.res.KNNNs
+		out.ExtendNs += rep.res.ExtendNs
+		out.Visits += rep.res.Visits
+		sp.AddTimed("local:"+rep.member, rep.elapsed,
+			obs.Attr{Key: "anchors", Value: int64(len(rep.res.Anchors))},
+			obs.Attr{Key: "knn_ns", Value: rep.res.KNNNs},
+			obs.Attr{Key: "extend_ns", Value: rep.res.ExtendNs},
+			obs.Attr{Key: "visits", Value: rep.res.Visits})
 	}
 	if failures == len(members) {
 		return nil, fmt.Errorf("node %s: every member of group %d unreachable: %w", n.addr, group, lastErr)
 	}
-	return wire.GroupSearchResult{Anchors: anchorset.Merge(all)}, nil
+	mergeStart := time.Now()
+	out.Anchors = anchorset.Merge(all)
+	out.MergeNs = time.Since(mergeStart).Nanoseconds()
+	reg.Counter("node_group_searches").Inc()
+	reg.Histogram("node_group_merge_ns").Observe(out.MergeNs)
+	sp.SetAttr("members_failed", int64(failures))
+	sp.SetAttr("anchors", int64(len(out.Anchors)))
+	return out, nil
 }

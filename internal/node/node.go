@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mendel/internal/dht"
 	"mendel/internal/invindex"
 	"mendel/internal/metric"
+	"mendel/internal/obs"
 	"mendel/internal/seq"
 	"mendel/internal/transport"
 	"mendel/internal/vphash"
@@ -47,6 +49,11 @@ type Node struct {
 
 	// busyNS accumulates time spent in localSearch (atomic).
 	busyNS atomic.Int64
+
+	// Observability sinks; both may be nil (no-op). Set via Observe before
+	// serving traffic.
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 type storedSeq struct {
@@ -67,6 +74,25 @@ func New(addr string, caller transport.Caller) *Node {
 
 // Addr returns the node's transport address.
 func (n *Node) Addr() string { return n.addr }
+
+// Observe attaches the node's observability sinks: reg records vp-tree
+// visit counts, per-stage latencies and block-fetch metrics; tracer records
+// a span tree per group-entry-point query. Either may be nil. Call before
+// the node serves traffic.
+func (n *Node) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg = reg
+	n.tracer = tracer
+}
+
+// metrics answers wire.Metrics with a snapshot of the node's registry.
+func (n *Node) metrics() wire.MetricsResult {
+	n.mu.RLock()
+	reg := n.reg
+	n.mu.RUnlock()
+	return wire.MetricsResult{Node: n.addr, Metrics: reg.Snapshot()}
+}
 
 // Handle implements transport.Handler, dispatching every wire message the
 // node understands.
@@ -90,6 +116,8 @@ func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 		return n.groupSearch(ctx, r)
 	case wire.Stats:
 		return n.stats(), nil
+	case wire.Metrics:
+		return n.metrics(), nil
 	default:
 		return nil, fmt.Errorf("node %s: unknown request %T", n.addr, req)
 	}
@@ -198,10 +226,12 @@ func (n *Node) storeSequences(r wire.StoreSequences) (any, error) {
 }
 
 func (n *Node) fetchRegion(r wire.FetchRegion) (any, error) {
+	began := time.Now()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	s, ok := n.seqs[r.Seq]
 	if !ok {
+		n.reg.Counter("node_fetch_region_misses").Inc()
 		return nil, fmt.Errorf("node %s: sequence %d not stored here", n.addr, r.Seq)
 	}
 	start, end := r.Start, r.End
@@ -216,6 +246,8 @@ func (n *Node) fetchRegion(r wire.FetchRegion) (any, error) {
 	}
 	data := make([]byte, end-start)
 	copy(data, s.data[start:end])
+	n.reg.Histogram("node_fetch_region_ns").Observe(time.Since(began).Nanoseconds())
+	n.reg.Counter("node_fetch_region_bytes").Add(int64(len(data)))
 	return wire.Region{Seq: r.Seq, Start: start, Data: data, Len: len(s.data)}, nil
 }
 

@@ -54,17 +54,31 @@ func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
 	if workers > len(r.Offsets) {
 		workers = len(r.Offsets)
 	}
-	perWorker := make([][]wire.Anchor, workers)
+	type workerStats struct {
+		anchors  []wire.Anchor
+		knnNs    int64
+		extendNs int64
+		visits   int64
+	}
+	perWorker := make([]workerStats, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			var anchors []wire.Anchor
+			var ws workerStats
 			for i := w; i < len(r.Offsets); i += workers {
 				off := r.Offsets[i]
 				window := r.Query[off : off+r.WindowLen]
-				for _, cand := range n.tree.NearestBudget(window, r.Params.Neighbors, n.searchBudget) {
+				t0 := time.Now()
+				cands, visits := n.tree.NearestBudgetVisits(window, r.Params.Neighbors, n.searchBudget)
+				knn := time.Since(t0).Nanoseconds()
+				ws.knnNs += knn
+				ws.visits += int64(visits)
+				n.reg.Histogram("node_knn_visits").Observe(int64(visits))
+				n.reg.Histogram("node_knn_ns").Observe(knn)
+				t0 = time.Now()
+				for _, cand := range cands {
 					block, ok := n.blocks[cand.Ref]
 					if !ok {
 						continue // cannot happen; defensive against store drift
@@ -75,20 +89,28 @@ func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
 					if cScore(window, block.Content, m) < r.Params.CScore {
 						continue
 					}
-					anchors = append(anchors, extendAnchor(r.Query, off, r.WindowLen, block, m))
+					ws.anchors = append(ws.anchors, extendAnchor(r.Query, off, r.WindowLen, block, m))
 				}
+				ws.extendNs += time.Since(t0).Nanoseconds()
 			}
-			perWorker[w] = anchors
+			perWorker[w] = ws
 		}(w)
 	}
 	wg.Wait()
 	var anchors []wire.Anchor
-	for _, a := range perWorker {
-		anchors = append(anchors, a...)
+	res := wire.LocalSearchResult{}
+	for _, ws := range perWorker {
+		anchors = append(anchors, ws.anchors...)
+		res.KNNNs += ws.knnNs
+		res.ExtendNs += ws.extendNs
+		res.Visits += ws.visits
 	}
+	n.reg.Counter("node_local_searches").Inc()
+	n.reg.Histogram("node_local_search_ns").Observe(time.Since(start).Nanoseconds())
 	// Adjacent subqueries routinely rediscover the same region; merge
 	// locally so the group entry point aggregates less data.
-	return wire.LocalSearchResult{Anchors: anchorset.Merge(anchors)}, nil
+	res.Anchors = anchorset.Merge(anchors)
+	return res, nil
 }
 
 // identity is the fraction of positions at which the window matches the

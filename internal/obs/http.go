@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler builds the observability HTTP surface over a registry and tracer
+// (either may be nil):
+//
+//	/metrics          plain-text metrics; ?format=json for a JSON snapshot
+//	/debug/vars       expvar (process-global JSON, includes memstats)
+//	/debug/pprof/*    the standard runtime profiles
+//	/debug/spans      recent completed query span trees; ?slow=1 for the
+//	                  slow-query log, ?format=json for machine-readable
+//	                  output, ?n=K to bound the span count
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(reg.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			n, _ = strconv.Atoi(v)
+		}
+		var spans []SpanSnapshot
+		if r.URL.Query().Get("slow") != "" {
+			spans = tr.Slow(n)
+		} else {
+			spans = tr.Recent(n)
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, s := range spans {
+			s.WriteTo(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Publish exposes the registry under the given expvar name, so the JSON
+// snapshot also appears in /debug/vars alongside the runtime's variables.
+// Publishing the same name twice panics (an expvar rule), so callers should
+// publish once per process.
+func Publish(name string, reg *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}
+
+// Serve binds addr (":0" picks a free port), serves the observability
+// surface from a background goroutine, and returns the server (for
+// Shutdown/Close) plus the bound address. It is a convenience for CLIs.
+func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,428 @@
+// Package obs is Mendel's dependency-free observability layer: an atomic
+// metrics registry (counters, gauges, bounded histograms with quantile
+// estimation), a span-based query tracer that decomposes each search into
+// the paper's pipeline stages, and an HTTP surface serving /metrics,
+// /debug/spans and the standard pprof endpoints.
+//
+// Everything is nil-receiver safe: a component handed a nil *Registry or
+// nil *Tracer records nothing at zero cost, so instrumentation points never
+// need guarding at call sites.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramBuckets is the number of exponential buckets every Histogram
+// uses: bucket i counts observations v with 2^(i-1) < v <= 2^i (bucket 0
+// counts v <= 1). A fixed cluster-wide layout makes histograms mergeable by
+// element-wise addition, which cluster-wide aggregation relies on.
+const HistogramBuckets = 64
+
+// Histogram is a bounded-memory histogram over non-negative int64
+// observations (latencies in nanoseconds, sizes in bytes) with power-of-two
+// buckets. All methods are safe for concurrent use.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// minPlus1 stores min+1 so the zero value means "no observations yet"
+	// and the CAS loop needs no separate initialization step.
+	minPlus1 atomic.Int64
+	max      atomic.Int64
+	buckets  [HistogramBuckets]atomic.Int64
+}
+
+// bucketIndex returns the bucket of observation v: the number of bits
+// needed to represent v, so bucket 0 holds v <= 1, bucket 1 holds v = 2,
+// bucket 2 holds 3..4, bucket i holds 2^(i-1)+1 .. 2^i.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v - 1))
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1) << uint(i)
+}
+
+// Observe records one observation. Negative values clamp to zero. No-op on
+// a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.minPlus1.Load()
+		if cur != 0 && v+1 >= cur {
+			break
+		}
+		if h.minPlus1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts.
+// The estimate interpolates within the bucket holding the target rank, so
+// its relative error is bounded by the bucket width (a factor of two).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var buckets [HistogramBuckets]int64
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return QuantileFromBuckets(buckets[:], q)
+}
+
+// QuantileFromBuckets estimates a quantile from a bucket count vector laid
+// out per HistogramBuckets. Exposed so cluster-wide aggregation can merge
+// bucket vectors from many nodes and quantile the merged distribution.
+func QuantileFromBuckets(buckets []int64, q float64) int64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total-1)) + 1 // 1-based rank of the target
+	var seen int64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketUpper(i-1) + 1
+			}
+			hi := bucketUpper(i)
+			// Linear interpolation of the rank within the bucket.
+			frac := float64(rank-seen) / float64(c)
+			est := float64(lo) + frac*float64(hi-lo)
+			return int64(est)
+		}
+		seen += c
+	}
+	return bucketUpper(len(buckets) - 1)
+}
+
+// Snapshot is a point-in-time copy of one metric, the unit of /metrics
+// output and of cluster-wide aggregation. Exported fields only: snapshots
+// travel over the wire in wire.MetricsResult.
+type Snapshot struct {
+	Name string
+	Kind string // "counter", "gauge", "histogram"
+	// Value carries counter and gauge readings.
+	Value int64
+	// Histogram fields.
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets []int64
+}
+
+// Quantile estimates a quantile of a histogram snapshot.
+func (s Snapshot) Quantile(q float64) int64 { return QuantileFromBuckets(s.Buckets, q) }
+
+// Mean returns the arithmetic mean of a histogram snapshot.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Registry is a named collection of metrics. Lookup methods create on first
+// use, so call sites need no registration ceremony. A nil *Registry is a
+// valid no-op sink.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	funcs      map[string]func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		funcs:      make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// SetGaugeFunc registers a gauge computed at snapshot time, used to surface
+// counters owned by other components (e.g. a ResilientCaller's stats)
+// without double bookkeeping. fn must be safe for concurrent calls.
+func (r *Registry) SetGaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns a copy of every metric, sorted by name.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]Snapshot, 0, len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.funcs))
+	for name, c := range r.counters {
+		out = append(out, Snapshot{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Snapshot{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, fn := range r.funcs {
+		out = append(out, Snapshot{Name: name, Kind: "gauge", Value: fn()})
+	}
+	for name, h := range r.histograms {
+		min := h.minPlus1.Load()
+		if min > 0 {
+			min--
+		}
+		s := Snapshot{
+			Name:    name,
+			Kind:    "histogram",
+			Count:   h.count.Load(),
+			Sum:     h.sum.Load(),
+			Min:     min,
+			Max:     h.max.Load(),
+			Buckets: make([]int64, HistogramBuckets),
+		}
+		for i := range h.buckets {
+			s.Buckets[i] = h.buckets[i].Load()
+		}
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText renders the registry in a Prometheus-flavoured plain-text
+// format: one "name value" line per counter/gauge, and per-histogram lines
+// for count, sum, min, max and the p50/p95/p99 estimates.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		var err error
+		switch s.Kind {
+		case "histogram":
+			_, err = fmt.Fprintf(w, "%s_count %d\n%s_sum %d\n%s_min %d\n%s_max %d\n%s_p50 %d\n%s_p95 %d\n%s_p99 %d\n",
+				s.Name, s.Count, s.Name, s.Sum, s.Name, s.Min, s.Name, s.Max,
+				s.Name, s.Quantile(0.50), s.Name, s.Quantile(0.95), s.Name, s.Quantile(0.99))
+		default:
+			_, err = fmt.Fprintf(w, "%s %d\n", s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeSnapshots aggregates per-node metric snapshots into one cluster-wide
+// view: counters and gauges sum, histogram counts/sums add element-wise (so
+// quantiles of the merged distribution remain estimable), min/max combine.
+func MergeSnapshots(groups ...[]Snapshot) []Snapshot {
+	byName := make(map[string]*Snapshot)
+	var order []string
+	for _, snaps := range groups {
+		for _, s := range snaps {
+			agg, ok := byName[s.Name]
+			if !ok {
+				cp := s
+				cp.Buckets = append([]int64(nil), s.Buckets...)
+				byName[s.Name] = &cp
+				order = append(order, s.Name)
+				continue
+			}
+			agg.Value += s.Value
+			if s.Count > 0 {
+				if agg.Count == 0 || s.Min < agg.Min {
+					agg.Min = s.Min
+				}
+				if s.Max > agg.Max {
+					agg.Max = s.Max
+				}
+			}
+			agg.Count += s.Count
+			agg.Sum += s.Sum
+			for i := range s.Buckets {
+				if i < len(agg.Buckets) {
+					agg.Buckets[i] += s.Buckets[i]
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]Snapshot, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}

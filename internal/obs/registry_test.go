@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("requests") != c {
+		t.Fatal("second lookup created a new counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	r.SetGaugeFunc("derived", func() int64 { return 42 })
+	snaps := r.Snapshot()
+	byName := map[string]Snapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if byName["derived"].Value != 42 || byName["derived"].Kind != "gauge" {
+		t.Fatalf("gauge func snapshot = %+v", byName["derived"])
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Name > snaps[i].Name {
+			t.Fatalf("snapshot not sorted: %q after %q", snaps[i].Name, snaps[i-1].Name)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every operation on a nil registry and its nil metrics must be a no-op,
+	// never a panic: instrumented components run happily without sinks.
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(5)
+	r.SetGaugeFunc("f", func() int64 { return 1 })
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v", got)
+	}
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatal("nil metrics returned nonzero values")
+	}
+	if r.Histogram("z").Count() != 0 || r.Histogram("z").Quantile(0.5) != 0 {
+		t.Fatal("nil histogram returned nonzero values")
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {16, 4}, {17, 5}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // Observe clamps before bucketing
+		}
+		if got := bucketIndex(v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must map back into its own bucket.
+	for i := 0; i < HistogramBuckets-1; i++ {
+		if got := bucketIndex(bucketUpper(i)); got != i {
+			t.Errorf("bucketUpper(%d) = %d lands in bucket %d", i, bucketUpper(i), got)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{100, 200, 400, 800, -7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1500 { // -7 clamps to 0
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	var snap Snapshot
+	for _, s := range r.Snapshot() {
+		if s.Name == "lat" {
+			snap = s
+		}
+	}
+	if snap.Min != 0 || snap.Max != 800 {
+		t.Fatalf("min/max = %d/%d, want 0/800", snap.Min, snap.Max)
+	}
+	if snap.Mean() != 300 {
+		t.Fatalf("mean = %f", snap.Mean())
+	}
+}
+
+// TestQuantileAccuracy pins the documented error bound: the estimate
+// interpolates inside a power-of-two bucket, so it can never stray below
+// half the true value or above twice it.
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	const v = 1000
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < v/2 || got > 2*v {
+			t.Errorf("Quantile(%g) = %d, want within [%d,%d]", q, got, v/2, 2*v)
+		}
+	}
+	// A two-point distribution must separate the extremes: with 99 samples
+	// at the low value and 1 at the high, the p50 and even the p99 rank land
+	// on the low mode (the 99th smallest of 100 is still 10), while the max
+	// quantile reaches the outlier.
+	var h2 Histogram
+	for i := 0; i < 99; i++ {
+		h2.Observe(10)
+	}
+	h2.Observe(100000)
+	if p50 := h2.Quantile(0.50); p50 > 20 {
+		t.Errorf("p50 = %d, want <= 20", p50)
+	}
+	if p99 := h2.Quantile(0.99); p99 > 20 {
+		t.Errorf("p99 = %d, want <= 20 (99 of 100 samples are 10)", p99)
+	}
+	if top := h2.Quantile(1); top < 50000 {
+		t.Errorf("Quantile(1) = %d, want >= 50000", top)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+// TestConcurrentUpdates hammers one counter and one histogram from many
+// goroutines; totals must be exact. Run with -race to double as the data
+// race check for the whole registry path.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 16, 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Get-or-create races with other goroutines on purpose.
+				r.Counter("hits").Inc()
+				r.Histogram("lat").Observe(int64(g*per + i))
+				if i%100 == 0 {
+					r.Snapshot() // concurrent readers must not wobble writers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	h := r.Histogram("lat")
+	if h.Count() != goroutines*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*per)
+	}
+	var snap Snapshot
+	for _, s := range r.Snapshot() {
+		if s.Name == "lat" {
+			snap = s
+		}
+	}
+	if snap.Min != 0 || snap.Max != goroutines*per-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", snap.Min, snap.Max, goroutines*per-1)
+	}
+	var bucketTotal int64
+	for _, c := range snap.Buckets {
+		bucketTotal += c
+	}
+	if bucketTotal != goroutines*per {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, goroutines*per)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("rpc").Add(3)
+	b.Counter("rpc").Add(4)
+	a.Counter("only_a").Inc()
+	for i := 0; i < 10; i++ {
+		a.Histogram("lat").Observe(100)
+		b.Histogram("lat").Observe(10000)
+	}
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	byName := map[string]Snapshot{}
+	for _, s := range merged {
+		byName[s.Name] = s
+	}
+	if byName["rpc"].Value != 7 {
+		t.Fatalf("merged counter = %d, want 7", byName["rpc"].Value)
+	}
+	if byName["only_a"].Value != 1 {
+		t.Fatalf("unmatched counter lost: %+v", byName["only_a"])
+	}
+	lat := byName["lat"]
+	if lat.Count != 20 || lat.Sum != 101000 {
+		t.Fatalf("merged histogram count/sum = %d/%d", lat.Count, lat.Sum)
+	}
+	if lat.Min != 100 || lat.Max != 10000 {
+		t.Fatalf("merged min/max = %d/%d", lat.Min, lat.Max)
+	}
+	// The merged distribution is bimodal; its median must sit at the low
+	// mode and its p99 at the high mode, proving buckets really merged.
+	if p50 := lat.Quantile(0.50); p50 > 200 {
+		t.Errorf("merged p50 = %d, want <= 200", p50)
+	}
+	if p99 := lat.Quantile(0.99); p99 < 5000 {
+		t.Errorf("merged p99 = %d, want >= 5000", p99)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("searches").Add(2)
+	r.Histogram("search_ns").Observe(1500)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"searches 2\n", "search_ns_count 1\n", "search_ns_sum 1500\n", "search_ns_p50 ", "search_ns_p99 "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are int64 — the
+// quantities Mendel traces (counts, byte sizes, residue lengths) are all
+// integral, and a fixed value type keeps snapshots wire-encodable.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Span is one timed region of a query, arranged in a parent/child tree.
+// Children may be added from the goroutine that owns the span; attribute
+// and child updates are internally locked so aggregation goroutines can
+// attach synthetic children concurrently.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	id     int64
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+// Tracer collects completed root spans in a bounded ring, with a separate
+// ring for spans slower than a configurable threshold (the slow-query log).
+// A nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	nextID atomic.Int64
+
+	mu     sync.Mutex
+	recent []*Span // completed roots, oldest first
+	slow   []*Span // completed roots over the slow threshold
+	cap    int
+	thresh time.Duration
+	onSlow func(SpanSnapshot)
+}
+
+// DefaultTraceCapacity bounds the completed-span rings when NewTracer is
+// given a non-positive capacity.
+const DefaultTraceCapacity = 128
+
+// NewTracer creates a tracer retaining up to capacity completed root spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// SetSlowThreshold enables the slow-query log: completed root spans with a
+// duration of at least d are retained separately and passed to the OnSlow
+// callback. d <= 0 disables it.
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.thresh = d
+}
+
+// OnSlow installs a callback invoked (synchronously, without internal
+// locks held) with each slow span's snapshot — typically a log writer.
+func (t *Tracer) OnSlow(fn func(SpanSnapshot)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onSlow = fn
+}
+
+// Start opens a root span. Returns nil (a no-op span) on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+}
+
+// Child opens a sub-span under s. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, parent: s, id: s.tracer.nextID.Add(1), name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// AddTimed attaches an already-completed child span of the given duration,
+// used for work measured elsewhere (a storage node reporting its k-NN time
+// inside an RPC reply) that still belongs in the query's span tree.
+func (s *Span) AddTimed(name string, d time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	c := &Span{tracer: s.tracer, parent: s, id: s.tracer.nextID.Add(1), name: name,
+		start: time.Now().Add(-d), dur: d, ended: true, attrs: attrs}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. No-op on a nil span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// Duration returns the span's duration (final once ended, running so far
+// otherwise).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// End closes the span. Ending a root span publishes it to the tracer's
+// completed ring (and slow log when over threshold). Ending twice is a
+// no-op, so deferred Ends compose with early returns.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	dur := s.dur
+	s.mu.Unlock()
+	if s.parent != nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	t.recent = append(t.recent, s)
+	if len(t.recent) > t.cap {
+		t.recent = t.recent[len(t.recent)-t.cap:]
+	}
+	slow := t.thresh > 0 && dur >= t.thresh
+	if slow {
+		t.slow = append(t.slow, s)
+		if len(t.slow) > t.cap {
+			t.slow = t.slow[len(t.slow)-t.cap:]
+		}
+	}
+	onSlow := t.onSlow
+	t.mu.Unlock()
+	if slow && onSlow != nil {
+		onSlow(s.snapshot())
+	}
+}
+
+// SpanSnapshot is an immutable copy of a completed span subtree, the unit
+// of /debug/spans output.
+type SpanSnapshot struct {
+	ID        int64
+	Name      string
+	StartUnix int64 // nanoseconds since the epoch
+	NS        int64 // duration in nanoseconds
+	Attrs     []Attr
+	Children  []SpanSnapshot
+}
+
+// snapshot deep-copies a span subtree.
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	out := SpanSnapshot{
+		ID:        s.id,
+		Name:      s.name,
+		StartUnix: s.start.UnixNano(),
+		NS:        int64(s.dur),
+		Attrs:     append([]Attr(nil), s.attrs...),
+	}
+	if !s.ended {
+		out.NS = int64(time.Since(s.start))
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+// Recent returns up to n most recently completed root spans, newest first.
+// n <= 0 returns all retained spans.
+func (t *Tracer) Recent(n int) []SpanSnapshot {
+	return t.ring(n, false)
+}
+
+// Slow returns up to n retained slow spans, newest first.
+func (t *Tracer) Slow(n int) []SpanSnapshot {
+	return t.ring(n, true)
+}
+
+func (t *Tracer) ring(n int, slow bool) []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	src := t.recent
+	if slow {
+		src = t.slow
+	}
+	spans := append([]*Span(nil), src...)
+	t.mu.Unlock()
+	if n <= 0 || n > len(spans) {
+		n = len(spans)
+	}
+	out := make([]SpanSnapshot, 0, n)
+	for i := len(spans) - 1; i >= len(spans)-n; i-- {
+		out = append(out, spans[i].snapshot())
+	}
+	return out
+}
+
+// WriteTo renders the snapshot as an indented tree, one line per span:
+//
+//	search 1.2ms [query_len=130 hits=3]
+//	  fanout 800µs [groups=2]
+func (s SpanSnapshot) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	s.write(&b, 0)
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func (s SpanSnapshot) write(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, " %v", time.Duration(s.NS).Round(time.Microsecond))
+	if len(s.Attrs) > 0 {
+		b.WriteString(" [")
+		for i, a := range s.Attrs {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "%s=%d", a.Key, a.Value)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.write(b, depth+1)
+	}
+}
+
+// Find returns the first descendant span (including s itself) with the
+// given name, pre-order, or nil.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if found := s.Children[i].Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("search")
+	root.SetAttr("query_len", 130)
+	d := root.Child("decompose")
+	d.End()
+	f := root.Child("fanout")
+	f.AddTimed("knn", 3*time.Millisecond, Attr{Key: "visits", Value: 77})
+	f.AddTimed("ungapped", 2*time.Millisecond)
+	f.End()
+	root.Child("gapped").End()
+	root.End()
+
+	recent := tr.Recent(0)
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d spans, want 1", len(recent))
+	}
+	snap := recent[0]
+	if snap.Name != "search" {
+		t.Fatalf("root name = %q", snap.Name)
+	}
+	// Children must appear in creation order: decompose, fanout, gapped.
+	var names []string
+	for _, c := range snap.Children {
+		names = append(names, c.Name)
+	}
+	if strings.Join(names, ",") != "decompose,fanout,gapped" {
+		t.Fatalf("child order = %v", names)
+	}
+	knn := snap.Find("knn")
+	if knn == nil {
+		t.Fatal("knn span missing")
+	}
+	if time.Duration(knn.NS) != 3*time.Millisecond {
+		t.Fatalf("AddTimed duration = %v", time.Duration(knn.NS))
+	}
+	if len(knn.Attrs) != 1 || knn.Attrs[0].Key != "visits" || knn.Attrs[0].Value != 77 {
+		t.Fatalf("knn attrs = %+v", knn.Attrs)
+	}
+	// The synthetic child must nest under fanout, not the root.
+	fanout := snap.Find("fanout")
+	if fanout.Find("knn") == nil {
+		t.Fatal("knn not nested under fanout")
+	}
+	if got := snap.Attrs[0]; got.Key != "query_len" || got.Value != 130 {
+		t.Fatalf("root attrs = %+v", snap.Attrs)
+	}
+	if snap.Find("nope") != nil {
+		t.Fatal("Find invented a span")
+	}
+}
+
+func TestEndIdempotentAndChildNotPublished(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("q")
+	c := root.Child("stage")
+	c.End()
+	c.End() // double End of a child: no-op
+	root.End()
+	root.End() // double End of a root: must not publish twice
+	if got := len(tr.Recent(0)); got != 1 {
+		t.Fatalf("recent = %d, want 1 (double End republished or child leaked)", got)
+	}
+}
+
+func TestRecentRingBoundAndOrder(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("q")
+		sp.SetAttr("i", int64(i))
+		sp.End()
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(recent))
+	}
+	// Newest first: 9, 8, 7, 6.
+	for k, want := range []int64{9, 8, 7, 6} {
+		if recent[k].Attrs[0].Value != want {
+			t.Fatalf("recent[%d] = span %d, want %d", k, recent[k].Attrs[0].Value, want)
+		}
+	}
+	if got := len(tr.Recent(2)); got != 2 {
+		t.Fatalf("Recent(2) = %d spans", got)
+	}
+}
+
+func TestSlowLogAndCallback(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetSlowThreshold(time.Nanosecond) // everything is slow
+	var mu sync.Mutex
+	var calls []string
+	tr.OnSlow(func(s SpanSnapshot) {
+		mu.Lock()
+		calls = append(calls, s.Name)
+		mu.Unlock()
+	})
+	tr.Start("slow-one").End()
+	if got := tr.Slow(0); len(got) != 1 || got[0].Name != "slow-one" {
+		t.Fatalf("slow ring = %+v", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || calls[0] != "slow-one" {
+		t.Fatalf("onSlow calls = %v", calls)
+	}
+}
+
+func TestFastSpansSkipSlowLog(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetSlowThreshold(time.Hour)
+	tr.Start("fast").End()
+	if got := tr.Slow(0); len(got) != 0 {
+		t.Fatalf("fast span landed in slow log: %+v", got)
+	}
+	if got := tr.Recent(0); len(got) != 1 {
+		t.Fatalf("fast span missing from recent: %+v", got)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x") // nil
+	sp.SetAttr("k", 1)
+	sp.AddTimed("t", time.Second)
+	child := sp.Child("c")
+	child.End()
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	if tr.Recent(0) != nil || tr.Slow(0) != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+	tr.SetSlowThreshold(time.Second)
+	tr.OnSlow(func(SpanSnapshot) {})
+}
+
+func TestWriteToRendersIndentedTree(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.Start("search")
+	root.SetAttr("hits", 3)
+	root.Child("fanout").End()
+	root.End()
+	var sb strings.Builder
+	if _, err := tr.Recent(1)[0].WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "search ") || !strings.Contains(out, "[hits=3]") {
+		t.Fatalf("root line malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "\n  fanout ") {
+		t.Fatalf("child not indented:\n%s", out)
+	}
+}
+
+// TestConcurrentChildAttachment mirrors the group entry point: many
+// goroutines attach timed children and attributes to one span while the
+// owner keeps annotating it. Run with -race.
+func TestConcurrentChildAttachment(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("group_search")
+	var wg sync.WaitGroup
+	const members = 8
+	wg.Add(members)
+	for i := 0; i < members; i++ {
+		go func(i int) {
+			defer wg.Done()
+			root.AddTimed("local", time.Duration(i)*time.Millisecond, Attr{Key: "anchors", Value: int64(i)})
+			root.SetAttr("last", int64(i))
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	snap := tr.Recent(1)[0]
+	if len(snap.Children) != members {
+		t.Fatalf("children = %d, want %d", len(snap.Children), members)
+	}
+}

@@ -1,0 +1,49 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA throws arbitrary text at the FASTA parser for both molecule
+// kinds: it must never panic, and whatever it accepts must survive a
+// write/re-read round trip unchanged (ingestion normalizes residues, so the
+// first parse is the fixed point).
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">seq1\nACGTACGT\nACGT\n")
+	f.Add(">a description here\nMKVLATNN\n>b\nPQRS\n")
+	f.Add(">empty\n>next\nACGT\n")
+	f.Add("no header\nACGT\n")
+	f.Add(">x\n   AC GT\t\n\n\nacgt\n")
+	f.Add("")
+	f.Add(">")
+	f.Add(">n\nACGTN-RYKM\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, kind := range []Kind{DNA, Protein} {
+			set, err := ReadFASTA(strings.NewReader(text), kind)
+			if err != nil {
+				continue // rejected input is fine; panicking is not
+			}
+			var buf bytes.Buffer
+			if err := WriteFASTA(&buf, set, 60); err != nil {
+				t.Fatalf("kind %v: writing accepted set: %v", kind, err)
+			}
+			back, err := ReadFASTA(bytes.NewReader(buf.Bytes()), kind)
+			if err != nil {
+				t.Fatalf("kind %v: re-reading own output: %v\noutput:\n%s", kind, err, buf.Bytes())
+			}
+			if back.Len() != set.Len() {
+				t.Fatalf("kind %v: round trip changed record count: %d -> %d", kind, set.Len(), back.Len())
+			}
+			for i := range set.Seqs {
+				if set.Seqs[i].Name != back.Seqs[i].Name {
+					t.Errorf("kind %v: record %d name %q -> %q", kind, i, set.Seqs[i].Name, back.Seqs[i].Name)
+				}
+				if !bytes.Equal(set.Seqs[i].Data, back.Seqs[i].Data) {
+					t.Errorf("kind %v: record %d residues changed across round trip", kind, i)
+				}
+			}
+		}
+	})
+}

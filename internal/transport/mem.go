@@ -64,6 +64,13 @@ func WithEncodeCheck() MemOption {
 	return func(n *MemNetwork) { n.encode = true }
 }
 
+// WithChaosSeed seeds the RNG behind flaky-drop decisions and latency
+// jitter, so chaos tests can log the seed they ran with and replay a
+// failure exactly. Without it the network uses a fixed default seed.
+func WithChaosSeed(seed int64) MemOption {
+	return func(n *MemNetwork) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
 // NewMemNetwork creates an empty in-memory network.
 func NewMemNetwork(opts ...MemOption) *MemNetwork {
 	n := &MemNetwork{

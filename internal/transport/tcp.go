@@ -5,9 +5,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
+
+	"mendel/internal/obs"
 )
 
 // reqEnvelope and respEnvelope frame every TCP exchange. gob streams are
@@ -26,9 +29,18 @@ type TCPServer struct {
 
 	mu      sync.Mutex
 	handler Handler
+	reg     *obs.Registry
 	conns   map[net.Conn]bool
 	closed  bool
 	wg      sync.WaitGroup
+}
+
+// Observe attaches a metrics registry: connections accepted afterwards
+// count request totals, handler errors, handler latency and bytes in/out.
+func (s *TCPServer) Observe(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
 }
 
 // SetHandler installs or replaces the request handler. It exists so a node
@@ -102,8 +114,16 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	s.mu.Lock()
+	reg := s.reg
+	s.mu.Unlock()
+	var rw io.ReadWriter = conn
+	if reg != nil {
+		rw = &countingConn{Conn: conn,
+			sent: reg.Counter("server_bytes_sent"), recv: reg.Counter("server_bytes_recv")}
+	}
+	dec := gob.NewDecoder(rw)
+	enc := gob.NewEncoder(rw)
 	for {
 		var req reqEnvelope
 		if err := dec.Decode(&req); err != nil {
@@ -113,6 +133,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		h := s.handler
 		s.mu.Unlock()
 		var env respEnvelope
+		start := time.Now()
 		if h == nil {
 			env = respEnvelope{Err: "transport: server has no handler installed"}
 		} else {
@@ -120,6 +141,14 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			env = respEnvelope{V: resp}
 			if err != nil {
 				env = respEnvelope{Err: err.Error()}
+			}
+		}
+		if reg != nil {
+			reg.Counter("server_requests").Inc()
+			reg.Histogram("server_handle_ns").Observe(time.Since(start).Nanoseconds())
+			reg.Histogram("server_handle_ns." + reqName(req.V)).Observe(time.Since(start).Nanoseconds())
+			if env.Err != "" {
+				reg.Counter("server_errors").Inc()
 			}
 		}
 		if err := enc.Encode(&env); err != nil {
@@ -146,7 +175,16 @@ type TCPClient struct {
 	poolSize    int
 
 	mu    sync.Mutex
+	reg   *obs.Registry
 	pools map[string]chan *tcpConn
+}
+
+// Observe attaches a metrics registry: connections dialed afterwards count
+// rpc_bytes_sent / rpc_bytes_recv, and every fresh dial counts rpc_dials.
+func (c *TCPClient) Observe(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
 }
 
 type tcpConn struct {
@@ -190,7 +228,16 @@ func (c *TCPClient) get(ctx context.Context, addr string) (tc *tcpConn, pooled b
 	if err != nil {
 		return nil, false, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
-	return &tcpConn{c: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, false, nil
+	c.mu.Lock()
+	reg := c.reg
+	c.mu.Unlock()
+	var rw io.ReadWriter = conn
+	if reg != nil {
+		reg.Counter("rpc_dials").Inc()
+		rw = &countingConn{Conn: conn,
+			sent: reg.Counter("rpc_bytes_sent"), recv: reg.Counter("rpc_bytes_recv")}
+	}
+	return &tcpConn{c: conn, enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}, false, nil
 }
 
 func (c *TCPClient) put(addr string, tc *tcpConn) {

@@ -34,8 +34,16 @@ func (t *Tree) Nearest(query []byte, k int) []Result {
 // close neighbours long before the budget runs out, making the result an
 // any-time approximation in the same spirit as the system's LSH tier.
 func (t *Tree) NearestBudget(query []byte, k, budget int) []Result {
+	out, _ := t.NearestBudgetVisits(query, k, budget)
+	return out
+}
+
+// NearestBudgetVisits is NearestBudget plus the number of distance
+// evaluations the traversal performed — the per-lookup work counter the
+// observability layer records, and the quantity the budget caps.
+func (t *Tree) NearestBudgetVisits(query []byte, k, budget int) ([]Result, int) {
 	if k <= 0 || t.root == nil {
-		return nil
+		return nil, 0
 	}
 	h := make(resultHeap, 0, k+1)
 	tau := int(^uint(0) >> 1) // +inf until k results are known
@@ -43,6 +51,7 @@ func (t *Tree) NearestBudget(query []byte, k, budget int) []Result {
 	if budget <= 0 {
 		remaining = int(^uint(0) >> 1)
 	}
+	visits := 0
 	var visit func(n *node)
 	visit = func(n *node) {
 		if n == nil || remaining <= 0 {
@@ -54,6 +63,7 @@ func (t *Tree) NearestBudget(query []byte, k, budget int) []Result {
 					return
 				}
 				remaining--
+				visits++
 				d := t.metric.Distance(query, it.Key)
 				if d < tau || h.Len() < k {
 					heap.Push(&h, Result{Item: it, Dist: d})
@@ -68,6 +78,7 @@ func (t *Tree) NearestBudget(query []byte, k, budget int) []Result {
 			return
 		}
 		remaining--
+		visits++
 		d := t.metric.Distance(query, n.vantage)
 		if d <= n.mu {
 			// Query inside the vantage ball: left first, and the right
@@ -90,7 +101,7 @@ func (t *Tree) NearestBudget(query []byte, k, budget int) []Result {
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(Result)
 	}
-	return out
+	return out, visits
 }
 
 // Range returns every item within distance r of query, in no particular

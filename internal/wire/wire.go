@@ -6,9 +6,11 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 
+	"mendel/internal/obs"
 	"mendel/internal/seq"
 )
 
@@ -183,9 +185,17 @@ type LocalSearch struct {
 	Params    Params
 }
 
-// LocalSearchResult returns the node's extended anchors for the subqueries.
+// LocalSearchResult returns the node's extended anchors for the subqueries,
+// plus the node-side timing breakdown so coordinators can attribute query
+// latency to the paper's stages without extra round trips: KNNNs is the time
+// spent in vp-tree nearest-neighbour lookups, ExtendNs the time spent in
+// filtering and ungapped anchor extension, and Visits the number of vp-tree
+// distance evaluations consumed.
 type LocalSearchResult struct {
-	Anchors []Anchor
+	Anchors  []Anchor
+	KNNNs    int64
+	ExtendNs int64
+	Visits   int64
 }
 
 // GroupSearch is sent to a group entry point, which fans the contained
@@ -199,9 +209,26 @@ type GroupSearch struct {
 	Params    Params
 }
 
-// GroupSearchResult is the group entry point's merged anchor set.
+// GroupSearchResult is the group entry point's merged anchor set. The
+// timing fields aggregate (sum) the member nodes' LocalSearchResult
+// breakdowns, and MergeNs is the entry point's own anchor-aggregation time.
 type GroupSearchResult struct {
-	Anchors []Anchor
+	Anchors  []Anchor
+	KNNNs    int64
+	ExtendNs int64
+	Visits   int64
+	MergeNs  int64
+}
+
+// Metrics asks a node for a snapshot of its observability registry.
+type Metrics struct{}
+
+// MetricsResult carries one node's metric snapshots; empty when the node
+// runs without a registry attached. Snapshots use obs's fixed histogram
+// bucket layout, so coordinators merge them with obs.MergeSnapshots.
+type MetricsResult struct {
+	Node    string
+	Metrics []obs.Snapshot
 }
 
 // Stats queries a node's storage counters.
@@ -223,6 +250,32 @@ type StatsResult struct {
 	BusyNS    int64
 }
 
+// envelope boxes a message for Marshal/Unmarshal: gob refuses to encode a
+// bare interface value, so the codec wraps it in a single-field struct,
+// exactly as the transports frame their request/response exchanges.
+type envelope struct{ V any }
+
+// Marshal encodes a registered wire message into a self-contained byte
+// slice (the persistence/debug counterpart of the transports' streaming
+// framing).
+func Marshal(msg any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{V: msg}); err != nil {
+		return nil, fmt.Errorf("wire: marshal %T: %w", msg, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a Marshal-produced byte slice back into its message.
+// Arbitrary input returns an error; it must never panic (fuzz-enforced).
+func Unmarshal(data []byte) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return env.V, nil
+}
+
 func init() {
 	gob.Register(Ping{})
 	gob.Register(Pong{})
@@ -242,4 +295,6 @@ func init() {
 	gob.Register(GroupSearchResult{})
 	gob.Register(Stats{})
 	gob.Register(StatsResult{})
+	gob.Register(Metrics{})
+	gob.Register(MetricsResult{})
 }

@@ -26,10 +26,12 @@ package mendel
 
 import (
 	"io"
+	"net/http"
 
 	"mendel/internal/blast"
 	"mendel/internal/core"
 	"mendel/internal/matrix"
+	"mendel/internal/obs"
 	"mendel/internal/seq"
 	"mendel/internal/transport"
 	"mendel/internal/wire"
@@ -66,6 +68,48 @@ type (
 	// BatchResult pairs one query of a SearchAll batch with its outcome.
 	BatchResult = core.BatchResult
 )
+
+// Observability re-exports. A MetricsRegistry accumulates counters, gauges
+// and mergeable latency histograms; a QueryTracer records a span tree per
+// query decomposed into the paper's pipeline stages. Attach them with
+// InProcess.Observe, NodeServer.Observe or Cluster.SetObservability, and
+// expose them over HTTP (with pprof) via ServeMetrics.
+type (
+	// MetricsRegistry is a concurrency-safe metrics sink.
+	MetricsRegistry = obs.Registry
+	// QueryTracer records per-query span trees and a slow-query log.
+	QueryTracer = obs.Tracer
+	// MetricSnapshot is one exported metric at a point in time.
+	MetricSnapshot = obs.Snapshot
+	// SpanSnapshot is an immutable copy of a finished query span tree.
+	SpanSnapshot = obs.SpanSnapshot
+	// NodeMetrics is one node's registry snapshot, as returned by
+	// Cluster.MetricsDetailed.
+	NodeMetrics = wire.MetricsResult
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewQueryTracer creates a tracer retaining the most recent capacity root
+// spans (0 uses the default).
+func NewQueryTracer(capacity int) *QueryTracer { return obs.NewTracer(capacity) }
+
+// MetricsHandler serves /metrics, /debug/spans, /debug/vars and
+// /debug/pprof/* from the given sinks; either may be nil.
+func MetricsHandler(reg *MetricsRegistry, tr *QueryTracer) http.Handler { return obs.Handler(reg, tr) }
+
+// ServeMetrics starts an HTTP observability endpoint on addr (":0" picks a
+// free port) and returns the server plus its bound address.
+func ServeMetrics(addr string, reg *MetricsRegistry, tr *QueryTracer) (*http.Server, string, error) {
+	return obs.Serve(addr, reg, tr)
+}
+
+// MergeMetricSnapshots merges per-node snapshots into cluster-wide totals;
+// histogram buckets share a fixed layout, so quantiles survive the merge.
+func MergeMetricSnapshots(groups ...[]MetricSnapshot) []MetricSnapshot {
+	return obs.MergeSnapshots(groups...)
+}
 
 // Molecule kinds.
 const (

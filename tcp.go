@@ -26,8 +26,10 @@ func DefaultResilienceConfig() ResilienceConfig { return transport.DefaultResili
 
 // NodeServer is a storage node serving the Mendel protocol over TCP.
 type NodeServer struct {
-	srv  *transport.TCPServer
-	node *node.Node
+	srv    *transport.TCPServer
+	node   *node.Node
+	client *transport.TCPClient
+	rcall  *transport.ResilientCaller
 }
 
 // ServeNode starts a storage node listening on addr ("host:port"; port 0
@@ -48,9 +50,23 @@ func ServeNodeResilient(addr string, rc ResilienceConfig) (*NodeServer, error) {
 	// The node's advertised identity is the bound listener address (known
 	// only after listening); it uses a TCP client of its own to reach its
 	// group peers when acting as a group entry point.
-	n := node.New(srv.Addr(), transport.NewResilientCaller(transport.NewTCPClient(0), rc))
+	client := transport.NewTCPClient(0)
+	rcall := transport.NewResilientCaller(client, rc)
+	n := node.New(srv.Addr(), rcall)
 	srv.SetHandler(n)
-	return &NodeServer{srv: srv, node: n}, nil
+	return &NodeServer{srv: srv, node: n, client: client, rcall: rcall}, nil
+}
+
+// Observe attaches observability sinks to every layer of the node: the node
+// itself (vp-tree and extension metrics, group_search span trees), the TCP
+// server (request counters, handle latencies, bytes on the wire), the
+// node's outbound TCP client, and its circuit breaker. Either argument may
+// be nil. Call before the node serves traffic.
+func (s *NodeServer) Observe(reg *MetricsRegistry, tracer *QueryTracer) {
+	s.node.Observe(reg, tracer)
+	s.srv.Observe(reg)
+	s.client.Observe(reg)
+	s.rcall.Register(reg)
 }
 
 // Addr returns the bound address to hand to NewTCPCluster.
