@@ -256,8 +256,9 @@ func BenchmarkEndToEndSearch(b *testing.B) {
 	}
 }
 
-// BenchmarkIndexThroughput measures ingest residues/sec.
-func BenchmarkIndexThroughput(b *testing.B) {
+// benchmarkIngest measures ingest residues/sec with the given pipeline
+// (workers = 1 serial, 0 parallel default).
+func benchmarkIngest(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(6))
 	db := NewSet(Protein)
 	for i := 0; i < 50; i++ {
@@ -269,6 +270,7 @@ func BenchmarkIndexThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(Protein)
 		cfg.Groups = 2
+		cfg.IngestWorkers = workers
 		cluster, err := NewInProcess(cfg, 4)
 		if err != nil {
 			b.Fatal(err)
@@ -279,6 +281,14 @@ func BenchmarkIndexThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(db.TotalResidues()*b.N)/b.Elapsed().Seconds(), "residues/s")
 }
+
+// BenchmarkIndexThroughput measures ingest residues/sec through the default
+// (parallel) pipeline.
+func BenchmarkIndexThroughput(b *testing.B) { benchmarkIngest(b, 0) }
+
+// BenchmarkIndexThroughputSerial is the IngestWorkers=1 baseline the
+// parallel pipeline's speedup is quoted against.
+func BenchmarkIndexThroughputSerial(b *testing.B) { benchmarkIngest(b, 1) }
 
 // BenchmarkBlastBaselineSearch measures the comparator on the same data
 // shape as BenchmarkEndToEndSearch.

@@ -1,0 +1,137 @@
+// Command benchgate is the CI benchmark-regression gate: it compares two
+// `go test -bench` output files (a checked-in baseline and a fresh run) and
+// exits nonzero when the geometric-mean ns/op ratio across the common
+// benchmarks regresses beyond a threshold.
+//
+// Usage:
+//
+//	benchgate -old .github/bench_baseline.txt -new bench_new.txt [-threshold 0.15]
+//
+// Each benchmark's ns/op is summarized by the median across its -count
+// repetitions, which shrugs off the odd noisy iteration; benchstat remains
+// the human-readable report, benchgate is the hard pass/fail. Benchmarks
+// present in only one file are reported but do not gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output")
+	newPath := flag.String("new", "", "candidate benchmark output")
+	threshold := flag.Float64("threshold", 0.15, "maximum allowed geomean slowdown (0.15 = +15%)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -old baseline.txt -new candidate.txt [-threshold 0.15]")
+		os.Exit(2)
+	}
+	oldRuns, err := parse(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRuns, err := parse(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(oldRuns))
+	for name := range oldRuns {
+		if _, ok := newRuns[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("benchgate: no common benchmarks between %s and %s", *oldPath, *newPath))
+	}
+	for name := range oldRuns {
+		if _, ok := newRuns[name]; !ok {
+			fmt.Printf("note: %s only in baseline\n", name)
+		}
+	}
+	for name := range newRuns {
+		if _, ok := oldRuns[name]; !ok {
+			fmt.Printf("note: %s only in candidate (no baseline yet)\n", name)
+		}
+	}
+
+	logSum := 0.0
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		o, n := median(oldRuns[name]), median(newRuns[name])
+		ratio := n / o
+		logSum += math.Log(ratio)
+		fmt.Printf("%-50s %14.0f %14.0f %7.3fx\n", name, o, n, ratio)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	limit := 1 + *threshold
+	fmt.Printf("geomean ratio: %.3fx (limit %.3fx over %d benchmarks)\n", geomean, limit, len(names))
+	if geomean > limit {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: geomean slowdown %.1f%% exceeds %.1f%%\n",
+			(geomean-1)*100, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+// parse extracts ns/op samples per benchmark name (CPU-count suffix
+// stripped, so baselines survive runner core-count changes).
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if fields[3] != "ns/op" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		runs[name] = append(runs[name], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines in %s", path)
+	}
+	return runs, nil
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

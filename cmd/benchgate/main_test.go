@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseStripsProcSuffixAndCollectsRuns(t *testing.T) {
+	path := writeBench(t, `goos: linux
+BenchmarkFoo-8    1    100 ns/op    5 B/op
+BenchmarkFoo-8    1    300 ns/op
+BenchmarkFoo-8    1    200 ns/op
+BenchmarkBar      2    50 ns/op
+not a benchmark line
+BenchmarkBad      1    xx ns/op
+`)
+	runs, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(runs["BenchmarkFoo"]); got != 3 {
+		t.Fatalf("BenchmarkFoo runs = %d, want 3", got)
+	}
+	if got := median(runs["BenchmarkFoo"]); got != 200 {
+		t.Fatalf("median = %f, want 200", got)
+	}
+	if got := len(runs["BenchmarkBar"]); got != 1 {
+		t.Fatalf("BenchmarkBar runs = %d, want 1", got)
+	}
+	if _, ok := runs["BenchmarkBad"]; ok {
+		t.Fatal("unparseable value should be skipped")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(writeBench(t, "no benchmarks here\n")); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := median([]float64{100, 200, 400, 300}); got != 250 {
+		t.Fatalf("even median = %f, want 250", got)
+	}
+}

@@ -7,7 +7,12 @@
 //	mendel-bench [flags] <experiment>
 //
 // where experiment is one of: table1, fig5, fig6a, fig6b, fig6c, fig6d,
-// ablate-depth, ablate-tier2, ablate-insert, ablate-bucket, all.
+// ablate-depth, ablate-tier2, ablate-insert, ablate-bucket, perf, all.
+//
+// The perf experiment measures the ingest and query hot paths (ns/op,
+// allocs/op, blocks/sec, p50/p95 latency); -json writes its machine-readable
+// form — the BENCH_*.json artifact the CI benchmark gate archives — to the
+// given path.
 package main
 
 import (
@@ -29,10 +34,11 @@ func main() {
 	queries := flag.Int("queries", 5, "queries per measurement point")
 	seed := flag.Int64("seed", 1, "workload seed")
 	latency := flag.Duration("latency", 0, "simulated per-message LAN latency (e.g. 1ms)")
+	jsonPath := flag.String("json", "", "write the perf experiment's JSON result to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mendel-bench [flags] <table1|fig5|fig6a|fig6b|fig6c|fig6d|ablate-depth|ablate-tier2|ablate-insert|ablate-bucket|all>")
+		fmt.Fprintln(os.Stderr, "usage: mendel-bench [flags] <table1|fig5|fig6a|fig6b|fig6c|fig6d|ablate-depth|ablate-tier2|ablate-insert|ablate-bucket|perf|all>")
 		os.Exit(2)
 	}
 	scale := bench.Scale{
@@ -47,10 +53,10 @@ func main() {
 		scale.Latency = transport.LatencyModel{Base: *latency, Jitter: *latency / 2}
 	}
 
-	run(flag.Arg(0), scale)
+	run(flag.Arg(0), scale, *jsonPath)
 }
 
-func run(name string, scale bench.Scale) {
+func run(name string, scale bench.Scale, jsonPath string) {
 	experiments := map[string]func(bench.Scale) (fmt.Stringer, error){
 		"fig5": func(s bench.Scale) (fmt.Stringer, error) { return wrap(bench.RunFig5(s)) },
 		"fig6a": func(s bench.Scale) (fmt.Stringer, error) {
@@ -77,9 +83,25 @@ func run(name string, scale bench.Scale) {
 		"ablate-bucket": func(s bench.Scale) (fmt.Stringer, error) {
 			return wrap(bench.RunAblateBucket(s, nil))
 		},
+		"perf": func(s bench.Scale) (fmt.Stringer, error) {
+			r, err := bench.RunPerf(s)
+			if err != nil {
+				return nil, err
+			}
+			if jsonPath != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return wrap(r, nil)
+		},
 	}
 	order := []string{"table1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d",
-		"ablate-depth", "ablate-tier2", "ablate-insert", "ablate-bucket"}
+		"ablate-depth", "ablate-tier2", "ablate-insert", "ablate-bucket", "perf"}
 
 	runOne := func(id string) {
 		if id == "table1" {

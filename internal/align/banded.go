@@ -1,6 +1,42 @@
 package align
 
-import "mendel/internal/matrix"
+import (
+	"sync"
+
+	"mendel/internal/matrix"
+)
+
+// swScratch holds the DP rows and traceback matrix of one banded alignment.
+// Gapped extension runs up to MaxGapped alignments per query, so the
+// per-call allocations here dominated the extend stage's garbage; pooling
+// them drops that to near zero.
+type swScratch struct {
+	h, ins, del, hPrev, insPrev []int
+	tb                          []byte
+}
+
+var swPool = sync.Pool{New: func() any { return new(swScratch) }}
+
+// resize readies the scratch for a rowLen-wide band over qn query rows. The
+// score rows are fully re-initialized by the caller; tb is intentionally NOT
+// zeroed — the traceback only follows direction flags written this call
+// (stale bytes are unreachable because every move is guarded by the freshly
+// reset score rows' -inf sentinels).
+func (s *swScratch) resize(rowLen, tbLen int) {
+	if cap(s.h) < rowLen {
+		s.h = make([]int, rowLen)
+		s.ins = make([]int, rowLen)
+		s.del = make([]int, rowLen)
+		s.hPrev = make([]int, rowLen)
+		s.insPrev = make([]int, rowLen)
+	}
+	s.h, s.ins, s.del = s.h[:rowLen], s.ins[:rowLen], s.del[:rowLen]
+	s.hPrev, s.insPrev = s.hPrev[:rowLen], s.insPrev[:rowLen]
+	if cap(s.tb) < tbLen {
+		s.tb = make([]byte, tbLen)
+	}
+	s.tb = s.tb[:tbLen]
+}
 
 // BandedSmithWaterman computes the best local alignment whose path stays
 // within the diagonal band [minDiag, maxDiag], where a cell aligning
@@ -31,12 +67,15 @@ func BandedSmithWaterman(query, subject []byte, minDiag, maxDiag int, m *matrix.
 	// Two padding columns (b = -1 and b = width) hold -inf sentinels so the
 	// recurrences never index outside the band.
 	rowLen := width + 2
-	h := make([]int, rowLen)     // h[b+1] = H[i][j]
-	ins := make([]int, rowLen)   // Ins matrix (gap in subject, consumes query)
-	del := make([]int, rowLen)   // Del matrix (gap in query, consumes subject)
-	hPrev := make([]int, rowLen) // previous row
-	insPrev := make([]int, rowLen)
-	tb := make([]byte, (qn+1)*rowLen)
+	scratch := swPool.Get().(*swScratch)
+	defer swPool.Put(scratch)
+	scratch.resize(rowLen, (qn+1)*rowLen)
+	h := scratch.h         // h[b+1] = H[i][j]
+	ins := scratch.ins     // Ins matrix (gap in subject, consumes query)
+	del := scratch.del     // Del matrix (gap in query, consumes subject)
+	hPrev := scratch.hPrev // previous row
+	insPrev := scratch.insPrev
+	tb := scratch.tb
 
 	for b := 0; b < rowLen; b++ {
 		h[b], ins[b], del[b] = negInf, negInf, negInf

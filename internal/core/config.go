@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"mendel/internal/seq"
 )
@@ -64,6 +65,14 @@ type Config struct {
 	// high-entropy segments). 0 derives the default; -1 forces exact
 	// (unbudgeted) search.
 	SearchBudget int
+	// IngestWorkers sets the fragmentation/hashing worker count of Index.
+	// 0 (the default) uses one worker per core with concurrent per-node
+	// batch senders; 1 selects the fully serial pipeline (the baseline the
+	// perf harness compares against); higher values pin the pool size.
+	// Either way block placement and the resulting per-node vp-trees are
+	// identical — the staged BuildIndex protocol makes ingest order
+	// irrelevant.
+	IngestWorkers int
 	// Seed makes vantage selection and entry-point choice deterministic.
 	Seed int64
 }
@@ -103,6 +112,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MaxGapped = %d", c.MaxGapped)
 	case c.Replicas < 0:
 		return fmt.Errorf("core: Replicas = %d", c.Replicas)
+	case c.IngestWorkers < 0:
+		return fmt.Errorf("core: IngestWorkers = %d", c.IngestWorkers)
 	}
 	return nil
 }
@@ -113,6 +124,15 @@ func (c Config) replicas() int {
 		return 1
 	}
 	return c.Replicas
+}
+
+// ingestWorkers returns the effective fragmentation worker count (zero
+// means one per core).
+func (c Config) ingestWorkers() int {
+	if c.IngestWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.IngestWorkers
 }
 
 // DefaultSearchBudget bounds local lookups to a few thousand distance

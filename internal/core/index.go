@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"mendel/internal/invindex"
 	"mendel/internal/seq"
@@ -126,7 +127,9 @@ func (c *Cluster) bootstrapNodes(ctx context.Context) error {
 	return nil
 }
 
-// storeSequences places each sequence on its repository shard.
+// storeSequences places each sequence on its repository shard. Shards are
+// independent, so the per-node StoreSequences calls run concurrently unless
+// the serial pipeline (IngestWorkers = 1) was requested.
 func (c *Cluster) storeSequences(ctx context.Context, set *seq.Set, base seq.ID) error {
 	byNode := make(map[string]*wire.StoreSequences)
 	for _, s := range set.Seqs {
@@ -142,23 +145,66 @@ func (c *Cluster) storeSequences(ctx context.Context, set *seq.Set, base seq.ID)
 			msg.Data = append(msg.Data, s.Data)
 		}
 	}
-	for node, msg := range byNode {
-		if _, err := c.caller.Call(ctx, node, *msg); err != nil {
-			return fmt.Errorf("core: storing sequences on %s: %w", node, err)
+	if c.cfg.ingestWorkers() <= 1 {
+		for node, msg := range byNode {
+			if _, err := c.caller.Call(ctx, node, *msg); err != nil {
+				return fmt.Errorf("core: storing sequences on %s: %w", node, err)
+			}
 		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for node, msg := range byNode {
+		wg.Add(1)
+		go func(node string, msg *wire.StoreSequences) {
+			defer wg.Done()
+			if _, err := c.caller.Call(ctx, node, *msg); err != nil {
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("core: storing sequences on %s: %w", node, err)
+				})
+			}
+		}(node, msg)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// dispatchBlocks fragments, hashes and ships every block, then broadcasts
+// BuildIndex so each node folds its staged blocks into the local vp-tree
+// with one bulk median-split build. Both pipelines stage: nodes sort the
+// staged set before building, so the serial and parallel paths produce
+// byte-identical trees (asserted by TestIngestSerialParallelEquivalence).
+func (c *Cluster) dispatchBlocks(ctx context.Context, set *seq.Set, base seq.ID, blockCfg invindex.Config, tree *vphash.Tree) error {
+	var err error
+	if workers := c.cfg.ingestWorkers(); workers <= 1 {
+		err = c.dispatchSerial(ctx, set, base, blockCfg, tree)
+	} else {
+		err = c.dispatchParallel(ctx, set, base, blockCfg, tree, workers)
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := transport.Broadcast(ctx, c.caller, c.topo.AllNodes(), wire.BuildIndex{}); err != nil {
+		return fmt.Errorf("core: building local indexes: %w", err)
 	}
 	return nil
 }
 
-// dispatchBlocks fragments, hashes and ships every block.
-func (c *Cluster) dispatchBlocks(ctx context.Context, set *seq.Set, base seq.ID, blockCfg invindex.Config, tree *vphash.Tree) error {
+// dispatchSerial is the single-threaded ingest pipeline, kept both as the
+// IngestWorkers=1 escape hatch and as the baseline the perf harness and the
+// equivalence test compare the parallel pipeline against.
+func (c *Cluster) dispatchSerial(ctx context.Context, set *seq.Set, base seq.ID, blockCfg invindex.Config, tree *vphash.Tree) error {
 	pending := make(map[string][]wire.Block)
 	flush := func(node string) error {
 		blocks := pending[node]
 		if len(blocks) == 0 {
 			return nil
 		}
-		if _, err := c.caller.Call(ctx, node, wire.IndexBlocks{Blocks: blocks}); err != nil {
+		if _, err := c.caller.Call(ctx, node, wire.IndexBlocks{Blocks: blocks, Stage: true}); err != nil {
 			return fmt.Errorf("core: indexing blocks on %s: %w", node, err)
 		}
 		pending[node] = nil
@@ -193,4 +239,112 @@ func (c *Cluster) dispatchBlocks(ctx context.Context, set *seq.Set, base seq.ID,
 		}
 	}
 	return nil
+}
+
+// dispatchParallel is the concurrent ingest pipeline: a bounded pool of
+// fragmentation workers pulls whole sequences from a feed, fragments them
+// into blocks and hashes each through both DHT tiers (vp-prefix tree, then
+// the group's SHA-1 ring), accumulating worker-local per-node batches; full
+// batches are handed to one sender goroutine per node, which serializes that
+// node's IndexBlocks RPCs. Fragmenting/hashing (CPU) thus overlaps with RPC
+// encode/transfer, and no two goroutines ever write to the same node
+// concurrently. The first error cancels the pipeline; block placement is a
+// pure function of content, so concurrency never changes where a block
+// lands, and staging (see dispatchBlocks) keeps the trees deterministic.
+func (c *Cluster) dispatchParallel(ctx context.Context, set *seq.Set, base seq.ID, blockCfg invindex.Config, tree *vphash.Tree, workers int) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	nodes := c.topo.AllNodes()
+	sendCh := make(map[string]chan []wire.Block, len(nodes))
+	var senders sync.WaitGroup
+	for _, node := range nodes {
+		ch := make(chan []wire.Block, workers)
+		sendCh[node] = ch
+		senders.Add(1)
+		go func(node string, ch <-chan []wire.Block) {
+			defer senders.Done()
+			for blocks := range ch {
+				if ctx.Err() != nil {
+					continue // failed: drain so workers never block
+				}
+				if _, err := c.caller.Call(ctx, node, wire.IndexBlocks{Blocks: blocks, Stage: true}); err != nil {
+					fail(fmt.Errorf("core: indexing blocks on %s: %w", node, err))
+				}
+			}
+		}(node, ch)
+	}
+
+	replicas := c.cfg.replicas()
+	seqCh := make(chan *seq.Sequence)
+	var frags sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		frags.Add(1)
+		go func() {
+			defer frags.Done()
+			pending := make(map[string][]wire.Block)
+			emit := func(node string, blocks []wire.Block) {
+				select {
+				case sendCh[node] <- blocks:
+				case <-ctx.Done():
+				}
+			}
+			for s := range seqCh {
+				if ctx.Err() != nil {
+					continue // drain the feed after a failure
+				}
+				gid := base + s.ID
+				for _, b := range invindex.Blocks(s, blockCfg) {
+					group := tree.Group(b.Content)
+					for _, node := range c.topo.ReplicasFor(group, b.Content, replicas) {
+						pending[node] = append(pending[node], wire.Block{
+							Seq:     gid,
+							Start:   b.Start,
+							Content: b.Content,
+							Context: b.Context,
+							CtxOff:  b.CtxOff,
+						})
+						if len(pending[node]) >= indexBatchBlocks {
+							emit(node, pending[node])
+							pending[node] = nil
+						}
+					}
+				}
+			}
+			for node, blocks := range pending {
+				if len(blocks) > 0 {
+					emit(node, blocks)
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, s := range set.Seqs {
+		select {
+		case seqCh <- s:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(seqCh)
+	frags.Wait()
+	for _, ch := range sendCh {
+		close(ch)
+	}
+	senders.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mendel/internal/seq"
+	"mendel/internal/transport"
+)
+
+// newIngestCluster builds an 8-node/4-group protein cluster with the given
+// ingest worker count, over the same deterministic configuration.
+func newIngestCluster(t *testing.T, workers int) *InProcess {
+	t.Helper()
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 4
+	cfg.SampleSize = 500
+	cfg.IngestWorkers = workers
+	ip, err := NewInProcess(cfg, 8, transport.WithEncodeCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+// TestIngestSerialParallelEquivalence is the contract of the staged ingest
+// protocol: the serial (IngestWorkers=1) and parallel pipelines must place
+// every block on the same node and build identical local vp-trees, so
+// queries answer identically. Placement is content-hashed and trees are
+// built from the sorted staged set, so neither may depend on ingest
+// concurrency or RPC arrival order. Run under -race this also exercises the
+// sender/worker synchronization.
+func TestIngestSerialParallelEquivalence(t *testing.T) {
+	ctx := context.Background()
+	serial := newIngestCluster(t, 1)
+	parallel := newIngestCluster(t, 8)
+
+	// Identical databases, from identical seeds.
+	dbSerial := buildTestDB(rand.New(rand.NewSource(42)), 40, 400)
+	dbParallel := buildTestDB(rand.New(rand.NewSource(42)), 40, 400)
+
+	if err := serial.Index(ctx, dbSerial); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Index(ctx, dbParallel); err != nil {
+		t.Fatal(err)
+	}
+
+	// Block placement and tree construction must match node for node.
+	ss, err := serial.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := parallel.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != len(ps) {
+		t.Fatalf("stats length %d vs %d", len(ss), len(ps))
+	}
+	for i := range ss {
+		if ss[i].Node != ps[i].Node ||
+			ss[i].Blocks != ps[i].Blocks ||
+			ss[i].Residues != ps[i].Residues ||
+			ss[i].Sequences != ps[i].Sequences ||
+			ss[i].TreeSize != ps[i].TreeSize {
+			t.Errorf("node %s diverged: serial {blocks %d residues %d seqs %d tree %d} parallel {blocks %d residues %d seqs %d tree %d}",
+				ss[i].Node, ss[i].Blocks, ss[i].Residues, ss[i].Sequences, ss[i].TreeSize,
+				ps[i].Blocks, ps[i].Residues, ps[i].Sequences, ps[i].TreeSize)
+		}
+	}
+
+	// Queries — exact fragments and mutated homologs — must answer
+	// identically, hit for hit.
+	rng := rand.New(rand.NewSource(99))
+	params := defaultTestParams()
+	for trial := 0; trial < 6; trial++ {
+		src := dbSerial.Seqs[rng.Intn(len(dbSerial.Seqs))]
+		start := rng.Intn(src.Len() - 120)
+		query := append([]byte(nil), src.Data[start:start+120]...)
+		if trial%2 == 1 {
+			query = mutateSubs(rng, query, 0.1)
+		}
+		hs, err := serial.Search(ctx, query, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := parallel.Search(ctx, query, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hs, hp) {
+			t.Fatalf("trial %d: serial and parallel clusters returned different hits:\n%v\nvs\n%v", trial, hs, hp)
+		}
+	}
+}
+
+// TestIngestParallelGrowsDatabase re-indexes a second set into an existing
+// parallel cluster — Index must be repeatable, and hits from both batches
+// must be found.
+func TestIngestParallelGrowsDatabase(t *testing.T) {
+	ctx := context.Background()
+	ip := newIngestCluster(t, 4)
+
+	first := buildTestDB(rand.New(rand.NewSource(7)), 20, 300)
+	second := buildTestDB(rand.New(rand.NewSource(8)), 20, 300)
+	if err := ip.Index(ctx, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Index(ctx, second); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ip.TotalResidues(), 40*300; got != want {
+		t.Fatalf("total residues = %d, want %d", got, want)
+	}
+
+	// Global IDs: the first batch occupies [0,20), the second [20,40).
+	params := defaultTestParams()
+	cases := []struct {
+		src *seq.Sequence
+		gid seq.ID
+	}{
+		{first.Seqs[3], 3},
+		{second.Seqs[5], 25},
+	}
+	for _, tc := range cases {
+		query := tc.src.Data[50:170]
+		hits, err := ip.Search(ctx, query, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, h := range hits {
+			if h.Seq == tc.gid {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("exact fragment of global sequence %d not found after growth (%d hits)", tc.gid, len(hits))
+		}
+	}
+}

@@ -9,6 +9,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,9 @@ type Node struct {
 	blocks   map[uint64]wire.Block
 	residues int
 	seqs     map[seq.ID]storedSeq
+	// staged holds blocks accepted with IndexBlocks.Stage, awaiting the
+	// BuildIndex bulk build.
+	staged []vptree.Item
 
 	// busyNS accumulates time spent in localSearch (atomic).
 	busyNS atomic.Int64
@@ -106,6 +110,8 @@ func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 		return n.updateTopology(r)
 	case wire.IndexBlocks:
 		return n.indexBlocks(r)
+	case wire.BuildIndex:
+		return n.buildIndex()
 	case wire.StoreSequences:
 		return n.storeSequences(r)
 	case wire.FetchRegion:
@@ -162,6 +168,7 @@ func (n *Node) bootstrap(b wire.Bootstrap) (any, error) {
 	n.blocks = make(map[uint64]wire.Block)
 	n.residues = 0
 	n.seqs = make(map[seq.ID]storedSeq)
+	n.staged = nil
 	return wire.BootstrapAck{}, nil
 }
 
@@ -207,10 +214,38 @@ func (n *Node) indexBlocks(r wire.IndexBlocks) (any, error) {
 		n.residues += len(b.Content)
 		items = append(items, vptree.Item{Key: b.Content, Ref: ref})
 	}
+	if r.Stage {
+		// Deferred indexing: the blocks are stored and searchable state is
+		// untouched until BuildIndex folds everything staged into the tree
+		// at once. Concurrent ingest senders hit this path, so the tree
+		// never sees their (nondeterministic) arrival order.
+		n.staged = append(n.staged, items...)
+		return wire.IndexBlocksAck{Accepted: len(items)}, nil
+	}
 	// Batched insertion into the local dynamic vp-tree (§III-D's middle
 	// ground between per-element inserts and full rebuilds).
 	n.tree.InsertBatch(items)
 	return wire.IndexBlocksAck{Accepted: len(items)}, nil
+}
+
+// buildIndex folds every staged block into the local vp-tree. Items are
+// sorted by packed block reference first, so the resulting tree is a pure
+// function of the set of blocks placed on this node — identical whether the
+// ingest pipeline delivered them serially or from many concurrent senders.
+func (n *Node) buildIndex() (any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.booted {
+		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
+	}
+	staged := n.staged
+	n.staged = nil
+	if len(staged) == 0 {
+		return wire.BuildIndexAck{}, nil
+	}
+	sort.Slice(staged, func(i, j int) bool { return staged[i].Ref < staged[j].Ref })
+	n.tree.InsertBatch(staged)
+	return wire.BuildIndexAck{Items: len(staged)}, nil
 }
 
 func (n *Node) storeSequences(r wire.StoreSequences) (any, error) {

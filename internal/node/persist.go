@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"mendel/internal/invindex"
 	"mendel/internal/metric"
@@ -107,6 +108,9 @@ func (n *Node) LoadFrom(r io.Reader) error {
 		n.residues += len(b.Content)
 		items = append(items, vptree.Item{Key: b.Content, Ref: ref})
 	}
+	// Snapshots serialize the block map in arbitrary order; sorting by ref
+	// makes the rebuilt tree identical across save/load cycles.
+	sort.Slice(items, func(i, j int) bool { return items[i].Ref < items[j].Ref })
 	n.tree = vptree.Build(met, 0, 1, items)
 	for i, id := range snap.SeqIDs {
 		n.seqs[id] = storedSeq{name: snap.SeqNames[i], data: snap.SeqData[i]}

@@ -47,13 +47,7 @@ func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
 	// Subquery windows are independent; shard them over a few workers.
 	// The node's read lock is held for the whole request, so workers may
 	// touch the tree and block store freely.
-	workers := runtime.GOMAXPROCS(0) / 2
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(r.Offsets) {
-		workers = len(r.Offsets)
-	}
+	workers := localSearchWorkers(len(r.Offsets))
 	type workerStats struct {
 		anchors  []wire.Anchor
 		knnNs    int64
@@ -67,6 +61,9 @@ func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
 		go func(w int) {
 			defer wg.Done()
 			var ws workerStats
+			// Per-worker consecutivity scratch, reused across every
+			// candidate this worker filters.
+			matched := make([]bool, r.WindowLen)
 			for i := w; i < len(r.Offsets); i += workers {
 				off := r.Offsets[i]
 				window := r.Query[off : off+r.WindowLen]
@@ -86,7 +83,7 @@ func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
 					if identity(window, block.Content) < r.Params.Identity {
 						continue
 					}
-					if cScore(window, block.Content, m) < r.Params.CScore {
+					if cScoreInto(window, block.Content, m, matched) < r.Params.CScore {
 						continue
 					}
 					ws.anchors = append(ws.anchors, extendAnchor(r.Query, off, r.WindowLen, block, m))
@@ -129,20 +126,44 @@ func identity(window, candidate []byte) float64 {
 	return float64(matches) / float64(len(candidate))
 }
 
+// localSearchWorkers sizes the subquery worker pool: half the cores (the
+// other half serve concurrent requests), floored at one so single-core
+// machines — CI runners in particular — still make progress, and capped at
+// the number of windows so no worker spins up idle.
+func localSearchWorkers(nOffsets int) int {
+	workers := runtime.GOMAXPROCS(0) / 2
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nOffsets {
+		workers = nOffsets
+	}
+	return workers
+}
+
 // cScore is the paper's consecutivity score: of the matching positions, the
 // fraction that sit in runs of at least two. For protein data a position
 // "matches" when the scoring matrix gives the substitution a positive score
 // (§V-B); exact equality always matches.
 func cScore(window, candidate []byte, m *matrix.Matrix) float64 {
+	return cScoreInto(window, candidate, m, make([]bool, len(window)))
+}
+
+// cScoreInto is cScore with caller-owned match scratch (len(window) bools),
+// letting the localSearch workers score thousands of candidates without
+// per-candidate allocation.
+func cScoreInto(window, candidate []byte, m *matrix.Matrix, matched []bool) float64 {
 	n := len(window)
 	if n == 0 {
 		return 0
 	}
-	matched := make([]bool, n)
+	matched = matched[:n]
 	total := 0
 	for i := 0; i < n; i++ {
-		if window[i] == candidate[i] || m.Score(window[i], candidate[i]) > 0 {
-			matched[i] = true
+		// Assign (not just set) so a reused scratch carries no stale trues.
+		ok := window[i] == candidate[i] || m.Score(window[i], candidate[i]) > 0
+		matched[i] = ok
+		if ok {
 			total++
 		}
 	}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"runtime"
 	"testing"
 
 	"mendel/internal/matrix"
@@ -103,5 +104,53 @@ func blockAt(subject []byte, seqID seq.ID, start, w, margin int) wire.Block {
 		Content: subject[start : start+w],
 		Context: subject[ctxStart:ctxEnd],
 		CtxOff:  start - ctxStart,
+	}
+}
+
+// TestLocalSearchWorkers pins the pool-sizing rules: floored at one worker
+// (single-core runners must not compute zero workers and hang), capped at
+// the window count, and never more than half the cores.
+func TestLocalSearchWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	if got := localSearchWorkers(100); got != 1 {
+		t.Errorf("GOMAXPROCS=1: workers = %d, want 1", got)
+	}
+	runtime.GOMAXPROCS(8)
+	if got := localSearchWorkers(100); got != 4 {
+		t.Errorf("GOMAXPROCS=8: workers = %d, want 4", got)
+	}
+	if got := localSearchWorkers(2); got != 2 {
+		t.Errorf("GOMAXPROCS=8, 2 offsets: workers = %d, want 2", got)
+	}
+	if got := localSearchWorkers(0); got != 0 {
+		t.Errorf("0 offsets: workers = %d, want 0", got)
+	}
+}
+
+// TestCScoreIntoScratchReuse feeds the same scratch through candidates with
+// progressively fewer matches: stale trues from a previous call must not
+// leak into the next score.
+func TestCScoreIntoScratchReuse(t *testing.T) {
+	m, _ := matrix.ByName("DNA")
+	scratch := make([]bool, 8)
+	if got := cScoreInto([]byte("ACGTACGT"), []byte("ACGTACGT"), m, scratch); got != 1.0 {
+		t.Fatalf("all-match = %f, want 1", got)
+	}
+	// Alternating matches: no runs, so consecutivity is 0. A stale scratch
+	// from the all-match call would report every position consecutive.
+	if got := cScoreInto([]byte("ACACAC"), []byte("AGAGAG"), m, scratch); got != 0.0 {
+		t.Fatalf("alternating after all-match = %f, want 0 (stale scratch?)", got)
+	}
+	if got := cScoreInto([]byte("AAAA"), []byte("TTTT"), m, scratch); got != 0 {
+		t.Fatalf("no-match after reuse = %f, want 0", got)
+	}
+	for trial := 0; trial < 3; trial++ {
+		want := cScore([]byte("AACGTA"), []byte("AATGCA"), m)
+		if got := cScoreInto([]byte("AACGTA"), []byte("AATGCA"), m, scratch); got != want {
+			t.Fatalf("trial %d: reuse = %f, fresh = %f", trial, got, want)
+		}
 	}
 }

@@ -266,14 +266,21 @@ func (n *MemNetwork) call(ctx context.Context, src, addr string, req any) (any, 
 	return resp, nil
 }
 
+// rtBufPool recycles the encode-check scratch buffers: with WithEncodeCheck
+// every in-memory RPC round-trips through gob twice, and a fresh
+// bytes.Buffer per message was pure garbage on the query fan-out path.
+var rtBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func gobRoundTrip(v any) (any, error) {
-	var buf bytes.Buffer
+	buf := rtBufPool.Get().(*bytes.Buffer)
+	defer rtBufPool.Put(buf)
+	buf.Reset()
 	box := struct{ V any }{v}
-	if err := gob.NewEncoder(&buf).Encode(&box); err != nil {
+	if err := gob.NewEncoder(buf).Encode(&box); err != nil {
 		return nil, err
 	}
 	var out struct{ V any }
-	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+	if err := gob.NewDecoder(buf).Decode(&out); err != nil {
 		return nil, err
 	}
 	return out.V, nil

@@ -1,0 +1,149 @@
+package vptree
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mendel/internal/metric"
+	"mendel/internal/seq"
+)
+
+func randomProteinItems(t *testing.T, rng *rand.Rand, n, w int) []Item {
+	t.Helper()
+	const letters = "ARNDCQEGHILKMFPSTWYV"
+	items := make([]Item, n)
+	for i := range items {
+		key := make([]byte, w)
+		for j := range key {
+			key[j] = letters[rng.Intn(len(letters))]
+		}
+		items[i] = Item{Key: key, Ref: uint64(i)}
+	}
+	return items
+}
+
+// TestBuildDeterministic asserts that bulk construction is a pure function
+// of (seed, items): two builds of the same input produce trees that answer
+// identically, regardless of how many goroutines the parallel build used.
+func TestBuildDeterministic(t *testing.T) {
+	m := metric.ForKind(seq.Protein)
+	items := randomProteinItems(t, rand.New(rand.NewSource(7)), 6000, 16)
+	a := Build(m, 0, 42, items)
+	b := Build(m, 0, 42, items)
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	queries := randomProteinItems(t, rand.New(rand.NewSource(8)), 50, 16)
+	for _, q := range queries {
+		ra, va := a.NearestBudgetVisits(q.Key, 9, 512)
+		rb, vb := b.NearestBudgetVisits(q.Key, 9, 512)
+		if va != vb || !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("same seed, different answers: %d/%d visits", va, vb)
+		}
+	}
+}
+
+// TestBuildDeterministicAcrossGOMAXPROCS pins the stronger property the
+// staged ingest path relies on: the serial build (GOMAXPROCS=1) and the
+// parallel build produce the same tree shape.
+func TestBuildDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	m := metric.ForKind(seq.Protein)
+	items := randomProteinItems(t, rand.New(rand.NewSource(9)), 5000, 16)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := Build(m, 0, 3, items)
+	runtime.GOMAXPROCS(prev)
+	parallel := Build(m, 0, 3, items)
+
+	if serial.Size() != parallel.Size() || serial.Height() != parallel.Height() || serial.Leaves() != parallel.Leaves() {
+		t.Fatalf("shape diverged: size %d/%d height %d/%d leaves %d/%d",
+			serial.Size(), parallel.Size(), serial.Height(), parallel.Height(), serial.Leaves(), parallel.Leaves())
+	}
+	queries := randomProteinItems(t, rand.New(rand.NewSource(10)), 40, 16)
+	for _, q := range queries {
+		rs, vs := serial.NearestBudgetVisits(q.Key, 7, 256)
+		rp, vp := parallel.NearestBudgetVisits(q.Key, 7, 256)
+		if vs != vp || !reflect.DeepEqual(rs, rp) {
+			t.Fatalf("serial and parallel trees answer differently")
+		}
+	}
+}
+
+// TestParallelBuildInvariants stresses the concurrent construction path with
+// enough items to cross parallelBuildMin at several levels.
+func TestParallelBuildInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build")
+	}
+	m := metric.ForKind(seq.Protein)
+	items := randomProteinItems(t, rand.New(rand.NewSource(11)), 3*parallelBuildMin, 16)
+	tree := Build(m, 0, 1, items)
+	if err := tree.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != len(items) {
+		t.Fatalf("size %d, want %d", tree.Size(), len(items))
+	}
+	// Every item must be findable at distance 0.
+	for i := 0; i < 200; i++ {
+		it := items[i*17%len(items)]
+		res := tree.Nearest(it.Key, 1)
+		if len(res) != 1 || res[0].Dist != 0 {
+			t.Fatalf("item %d not found exactly", it.Ref)
+		}
+	}
+}
+
+// TestHeapMatchesBruteForce cross-checks the manual k-best heap against a
+// brute-force scan, including distance ties.
+func TestHeapMatchesBruteForce(t *testing.T) {
+	m := metric.ForKind(seq.DNA)
+	rng := rand.New(rand.NewSource(12))
+	items := make([]Item, 400)
+	for i := range items {
+		key := make([]byte, 8)
+		for j := range key {
+			key[j] = "ACGT"[rng.Intn(4)]
+		}
+		items[i] = Item{Key: key, Ref: uint64(i)}
+	}
+	tree := Build(m, 4, 1, items)
+	for trial := 0; trial < 25; trial++ {
+		q := make([]byte, 8)
+		for j := range q {
+			q[j] = "ACGT"[rng.Intn(4)]
+		}
+		k := 1 + rng.Intn(12)
+		got := tree.Nearest(q, k)
+		dists := make([]int, len(items))
+		for i, it := range items {
+			dists[i] = m.Distance(q, it.Key)
+		}
+		if len(got) != k {
+			t.Fatalf("got %d results, want %d", len(got), k)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Dist > got[i].Dist {
+				t.Fatalf("results not ascending at %d", i)
+			}
+		}
+		// The k-th best distance must match brute force.
+		want := append([]int(nil), dists...)
+		sortInts(want)
+		for i, r := range got {
+			if r.Dist != want[i] {
+				t.Fatalf("trial %d: rank %d dist %d, brute force %d", trial, i, r.Dist, want[i])
+			}
+		}
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

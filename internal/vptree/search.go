@@ -1,21 +1,59 @@
 package vptree
 
-import "container/heap"
-
 // resultHeap is a max-heap on distance so the worst of the current k-best
-// sits at the top and can be evicted cheaply.
+// sits at the top and can be evicted cheaply. The sift routines are manual
+// (rather than container/heap) because the standard interface boxes every
+// pushed and popped Result into an interface value — one heap allocation per
+// candidate, on the hottest loop of every subquery.
 type resultHeap []Result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
+func (h resultHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Dist >= h[i].Dist {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (h resultHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && h[l].Dist > h[largest].Dist {
+			largest = l
+		}
+		if r := 2*i + 2; r < n && h[r].Dist > h[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// push adds r, evicting the current worst if the heap already holds k.
+func (h *resultHeap) push(r Result, k int) {
+	*h = append(*h, r)
+	h.siftUp(len(*h) - 1)
+	if len(*h) > k {
+		h.popWorst()
+	}
+}
+
+// popWorst removes and returns the root (largest distance).
+func (h *resultHeap) popWorst() Result {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	h.siftDown(0)
+	return top
 }
 
 // Nearest returns the k nearest items to query, closest first. The search
@@ -65,12 +103,9 @@ func (t *Tree) NearestBudgetVisits(query []byte, k, budget int) ([]Result, int) 
 				remaining--
 				visits++
 				d := t.metric.Distance(query, it.Key)
-				if d < tau || h.Len() < k {
-					heap.Push(&h, Result{Item: it, Dist: d})
-					if h.Len() > k {
-						heap.Pop(&h)
-					}
-					if h.Len() == k {
+				if d < tau || len(h) < k {
+					h.push(Result{Item: it, Dist: d}, k)
+					if len(h) == k {
 						tau = h[0].Dist
 					}
 				}
@@ -85,21 +120,21 @@ func (t *Tree) NearestBudgetVisits(query []byte, k, budget int) ([]Result, int) 
 			// subtree only if the tau-ball crosses the boundary
 			// (case 3 of §III-C; cases 1 and 2 are the prunes).
 			visit(n.left)
-			if d+tau > n.mu || h.Len() < k {
+			if d+tau > n.mu || len(h) < k {
 				visit(n.right)
 			}
 		} else {
 			visit(n.right)
-			if d-tau <= n.mu || h.Len() < k {
+			if d-tau <= n.mu || len(h) < k {
 				visit(n.left)
 			}
 		}
 	}
 	visit(t.root)
 	// Drain the heap into ascending order.
-	out := make([]Result, h.Len())
+	out := make([]Result, len(h))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Result)
+		out[i] = h.popWorst()
 	}
 	return out, visits
 }

@@ -13,7 +13,9 @@ package vptree
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mendel/internal/metric"
 )
@@ -108,53 +110,150 @@ func (t *Tree) Leaves() int {
 }
 
 // build recursively constructs a subtree. Items are consumed.
+//
+// Construction is median-split: a vantage point is chosen, every item's
+// distance to it is measured, and the median distance becomes the routing
+// radius mu. The vantage RNG state of the whole construction derives from a
+// single draw on the tree's rng, and every subtree derives its children's
+// seeds deterministically, so the resulting shape is a pure function of the
+// tree seed, the operation history and the item slice — independent of how
+// many goroutines the parallel build fans out to.
 func (t *Tree) build(items []Item) *node {
+	return t.buildSeeded(items, t.rng.Int63(), newBuildLimiter())
+}
+
+// parallelBuildMin is the subtree size below which recursion stays on the
+// calling goroutine: small subtrees finish faster than a goroutine handoff.
+const parallelBuildMin = 2048
+
+// buildLimiter caps the extra goroutines one bulk build may fan out to. A
+// nil limiter (single-core host) keeps construction fully serial.
+type buildLimiter chan struct{}
+
+func newBuildLimiter() buildLimiter {
+	extra := runtime.GOMAXPROCS(0) - 1
+	if extra <= 0 {
+		return nil
+	}
+	return make(buildLimiter, extra)
+}
+
+func (l buildLimiter) tryAcquire() bool {
+	if l == nil {
+		return false
+	}
+	select {
+	case l <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l buildLimiter) release() { <-l }
+
+func (t *Tree) buildSeeded(items []Item, seed int64, lim buildLimiter) *node {
 	if len(items) == 0 {
 		return nil
 	}
 	if len(items) <= t.bucketCap {
 		return &node{bucket: items, count: len(items)}
 	}
-	vantage := t.selectVantage(items)
-	type distItem struct {
-		d int
-		i Item
+	rng := rand.New(rand.NewSource(seed))
+	vantage := selectVantage(t.metric, rng, items)
+	dist := make([]int, len(items))
+	t.distances(vantage, items, dist, lim)
+	mu := medianDistance(dist)
+	// Left takes d <= mu to guarantee the left side is non-empty and to keep
+	// routing (d <= mu goes left) consistent; the partition is a stable scan
+	// so child item order does not depend on the median algorithm.
+	nLeft := 0
+	for _, d := range dist {
+		if d <= mu {
+			nLeft++
+		}
 	}
-	dist := make([]distItem, len(items))
-	for i, it := range items {
-		dist[i] = distItem{t.metric.Distance(vantage, it.Key), it}
-	}
-	sort.Slice(dist, func(a, b int) bool { return dist[a].d < dist[b].d })
-	mid := len(dist) / 2
-	mu := dist[mid].d
-	// Left takes d <= mu to guarantee the left side is non-empty; advance
-	// the split past ties so routing (d <= mu goes left) stays consistent.
-	split := mid
-	for split < len(dist) && dist[split].d <= mu {
-		split++
-	}
-	if split == len(dist) {
+	if nLeft == len(items) {
 		// Degenerate: every element within mu of the vantage (e.g. all
 		// identical). An oversized leaf is the only consistent shape.
 		return &node{bucket: items, count: len(items)}
 	}
-	left := make([]Item, split)
-	right := make([]Item, len(dist)-split)
-	for i := 0; i < split; i++ {
-		left[i] = dist[i].i
+	left := make([]Item, 0, nLeft)
+	right := make([]Item, 0, len(items)-nLeft)
+	for i, it := range items {
+		if dist[i] <= mu {
+			left = append(left, it)
+		} else {
+			right = append(right, it)
+		}
 	}
-	for i := split; i < len(dist); i++ {
-		right[i-split] = dist[i].i
-	}
+	leftSeed, rightSeed := rng.Int63(), rng.Int63()
 	n := &node{
 		vantage: append([]byte(nil), vantage...),
 		mu:      mu,
-		left:    t.build(left),
-		right:   t.build(right),
 		count:   len(items),
+	}
+	if len(left) >= parallelBuildMin && lim.tryAcquire() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer lim.release()
+			n.left = t.buildSeeded(left, leftSeed, lim)
+		}()
+		n.right = t.buildSeeded(right, rightSeed, lim)
+		wg.Wait()
+	} else {
+		n.left = t.buildSeeded(left, leftSeed, lim)
+		n.right = t.buildSeeded(right, rightSeed, lim)
 	}
 	n.height = 1 + maxInt(subHeight(n.left), subHeight(n.right))
 	return n
+}
+
+// distances fills dist[i] with the metric distance from vantage to item i,
+// sharding the scan over spare cores for large inputs: the root level of a
+// bulk build is a linear pass over the whole dataset and would otherwise
+// serialize the entire construction (Amdahl's bottleneck).
+func (t *Tree) distances(vantage []byte, items []Item, dist []int, lim buildLimiter) {
+	const chunk = 4096
+	if lim == nil || len(items) < 2*chunk {
+		for i, it := range items {
+			dist[i] = t.metric.Distance(vantage, it.Key)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if hi < len(items) && lim.tryAcquire() {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer lim.release()
+				for i := lo; i < hi; i++ {
+					dist[i] = t.metric.Distance(vantage, items[i].Key)
+				}
+			}(lo, hi)
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			dist[i] = t.metric.Distance(vantage, items[i].Key)
+		}
+	}
+	wg.Wait()
+}
+
+// medianDistance returns the element an ascending sort would place at index
+// len/2 — the routing radius of the classic vp-tree median split.
+func medianDistance(dist []int) int {
+	sorted := make([]int, len(dist))
+	copy(sorted, dist)
+	sort.Ints(sorted)
+	return sorted[len(sorted)/2]
 }
 
 func subHeight(n *node) int {
@@ -173,18 +272,19 @@ func maxInt(a, b int) int {
 
 // selectVantage picks a vantage point by sampling a few candidates and
 // choosing the one whose distances to a probe sample have maximal spread
-// (second moment about the median), per Yianilos' heuristic.
-func (t *Tree) selectVantage(items []Item) []byte {
+// (second moment about the median), per Yianilos' heuristic. It draws only
+// from rng, so concurrent subtree builds stay deterministic.
+func selectVantage(m metric.Metric, rng *rand.Rand, items []Item) []byte {
 	const candidates, probes = 8, 24
 	if len(items) == 1 {
 		return items[0].Key
 	}
 	best, bestSpread := items[0].Key, -1.0
+	ds := make([]int, probes)
 	for c := 0; c < candidates && c < len(items); c++ {
-		cand := items[t.rng.Intn(len(items))].Key
-		var ds []int
-		for p := 0; p < probes; p++ {
-			ds = append(ds, t.metric.Distance(cand, items[t.rng.Intn(len(items))].Key))
+		cand := items[rng.Intn(len(items))].Key
+		for p := range ds {
+			ds[p] = m.Distance(cand, items[rng.Intn(len(items))].Key)
 		}
 		sort.Ints(ds)
 		median := ds[len(ds)/2]

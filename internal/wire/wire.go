@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"mendel/internal/obs"
 	"mendel/internal/seq"
@@ -135,14 +136,30 @@ type UpdateTopology struct {
 // UpdateTopologyAck acknowledges UpdateTopology.
 type UpdateTopologyAck struct{}
 
-// IndexBlocks stores a batch of blocks on the receiving node.
+// IndexBlocks stores a batch of blocks on the receiving node. With Stage
+// set the node records the blocks but defers vp-tree insertion until a
+// BuildIndex message arrives; the parallel ingest pipeline uses this so the
+// tree is constructed once, in bulk, from an arrival-order-independent
+// (sorted) item set — making the index deterministic no matter how many
+// concurrent senders delivered the blocks.
 type IndexBlocks struct {
 	Blocks []Block
+	Stage  bool
 }
 
 // IndexBlocksAck reports how many blocks the node accepted.
 type IndexBlocksAck struct {
 	Accepted int
+}
+
+// BuildIndex tells a node to fold every staged block into its local vp-tree
+// with one bulk median-split build. Idempotent: with nothing staged it is a
+// no-op.
+type BuildIndex struct{}
+
+// BuildIndexAck reports how many staged blocks the build consumed.
+type BuildIndexAck struct {
+	Items int
 }
 
 // StoreSequences places full reference sequences on the receiving node's
@@ -255,15 +272,24 @@ type StatsResult struct {
 // exactly as the transports frame their request/response exchanges.
 type envelope struct{ V any }
 
+// BufPool recycles encode/decode scratch buffers across Marshal calls and
+// across the transports' per-message round trips: wire messages are encoded
+// on every RPC, so per-call bytes.Buffer growth was a measurable slice of
+// query-path allocations.
+var BufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Marshal encodes a registered wire message into a self-contained byte
 // slice (the persistence/debug counterpart of the transports' streaming
-// framing).
+// framing). The returned slice is owned by the caller; internal scratch is
+// pooled.
 func Marshal(msg any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&envelope{V: msg}); err != nil {
+	buf := BufPool.Get().(*bytes.Buffer)
+	defer BufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(&envelope{V: msg}); err != nil {
 		return nil, fmt.Errorf("wire: marshal %T: %w", msg, err)
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // Unmarshal decodes a Marshal-produced byte slice back into its message.
@@ -285,6 +311,8 @@ func init() {
 	gob.Register(UpdateTopologyAck{})
 	gob.Register(IndexBlocks{})
 	gob.Register(IndexBlocksAck{})
+	gob.Register(BuildIndex{})
+	gob.Register(BuildIndexAck{})
 	gob.Register(StoreSequences{})
 	gob.Register(StoreSequencesAck{})
 	gob.Register(FetchRegion{})
