@@ -256,6 +256,52 @@ func BenchmarkEndToEndSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkTracingOverhead measures the end-to-end search cost with the
+// observability stack attached, comparing the unsampled hot path
+// (sampled=0: the head sampler rejects every query, so no node records or
+// ships a span) against full tracing (sampled=1: every span recorded,
+// shipped inline, and exemplar-labelled). The data shape matches
+// BenchmarkEndToEndSearch; both variants sit in the CI regression gate, the
+// unsampled one pinning tracing's cost for untraced queries near zero.
+func BenchmarkTracingOverhead(b *testing.B) {
+	for _, rate := range []float64{-1, 1} {
+		name := "sampled=0"
+		if rate > 0 {
+			name = "sampled=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(5))
+			cfg := DefaultConfig(Protein)
+			cfg.Groups = 4
+			cfg.TraceSampleRate = rate
+			cluster, err := NewInProcess(cfg, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster.Observe(NewMetricsRegistry(), NewQueryTracer(0))
+			db := NewSet(Protein)
+			for i := 0; i < 100; i++ {
+				if _, err := db.Add(fmt.Sprintf("ref%03d", i), randomProteinB(rng, 400)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := cluster.Index(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+			query := db.Seqs[37].Data[100:300]
+			p := DefaultParams()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Search(ctx, query, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchmarkIngest measures ingest residues/sec with the given pipeline
 // (workers = 1 serial, 0 parallel default).
 func benchmarkIngest(b *testing.B, workers int) {

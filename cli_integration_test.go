@@ -194,7 +194,7 @@ func TestCLIObservability(t *testing.T) {
 	addr1, metrics1, stop1 := startNodeMetrics(t, nodeBin,
 		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
 	defer stop1()
-	addr2, _, stop2 := startNodeMetrics(t, nodeBin,
+	addr2, metrics2, stop2 := startNodeMetrics(t, nodeBin,
 		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
 	defer stop2()
 	if metrics1 == "" {
@@ -248,5 +248,54 @@ func TestCLIObservability(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("stats -metrics missing %q:\n%s", want, out)
 		}
+	}
+
+	// mendel explain: one fully-sampled query whose assembled cross-node
+	// span tree is rendered as a table naming the storage nodes.
+	out = runTool(t, cliBin, "explain", "-manifest", manifest, "-q", queryFasta)
+	for _, want := range []string{"trace ", "STAGE", "local_search", "per-node:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, addr1) && !strings.Contains(out, addr2) {
+		t.Fatalf("explain table names no storage node:\n%s", out)
+	}
+	traceID := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "trace "); ok {
+			traceID = strings.Fields(rest)[0]
+		}
+	}
+	if len(traceID) != 32 {
+		t.Fatalf("explain printed no 32-hex trace ID:\n%s", out)
+	}
+
+	// Every node the query touched retains its spans under that trace and
+	// serves them at /debug/trace/{id}; at least one must have been touched.
+	served := 0
+	for _, base := range []string{metrics1, metrics2} {
+		resp, err := client.Get(base + "/debug/trace/" + traceID)
+		if err != nil {
+			t.Fatalf("GET trace from node: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			served++
+			if !strings.Contains(string(body), traceID[:8]) && !strings.Contains(string(body), "_search") {
+				t.Errorf("node trace body unexpected:\n%s", body)
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatalf("no node serves /debug/trace/%s", traceID)
+	}
+
+	// -log-json: the query lands a structured record on stderr stamped with
+	// its trace ID (shape pinned by obs.TestLogOutputShape).
+	out = runTool(t, cliBin, "query", "-manifest", manifest, "-fasta", queryFasta, "-log-json")
+	if !strings.Contains(out, `"msg":"query"`) || !strings.Contains(out, `"trace_id":"`) {
+		t.Fatalf("-log-json produced no trace-correlated record:\n%s", out)
 	}
 }

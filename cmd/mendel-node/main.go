@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,8 +25,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
 	dataFile := flag.String("data", "", "snapshot file: loaded at startup if present, written on shutdown")
-	metricsAddr := flag.String("metrics-addr", "", "host:port for the HTTP observability endpoint (/metrics, /debug/spans, /debug/pprof); empty disables")
+	metricsAddr := flag.String("metrics-addr", "", "host:port for the HTTP observability endpoint (/metrics, /debug/spans, /debug/trace/{id}, /debug/pprof); empty disables")
 	slowQuery := flag.Duration("slow-query", 0, "log group searches slower than this to stderr (0 disables)")
+	logJSON := flag.Bool("log-json", false, "emit structured JSON logs on stderr (one object per line, trace-correlated)")
 	rc := mendel.DefaultResilienceConfig()
 	flag.DurationVar(&rc.CallTimeout, "rpc-timeout", rc.CallTimeout, "per-RPC timeout for peer calls (0 disables)")
 	flag.IntVar(&rc.MaxRetries, "rpc-retries", rc.MaxRetries, "retries per RPC on unreachable peers")
@@ -37,16 +39,31 @@ func main() {
 	if err != nil {
 		log.Fatalf("mendel-node: %v", err)
 	}
+	// Observability sinks are always attached: the tracer must exist even
+	// without -metrics-addr, so that sampled distributed traces arriving
+	// over TCP record this node's spans and ship them back to the
+	// coordinator. -metrics-addr only controls the HTTP surface.
+	reg := mendel.NewMetricsRegistry()
+	tracer := mendel.NewQueryTracer(0)
+	var logger *slog.Logger
+	if *logJSON {
+		logger = mendel.NewLogger(os.Stderr, slog.LevelInfo, slog.String("node", srv.Addr()))
+	}
+	if *slowQuery > 0 {
+		tracer.SetSlowThreshold(*slowQuery)
+		tracer.OnSlow(func(sp mendel.SpanSnapshot) {
+			if logger != nil {
+				logger.Warn("slow query",
+					slog.String("span", sp.Name),
+					slog.Duration("duration", time.Duration(sp.NS)),
+					slog.String("trace_id", sp.TraceID))
+				return
+			}
+			log.Printf("mendel-node: slow query: %s took %v", sp.Name, time.Duration(sp.NS))
+		})
+	}
+	srv.Observe(reg, tracer)
 	if *metricsAddr != "" {
-		reg := mendel.NewMetricsRegistry()
-		tracer := mendel.NewQueryTracer(0)
-		if *slowQuery > 0 {
-			tracer.SetSlowThreshold(*slowQuery)
-			tracer.OnSlow(func(sp mendel.SpanSnapshot) {
-				log.Printf("mendel-node: slow query: %s took %v", sp.Name, time.Duration(sp.NS))
-			})
-		}
-		srv.Observe(reg, tracer)
 		_, bound, err := mendel.ServeMetrics(*metricsAddr, reg, tracer)
 		if err != nil {
 			log.Fatalf("mendel-node: metrics endpoint: %v", err)
@@ -63,6 +80,9 @@ func main() {
 		}
 	}
 	fmt.Printf("mendel-node listening on %s\n", srv.Addr())
+	if logger != nil {
+		logger.Info("listening", slog.String("addr", srv.Addr()))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -13,12 +13,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"mendel"
@@ -34,6 +38,8 @@ func main() {
 		cmdIndex(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
 	default:
@@ -45,9 +51,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mendel <command> [flags]
 
 commands:
-  index   fragment and index a FASTA file onto running storage nodes
-  query   evaluate alignment queries against an indexed cluster
-  stats   print per-node storage statistics`)
+  index    fragment and index a FASTA file onto running storage nodes
+  query    evaluate alignment queries against an indexed cluster
+  explain  run one fully-traced query and render its cross-node span tree
+  stats    print per-node storage statistics`)
 	os.Exit(2)
 }
 
@@ -151,21 +158,37 @@ func cmdQuery(args []string) {
 	mask := fs.Bool("mask", false, "mask low-complexity query regions before searching")
 	translated := fs.Bool("translated", false, "treat queries as DNA and search a protein cluster in all six reading frames (blastx-style)")
 	trace := fs.Bool("trace", false, "print a per-stage execution trace for each query")
-	metricsAddr := fs.String("metrics-addr", "", "host:port for the coordinator's HTTP observability endpoint (/metrics, /debug/spans, /debug/pprof); empty disables")
+	metricsAddr := fs.String("metrics-addr", "", "host:port for the coordinator's HTTP observability endpoint (/metrics, /debug/spans, /debug/trace/{id}, /debug/pprof); empty disables")
+	traceSample := fs.Float64("trace-sample", 1, "fraction of queries traced cluster-wide (head-based sampling; 0 disables distributed tracing)")
+	logJSON := fs.Bool("log-json", false, "emit per-query structured JSON logs on stderr, stamped with the trace ID")
 	resilience := resilienceFlags(fs)
 	fs.Parse(args)
 
 	cluster, rpc := loadManifest(*manifest, resilience())
-	if *metricsAddr != "" {
+	var logger *slog.Logger
+	if *logJSON {
+		logger = mendel.NewLogger(os.Stderr, slog.LevelInfo)
+	}
+	if *metricsAddr != "" || *logJSON {
 		reg := mendel.NewMetricsRegistry()
 		tracer := mendel.NewQueryTracer(0)
 		cluster.SetObservability(reg, tracer)
 		rpc.Register(reg)
-		_, bound, err := mendel.ServeMetrics(*metricsAddr, reg, tracer)
-		if err != nil {
-			log.Fatalf("mendel query: metrics endpoint: %v", err)
+		if *traceSample <= 0 {
+			// The flag's 0 disables tracing; the config zero value means
+			// trace-all, so map it to the explicit "off" rate.
+			cluster.SetTraceSampleRate(-1)
+		} else {
+			cluster.SetTraceSampleRate(*traceSample)
 		}
-		fmt.Printf("metrics on http://%s/metrics\n", bound)
+		if *metricsAddr != "" {
+			_, bound, err := mendel.ServeMetricsWithTraces(*metricsAddr, reg, tracer,
+				cluster.TraceSource(context.Background()))
+			if err != nil {
+				log.Fatalf("mendel query: metrics endpoint: %v", err)
+			}
+			fmt.Printf("metrics on http://%s/metrics\n", bound)
+		}
 	}
 	params := mendel.DefaultParams()
 	params.MaxE = *maxE
@@ -225,14 +248,33 @@ func cmdQuery(args []string) {
 			}
 			fmt.Printf("query %s (%d nt, six frames): %d hits in %v\n",
 				q.Name, q.Len(), len(hits), time.Since(start).Round(time.Microsecond))
-		} else if *trace {
+			if logger != nil {
+				logger.Info("query",
+					slog.String("query", q.Name),
+					slog.Bool("translated", true),
+					slog.Int("hits", len(hits)),
+					slog.Duration("duration", time.Since(start)))
+			}
+		} else if *trace || *logJSON {
 			var tr *mendel.SearchStats
 			var err error
 			hits, tr, err = cluster.SearchTrace(ctx, q.Data, params)
 			if err != nil {
 				log.Fatalf("mendel query: %s: %v", q.Name, err)
 			}
-			fmt.Printf("query %s: %s\n", q.Name, tr)
+			if *trace {
+				fmt.Printf("query %s: %s\n", q.Name, tr)
+			} else {
+				fmt.Printf("query %s (%d residues): %d hits in %v\n",
+					q.Name, q.Len(), len(hits), time.Since(start).Round(time.Microsecond))
+			}
+			if logger != nil {
+				logger.Info("query",
+					slog.String("query", q.Name),
+					slog.Int("hits", len(hits)),
+					slog.Duration("duration", time.Since(start)),
+					slog.String("trace_id", tr.TraceID))
+			}
 		} else {
 			var err error
 			hits, err = cluster.Search(ctx, q.Data, params)
@@ -263,6 +305,210 @@ func cmdQuery(args []string) {
 	if *trace {
 		fmt.Printf("rpc: %s\n", rpc.Stats())
 	}
+}
+
+// cmdExplain runs a single query with tracing forced on, pulls the
+// assembled cross-node span tree back from the whole cluster, and renders
+// it as a per-stage table: what the coordinator did, which group entry
+// points it fanned out to, and what every storage node spent its time on.
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	qFasta := fs.String("q", "", "FASTA file with the query sequence (the first record is explained)")
+	inline := fs.String("seq", "", "inline query sequence")
+	maxE := fs.Float64("evalue", 10, "expectation value threshold E")
+	step := fs.Int("step", 0, "sliding window step k (0 = block length)")
+	neighbors := fs.Int("n", 12, "nearest neighbours per subquery")
+	identity := fs.Float64("identity", 0.30, "identity threshold i")
+	cscore := fs.Float64("cscore", 0.40, "consecutivity threshold c")
+	matrixName := fs.String("matrix", "", "scoring matrix M (default by kind)")
+	jsonOut := fs.Bool("json", false, "print the assembled span tree as JSON instead of a table")
+	resilience := resilienceFlags(fs)
+	fs.Parse(args)
+
+	cluster, rpc := loadManifest(*manifest, resilience())
+	reg := mendel.NewMetricsRegistry()
+	tracer := mendel.NewQueryTracer(0)
+	cluster.SetObservability(reg, tracer)
+	// Explain exists to show one query end to end; the head sampler must
+	// not be allowed to skip it.
+	cluster.SetTraceSampleRate(1)
+	rpc.Register(reg)
+
+	params := mendel.DefaultParams()
+	params.MaxE = *maxE
+	params.Neighbors = *neighbors
+	params.Identity = *identity
+	params.CScore = *cscore
+	if *step > 0 {
+		params.Step = *step
+	} else {
+		params.Step = cluster.Config().BlockLen
+	}
+	if *matrixName != "" {
+		params.Matrix = *matrixName
+	} else if cluster.Config().Kind == mendel.DNA {
+		params.Matrix = "DNA"
+	}
+
+	queries := mendel.NewSet(cluster.Config().Kind)
+	switch {
+	case *inline != "":
+		if _, err := queries.Add("query", []byte(*inline)); err != nil {
+			log.Fatalf("mendel explain: %v", err)
+		}
+	case *qFasta != "":
+		f, err := os.Open(*qFasta)
+		if err != nil {
+			log.Fatalf("mendel explain: %v", err)
+		}
+		queries, err = mendel.ReadFASTA(f, cluster.Config().Kind)
+		f.Close()
+		if err != nil {
+			log.Fatalf("mendel explain: %v", err)
+		}
+	default:
+		log.Fatal("mendel explain: provide -q or -seq")
+	}
+	if len(queries.Seqs) == 0 {
+		log.Fatal("mendel explain: no query sequences")
+	}
+	q := queries.Seqs[0]
+	if len(queries.Seqs) > 1 {
+		fmt.Printf("explaining the first of %d queries\n", len(queries.Seqs))
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	hits, tr, err := cluster.SearchTrace(ctx, q.Data, params)
+	if err != nil {
+		log.Fatalf("mendel explain: %s: %v", q.Name, err)
+	}
+	fmt.Printf("query %s (%d residues): %d hits in %v\n",
+		q.Name, q.Len(), len(hits), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("stages: %s\n", tr)
+	if tr.TraceID == "" {
+		log.Fatal("mendel explain: search produced no trace ID")
+	}
+	spans := cluster.FetchTrace(ctx, tr.TraceID)
+	if len(spans) == 0 {
+		log.Fatalf("mendel explain: no spans retained for trace %s", tr.TraceID)
+	}
+	fmt.Printf("trace %s (%d root spans)\n\n", tr.TraceID, len(spans))
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spans); err != nil {
+			log.Fatalf("mendel explain: %v", err)
+		}
+	} else {
+		renderSpanTable(os.Stdout, spans)
+		renderNodeSummary(os.Stdout, spans)
+	}
+	fmt.Printf("\nrpc: %s\n", rpc.Stats())
+}
+
+// renderSpanTable prints the assembled trace as an indented stage tree with
+// one row per span: stage name, owning node, wall time, and the span's
+// integer attributes (anchors in/out, bytes on the wire, RPC attempts, ...).
+func renderSpanTable(w io.Writer, spans []mendel.SpanSnapshot) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STAGE\tNODE\tDURATION\tDETAILS")
+	var walk func(s mendel.SpanSnapshot, depth int)
+	walk = func(s mendel.SpanSnapshot, depth int) {
+		node := s.Node
+		if node == "" {
+			node = "coordinator"
+		}
+		fmt.Fprintf(tw, "%s%s\t%s\t%v\t%s\n",
+			strings.Repeat("  ", depth), s.Name, node,
+			time.Duration(s.NS).Round(time.Microsecond), formatSpanAttrs(s.Attrs))
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range spans {
+		walk(s, 0)
+	}
+	tw.Flush()
+}
+
+// renderNodeSummary rolls the tree up per storage node: how long each node
+// spent answering this query (local_search + fetch_region spans), how many
+// vp-tree nodes it visited, and how many anchors it contributed.
+func renderNodeSummary(w io.Writer, spans []mendel.SpanSnapshot) {
+	type agg struct {
+		spans   int
+		busy    time.Duration
+		visits  int64
+		anchors int64
+	}
+	byNode := make(map[string]*agg)
+	var walk func(s mendel.SpanSnapshot)
+	walk = func(s mendel.SpanSnapshot) {
+		if s.Node != "" && (s.Name == "local_search" || s.Name == "fetch_region") {
+			a := byNode[s.Node]
+			if a == nil {
+				a = &agg{}
+				byNode[s.Node] = a
+			}
+			a.spans++
+			a.busy += time.Duration(s.NS)
+			a.anchors += attrValue(s.Attrs, "anchors")
+			for _, c := range s.Children {
+				if c.Name == "knn" {
+					a.visits += attrValue(c.Attrs, "visits")
+				}
+			}
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range spans {
+		walk(s)
+	}
+	if len(byNode) == 0 {
+		return
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Fprintln(w, "\nper-node:")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tSPANS\tBUSY\tTREE VISITS\tANCHORS")
+	for _, n := range nodes {
+		a := byNode[n]
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\t%d\n",
+			n, a.spans, a.busy.Round(time.Microsecond), a.visits, a.anchors)
+	}
+	tw.Flush()
+}
+
+// formatSpanAttrs renders span attributes as key=value pairs, showing
+// nanosecond-suffixed attributes as durations.
+func formatSpanAttrs(attrs []mendel.SpanAttr) string {
+	parts := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		if strings.HasSuffix(a.Key, "_ns") {
+			parts = append(parts, fmt.Sprintf("%s=%v",
+				strings.TrimSuffix(a.Key, "_ns"), time.Duration(a.Value).Round(time.Microsecond)))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", a.Key, a.Value))
+	}
+	return strings.Join(parts, " ")
+}
+
+func attrValue(attrs []mendel.SpanAttr, key string) int64 {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return 0
 }
 
 func cmdStats(args []string) {

@@ -32,6 +32,9 @@ type Cluster struct {
 	// before serving queries.
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	// sampler makes the head-based trace sampling decision once per query;
+	// built from Config.TraceSampleRate, replaceable via SetTraceSampleRate.
+	sampler *obs.Sampler
 
 	mu            sync.RWMutex
 	hashTree      *vphash.Tree
@@ -66,6 +69,7 @@ func NewCluster(cfg Config, caller transport.Caller, groups [][]string) (*Cluste
 		groups:  groups,
 		topo:    topo,
 		met:     metric.ForKind(cfg.Kind),
+		sampler: obs.NewSampler(cfg.traceSampleRate()),
 		seqRing: seqRing,
 		names:   make(map[seq.ID]string),
 		lengths: make(map[seq.ID]int),
@@ -91,6 +95,51 @@ func (c *Cluster) Registry() *obs.Registry { return c.reg }
 
 // Tracer returns the coordinator's query tracer (nil if unset).
 func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// SetTraceSampleRate replaces the head-based trace sampling rate installed
+// from Config.TraceSampleRate (same semantics: >= 1 traces everything,
+// negative disables). Like SetObservability, call before serving queries;
+// `mendel explain` uses it to force full sampling for its one diagnostic
+// query.
+func (c *Cluster) SetTraceSampleRate(rate float64) {
+	c.sampler = obs.NewSampler(rate)
+}
+
+// FetchTrace assembles the full cross-node span tree of a trace: the
+// coordinator's own retained roots (which carry the node subtrees shipped
+// back inline in GroupSearchResult), plus every root pulled from the
+// storage nodes via wire.TraceFetch — the only way to recover spans that
+// are not shipped inline, such as fetch_region spans recorded during
+// gapped extension. Unreachable nodes and nodes predating TraceFetch are
+// skipped: assembly degrades to whatever the reachable cluster retains.
+// Returns nil when nothing is known about the trace.
+func (c *Cluster) FetchTrace(ctx context.Context, traceID string) []obs.SpanSnapshot {
+	if traceID == "" {
+		return nil
+	}
+	spans := c.tracer.Trace(traceID)
+	nodes := c.topo.AllNodes()
+	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.TraceFetch{TraceID: traceID})
+	for i, r := range resps {
+		if errs[i] != nil {
+			continue
+		}
+		if tfr, ok := r.(wire.TraceFetchResult); ok {
+			spans = append(spans, tfr.Spans...)
+		}
+	}
+	return obs.AssembleTrace(spans)
+}
+
+// TraceSource adapts FetchTrace to the obs HTTP surface, so a coordinator
+// process can serve /debug/trace/{id} with cluster-wide assembly:
+//
+//	obs.ServeWithTraces(addr, reg, tracer, cluster.TraceSource(ctx))
+func (c *Cluster) TraceSource(ctx context.Context) obs.TraceSource {
+	return func(traceID string) []obs.SpanSnapshot {
+		return c.FetchTrace(ctx, traceID)
+	}
+}
 
 // MetricsDetailed collects an observability snapshot from every reachable
 // node plus the addresses of the nodes that could not be reached, mirroring

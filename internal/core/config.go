@@ -73,6 +73,14 @@ type Config struct {
 	// identical — the staged BuildIndex protocol makes ingest order
 	// irrelevant.
 	IngestWorkers int
+	// TraceSampleRate is the head-based sampling rate for distributed query
+	// traces, in (0,1]: 1 traces every query, 0.01 one query in a hundred.
+	// The zero value also traces every query — the pre-sampling behaviour,
+	// so configs built before tracing keep their span coverage — and a
+	// negative rate disables query tracing entirely. The decision is made
+	// once at the system entry point and propagated cluster-wide, so either
+	// every span of a query is recorded or none is.
+	TraceSampleRate float64
 	// Seed makes vantage selection and entry-point choice deterministic.
 	Seed int64
 }
@@ -81,15 +89,16 @@ type Config struct {
 // for the given molecule kind.
 func DefaultConfig(kind seq.Kind) Config {
 	return Config{
-		Kind:         kind,
-		BlockLen:     16,
-		Margin:       32,
-		Groups:       4,
-		SampleSize:   2000,
-		MaxGapped:    256,
-		Replicas:     1,
-		AllowPartial: true,
-		Seed:         1,
+		Kind:            kind,
+		BlockLen:        16,
+		Margin:          32,
+		Groups:          4,
+		SampleSize:      2000,
+		MaxGapped:       256,
+		Replicas:        1,
+		AllowPartial:    true,
+		TraceSampleRate: 1,
+		Seed:            1,
 	}
 }
 
@@ -114,8 +123,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Replicas = %d", c.Replicas)
 	case c.IngestWorkers < 0:
 		return fmt.Errorf("core: IngestWorkers = %d", c.IngestWorkers)
+	case c.TraceSampleRate > 1:
+		return fmt.Errorf("core: TraceSampleRate = %g, want <= 1", c.TraceSampleRate)
 	}
 	return nil
+}
+
+// traceSampleRate returns the effective trace sampling rate (the zero value
+// means trace-all; negative disables).
+func (c Config) traceSampleRate() float64 {
+	if c.TraceSampleRate == 0 {
+		return 1
+	}
+	return c.TraceSampleRate
 }
 
 // replicas returns the effective replica count (zero means one).

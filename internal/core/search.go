@@ -42,6 +42,7 @@ var ErrNotIndexed = errors.New("core: cluster has no indexed data")
 // storage node that served the query), so they can exceed the wall-clock
 // FanOut time when nodes work in parallel.
 type Trace struct {
+	TraceID          string // 32-hex distributed trace ID; "" when unsampled
 	QueryLen         int
 	Strands          int
 	SubQueries       int           // sliding windows produced
@@ -72,6 +73,9 @@ func (t *Trace) String() string {
 	if t.Partial {
 		s += fmt.Sprintf(" PARTIAL(groups-failed=%d regions-failed=%d)", t.GroupsFailed, t.RegionsFailed)
 	}
+	if t.TraceID != "" {
+		s += " trace=" + t.TraceID
+	}
 	return s
 }
 
@@ -97,7 +101,22 @@ func (c *Cluster) SearchTrace(ctx context.Context, query []byte, p wire.Params) 
 
 func (c *Cluster) searchTraced(ctx context.Context, query []byte, p wire.Params) ([]Hit, *Trace, error) {
 	startTotal := time.Now()
-	root := c.tracer.Start("search")
+	// Head-based sampling: with a tracer attached, either mint a fresh
+	// trace identity (sampled — every span of this query, on every node,
+	// is recorded under it) or propagate the unsampled sentinel so nodes
+	// record nothing either. Without a tracer, the context stays bare and
+	// nodes keep their pre-tracing local behaviour.
+	var root *obs.Span
+	var tc obs.TraceContext
+	if c.tracer != nil {
+		if c.sampler.Sample() {
+			tc = obs.NewTraceContext()
+			root = c.tracer.StartTrace("search", tc)
+		} else {
+			tc = obs.UnsampledContext()
+		}
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
 	defer root.End()
 	if err := p.Validate(); err != nil {
 		c.reg.Counter("search_rejected").Inc()
@@ -130,6 +149,9 @@ func (c *Cluster) searchTraced(ctx context.Context, query []byte, p wire.Params)
 	}
 
 	trace := &Trace{QueryLen: len(q), Strands: 1}
+	if root != nil {
+		trace.TraceID = root.TraceID()
+	}
 	hits, err := c.searchStrand(ctx, q, p, m, kp, total, tree, '+', trace, root)
 	if err != nil {
 		c.reg.Counter("search_errors").Inc()
@@ -168,7 +190,10 @@ func (c *Cluster) searchTraced(ctx context.Context, query []byte, p wire.Params)
 	}
 	c.reg.Counter("search_total").Inc()
 	c.reg.Counter("search_hits").Add(int64(trace.Hits))
-	c.reg.Histogram("search_ns").Observe(trace.Total.Nanoseconds())
+	// Sampled queries label the latency observation with their trace ID, so
+	// the slowest traced query's exemplar in /metrics links straight to its
+	// assembled tree at /debug/trace/{id}.
+	c.reg.Histogram("search_ns").ObserveExemplar(trace.Total.Nanoseconds(), trace.TraceID)
 	c.reg.Histogram("search_fanout_ns").Observe(trace.FanOut.Nanoseconds())
 	c.reg.Histogram("search_gapped_ns").Observe(trace.Extend.Nanoseconds())
 	return hits, trace, nil
@@ -214,7 +239,7 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 	// Stage 2: parallel fan-out to group entry points.
 	start = time.Now()
 	spFanOut := root.Child("fanout")
-	anchors, gt, groupsFailed, err := c.fanOut(ctx, q, groupOffsets, p)
+	anchors, gt, groupsFailed, err := c.fanOut(ctx, q, groupOffsets, p, spFanOut)
 	if err != nil {
 		spFanOut.End()
 		return nil, err
@@ -265,7 +290,14 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 	if err != nil {
 		return nil, err
 	}
-	hits, regionsFailed, err := c.gappedExtend(ctx, q, candidates, p, m, gkp, total)
+	// Region fetches issued below belong under the gapped span: nodes
+	// record fetch_region spans with it as their remote parent, recovered
+	// at assembly time via wire.TraceFetch.
+	gctx := ctx
+	if pc := spGapped.Context(); pc.Valid() {
+		gctx = obs.ContextWithTrace(ctx, pc)
+	}
+	hits, regionsFailed, err := c.gappedExtend(gctx, q, candidates, p, m, gkp, total)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +346,7 @@ type groupTiming struct {
 // and reported through the failed count so the surviving groups still
 // answer; without it — or when no group answers at all — the query fails
 // with the first error.
-func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params) (anchors []wire.Anchor, gt groupTiming, failed int, err error) {
+func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params, sp *obs.Span) (anchors []wire.Anchor, gt groupTiming, failed int, err error) {
 	type result struct {
 		anchors []wire.Anchor
 		timing  groupTiming
@@ -334,16 +366,45 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 				WindowLen: c.cfg.BlockLen,
 				Params:    p,
 			}
+			// One coordinator-side span per group RPC. For sampled traces
+			// the entry point's group_search subtree (shipped back in the
+			// reply) grafts under it, and the propagated context carries
+			// this span's ID so the subtree links here during assembly.
+			spG := sp.Child("group")
+			spG.SetAttr("group", int64(g))
+			spG.SetAttr("offsets", int64(len(offsets)))
+			callCtx := ctx
+			sampled := false
+			if pc := spG.Context(); pc.Valid() {
+				callCtx = obs.ContextWithTrace(ctx, pc)
+				sampled = true
+				// Bytes on the wire matter for explain; re-encoding the
+				// request costs a sampled query one extra gob pass.
+				if b, mErr := wire.Marshal(msg); mErr == nil {
+					spG.SetAttr("bytes_out", int64(len(b)))
+				}
+			}
 			var lastErr error
 			for i := 0; i < len(members); i++ {
 				entry := members[(start+i)%len(members)]
-				resp, callErr := c.caller.Call(ctx, entry, msg)
+				resp, callErr := c.caller.Call(callCtx, entry, msg)
 				if callErr == nil {
 					gsr, ok := resp.(wire.GroupSearchResult)
 					if !ok {
 						lastErr = fmt.Errorf("core: group %d entry %s: malformed reply %T", g, entry, resp)
 						break
 					}
+					spG.SetAttr("attempts", int64(i+1))
+					spG.SetAttr("anchors", int64(len(gsr.Anchors)))
+					for _, s := range gsr.Spans {
+						spG.AttachSnapshot(s)
+					}
+					if sampled {
+						if b, mErr := wire.Marshal(gsr); mErr == nil {
+							spG.SetAttr("bytes_in", int64(len(b)))
+						}
+					}
+					spG.End()
 					ch <- result{anchors: gsr.Anchors, timing: groupTiming{
 						knnNs:    gsr.KNNNs,
 						extendNs: gsr.ExtendNs,
@@ -357,6 +418,8 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 					break
 				}
 			}
+			spG.SetAttr("failed", 1)
+			spG.End()
 			ch <- result{err: fmt.Errorf("core: group %d unreachable: %w", g, lastErr)}
 		}(g, offsets)
 	}

@@ -37,7 +37,23 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 	if r.Group != group {
 		return nil, fmt.Errorf("node %s: group search for group %d routed to group %d", n.addr, r.Group, group)
 	}
-	sp := tracer.Start("group_search")
+	// Trace adoption is three-way: a sampled caller context puts this span
+	// into the caller's distributed trace; a valid-but-unsampled context
+	// means an upstream tracing layer deliberately skipped this query, so
+	// record nothing (the head sampler's decision must hold cluster-wide);
+	// no context at all is a pre-tracing caller, for which the node keeps
+	// its original local-only group_search spans.
+	tc, _ := obs.TraceFromContext(ctx)
+	var sp *obs.Span
+	switch {
+	case tc.Valid() && tc.Sampled:
+		sp = tracer.StartTrace("group_search", tc)
+		sp.SetNode(n.addr)
+	case tc.Valid():
+		// unsampled: sp stays nil (a no-op sink)
+	default:
+		sp = tracer.Start("group_search")
+	}
 	defer sp.End()
 	sp.SetAttr("group", int64(group))
 	sp.SetAttr("offsets", int64(len(r.Offsets)))
@@ -46,6 +62,11 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 		Offsets:   r.Offsets,
 		WindowLen: r.WindowLen,
 		Params:    r.Params,
+	}
+	// Members record their local_search spans under this group span.
+	memberCtx := ctx
+	if c := sp.Context(); c.Valid() {
+		memberCtx = obs.ContextWithTrace(ctx, c)
 	}
 	members := topo.GroupNodes(group)
 	type reply struct {
@@ -62,9 +83,9 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 			var err error
 			if member == n.addr {
 				// Answer our own share without a self-RPC.
-				resp, err = n.localSearch(local)
+				resp, err = n.localSearch(memberCtx, local)
 			} else {
-				resp, err = n.caller.Call(ctx, member, local)
+				resp, err = n.caller.Call(memberCtx, member, local)
 			}
 			if err != nil {
 				ch <- reply{member: member, err: err}
@@ -96,6 +117,11 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 		out.KNNNs += rep.res.KNNNs
 		out.ExtendNs += rep.res.ExtendNs
 		out.Visits += rep.res.Visits
+		for _, s := range rep.res.Spans {
+			// Member spans shipped inline graft straight into this span, so
+			// the group subtree travels whole to the coordinator.
+			sp.AttachSnapshot(s)
+		}
 		sp.AddTimed("local:"+rep.member, rep.elapsed,
 			obs.Attr{Key: "anchors", Value: int64(len(rep.res.Anchors))},
 			obs.Attr{Key: "knn_ns", Value: rep.res.KNNNs},
@@ -112,5 +138,9 @@ func (n *Node) groupSearch(ctx context.Context, r wire.GroupSearch) (any, error)
 	reg.Histogram("node_group_merge_ns").Observe(out.MergeNs)
 	sp.SetAttr("members_failed", int64(failures))
 	sp.SetAttr("anchors", int64(len(out.Anchors)))
+	if tc.Valid() && tc.Sampled {
+		sp.End()
+		out.Spans = []obs.SpanSnapshot{sp.Snapshot()}
+	}
 	return out, nil
 }

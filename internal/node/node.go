@@ -115,15 +115,17 @@ func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 	case wire.StoreSequences:
 		return n.storeSequences(r)
 	case wire.FetchRegion:
-		return n.fetchRegion(r)
+		return n.fetchRegion(ctx, r)
 	case wire.LocalSearch:
-		return n.localSearch(r)
+		return n.localSearch(ctx, r)
 	case wire.GroupSearch:
 		return n.groupSearch(ctx, r)
 	case wire.Stats:
 		return n.stats(), nil
 	case wire.Metrics:
 		return n.metrics(), nil
+	case wire.TraceFetch:
+		return n.traceFetch(r)
 	default:
 		return nil, fmt.Errorf("node %s: unknown request %T", n.addr, req)
 	}
@@ -260,10 +262,21 @@ func (n *Node) storeSequences(r wire.StoreSequences) (any, error) {
 	return wire.StoreSequencesAck{}, nil
 }
 
-func (n *Node) fetchRegion(r wire.FetchRegion) (any, error) {
+func (n *Node) fetchRegion(ctx context.Context, r wire.FetchRegion) (any, error) {
 	began := time.Now()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	// Region fetches run during the coordinator's gapped-extension stage;
+	// for sampled traces the span lands in this node's ring, from where
+	// TraceFetch pulls it into the assembled tree (Region replies stay
+	// lean — fetches are the query path's most frequent RPC).
+	var sp *obs.Span
+	if tc, ok := obs.TraceFromContext(ctx); ok && tc.Sampled {
+		sp = n.tracer.StartTrace("fetch_region", tc)
+		sp.SetNode(n.addr)
+		sp.SetAttr("seq", int64(r.Seq))
+		defer sp.End()
+	}
 	s, ok := n.seqs[r.Seq]
 	if !ok {
 		n.reg.Counter("node_fetch_region_misses").Inc()
@@ -283,7 +296,17 @@ func (n *Node) fetchRegion(r wire.FetchRegion) (any, error) {
 	copy(data, s.data[start:end])
 	n.reg.Histogram("node_fetch_region_ns").Observe(time.Since(began).Nanoseconds())
 	n.reg.Counter("node_fetch_region_bytes").Add(int64(len(data)))
+	sp.SetAttr("bytes", int64(len(data)))
 	return wire.Region{Seq: r.Seq, Start: start, Data: data, Len: len(s.data)}, nil
+}
+
+// traceFetch answers wire.TraceFetch from the node's local tracer ring —
+// the pull half of cross-node trace assembly.
+func (n *Node) traceFetch(r wire.TraceFetch) (any, error) {
+	n.mu.RLock()
+	tracer := n.tracer
+	n.mu.RUnlock()
+	return wire.TraceFetchResult{Node: n.addr, Spans: tracer.Trace(r.TraceID)}, nil
 }
 
 func (n *Node) stats() wire.StatsResult {

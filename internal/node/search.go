@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"mendel/internal/align"
 	"mendel/internal/anchorset"
 	"mendel/internal/matrix"
+	"mendel/internal/obs"
 	"mendel/internal/wire"
 )
 
@@ -20,11 +22,21 @@ const xDrop = 20
 // an n-NN lookup in the local vp-tree produces candidates; candidates are
 // filtered by percent identity and consecutivity score; survivors become
 // anchors extended in both directions within the block's stored context.
-func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
+func (n *Node) localSearch(ctx context.Context, r wire.LocalSearch) (any, error) {
 	start := time.Now()
 	defer func() { n.busyNS.Add(time.Since(start).Nanoseconds()) }()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	// For sampled traces the node records its own local_search span under
+	// the caller's trace and ships it back in the result, so the
+	// coordinator's assembled tree shows per-node k-NN/extend breakdowns
+	// without a second round trip.
+	var sp *obs.Span
+	if tc, ok := obs.TraceFromContext(ctx); ok && tc.Sampled {
+		sp = n.tracer.StartTrace("local_search", tc)
+		sp.SetNode(n.addr)
+	}
+	defer sp.End() // idempotent; finalizes the span on every error path
 	if !n.booted {
 		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
 	}
@@ -107,6 +119,14 @@ func (n *Node) localSearch(r wire.LocalSearch) (any, error) {
 	// Adjacent subqueries routinely rediscover the same region; merge
 	// locally so the group entry point aggregates less data.
 	res.Anchors = anchorset.Merge(anchors)
+	if sp != nil {
+		sp.SetAttr("offsets", int64(len(r.Offsets)))
+		sp.SetAttr("anchors", int64(len(res.Anchors)))
+		sp.AddTimed("knn", time.Duration(res.KNNNs), obs.Attr{Key: "visits", Value: res.Visits})
+		sp.AddTimed("ungapped", time.Duration(res.ExtendNs))
+		sp.End()
+		res.Spans = []obs.SpanSnapshot{sp.Snapshot()}
+	}
 	return res, nil
 }
 

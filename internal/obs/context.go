@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceContext identifies one position in a distributed trace: the 128-bit
+// trace ID minted once per query at the system entry point, the span ID of
+// the caller (remote spans attach under it during cross-node assembly), and
+// the head-based sampling decision. The zero value means "no trace": RPCs
+// from callers without a tracing layer carry it, and receivers fall back to
+// their pre-tracing local behaviour, which is the compatibility path for
+// envelopes produced by older binaries.
+//
+// All fields are exported so the context rides the transports' gob request
+// envelopes unchanged.
+type TraceContext struct {
+	TraceHi uint64 // high 64 bits of the trace ID
+	TraceLo uint64 // low 64 bits of the trace ID
+	SpanID  uint64 // the caller-side span the receiver's spans belong under
+	Sampled bool   // head-based sampling decision, made once at the root
+}
+
+// NewTraceContext mints a fresh sampled trace identity from crypto/rand.
+// Only sampled queries mint contexts, so the entropy read is off the
+// unsampled hot path.
+func NewTraceContext() TraceContext {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a non-zero
+		// constant keeps the context valid even if it somehow does.
+		b[15] = 1
+	}
+	tc := TraceContext{
+		TraceHi: binary.BigEndian.Uint64(b[:8]),
+		TraceLo: binary.BigEndian.Uint64(b[8:]),
+		Sampled: true,
+	}
+	if tc.TraceHi|tc.TraceLo == 0 {
+		tc.TraceLo = 1
+	}
+	return tc
+}
+
+// UnsampledContext returns the sentinel context a tracing-aware caller
+// propagates for queries the head sampler skipped: Valid (so receivers know
+// a tracing layer exists upstream and suppress their own local tracing)
+// but not Sampled (so they record nothing). It needs no entropy, keeping
+// the unsampled path allocation- and syscall-free.
+func UnsampledContext() TraceContext {
+	return TraceContext{TraceLo: 1}
+}
+
+// Valid reports whether the context carries a trace identity.
+func (tc TraceContext) Valid() bool { return tc.TraceHi|tc.TraceLo != 0 }
+
+// TraceID renders the 128-bit trace ID as 32 lowercase hex characters, the
+// form used in logs, /debug/trace URLs and exemplars. Invalid contexts
+// render as the empty string.
+func (tc TraceContext) TraceID() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("%016x%016x", tc.TraceHi, tc.TraceLo)
+}
+
+// WithParent returns a copy whose SpanID is the given caller-side span,
+// the context to propagate on an outgoing RPC issued under that span.
+func (tc TraceContext) WithParent(spanID uint64) TraceContext {
+	tc.SpanID = spanID
+	return tc
+}
+
+// traceCtxKey keys a TraceContext inside a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace context for downstream transports and
+// handlers. The in-memory transport propagates it implicitly (the handler
+// receives the caller's context); the TCP transport extracts it here and
+// re-injects it server-side from the request envelope.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace context attached to ctx, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// Sampler makes head-based sampling decisions at a fixed rate using a
+// deterministic 1-in-N counter — cheaper and lower-variance than a PRNG,
+// and immune to coordinated omission of rare slow queries under steady
+// load. A nil *Sampler never samples.
+type Sampler struct {
+	every uint64 // 0 = never, 1 = always, N = one query in N
+	n     atomic.Uint64
+}
+
+// NewSampler builds a sampler for the given rate: rate >= 1 samples every
+// query, rate <= 0 samples none, and intermediate rates sample one query in
+// round(1/rate).
+func NewSampler(rate float64) *Sampler {
+	s := &Sampler{}
+	switch {
+	case rate >= 1:
+		s.every = 1
+	case rate <= 0:
+		s.every = 0
+	default:
+		s.every = uint64(1/rate + 0.5)
+		if s.every < 1 {
+			s.every = 1
+		}
+	}
+	return s
+}
+
+// Sample reports whether the next query should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return s.n.Add(1)%s.every == 1
+}

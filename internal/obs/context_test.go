@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceContextIdentity(t *testing.T) {
+	var zero TraceContext
+	if zero.Valid() {
+		t.Error("zero context reports Valid")
+	}
+	if got := zero.TraceID(); got != "" {
+		t.Errorf("zero context TraceID = %q, want empty", got)
+	}
+
+	tc := NewTraceContext()
+	if !tc.Valid() || !tc.Sampled {
+		t.Fatalf("NewTraceContext() = %+v, want valid and sampled", tc)
+	}
+	if len(tc.TraceID()) != 32 {
+		t.Errorf("TraceID %q is not 32 hex chars", tc.TraceID())
+	}
+	if other := NewTraceContext(); other.TraceID() == tc.TraceID() {
+		t.Error("two minted contexts share a trace ID")
+	}
+
+	child := tc.WithParent(42)
+	if child.SpanID != 42 || child.TraceID() != tc.TraceID() {
+		t.Errorf("WithParent changed identity: %+v", child)
+	}
+
+	un := UnsampledContext()
+	if !un.Valid() || un.Sampled {
+		t.Errorf("UnsampledContext() = %+v, want valid and unsampled", un)
+	}
+}
+
+func TestContextWithTraceRoundTrip(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("bare context reports a trace")
+	}
+	tc := NewTraceContext().WithParent(7)
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFromContext = %+v, %v; want %+v, true", got, ok, tc)
+	}
+	// An attached zero context must read back as "no trace".
+	if _, ok := TraceFromContext(ContextWithTrace(context.Background(), TraceContext{})); ok {
+		t.Error("invalid attached context reports a trace")
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	count := func(s *Sampler, n int) int {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Sample() {
+				hits++
+			}
+		}
+		return hits
+	}
+	if got := count(NewSampler(1), 100); got != 100 {
+		t.Errorf("rate 1: sampled %d/100", got)
+	}
+	if got := count(NewSampler(2.5), 100); got != 100 {
+		t.Errorf("rate > 1: sampled %d/100", got)
+	}
+	if got := count(NewSampler(0), 100); got != 0 {
+		t.Errorf("rate 0: sampled %d/100", got)
+	}
+	if got := count(NewSampler(-1), 100); got != 0 {
+		t.Errorf("negative rate: sampled %d/100", got)
+	}
+	if got := count(NewSampler(0.25), 100); got != 25 {
+		t.Errorf("rate 0.25: sampled %d/100, want exactly 25 (deterministic 1-in-4)", got)
+	}
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Error("nil sampler sampled")
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStartTraceCarriesIdentity(t *testing.T) {
+	tr := NewTracer(8)
+	tc := NewTraceContext().WithParent(99)
+	sp := tr.StartTrace("group_search", tc)
+	sp.SetNode("10.0.0.1:7946")
+	child := sp.Child("knn")
+	child.End()
+	sp.End()
+
+	if got := sp.TraceID(); got != tc.TraceID() {
+		t.Errorf("span TraceID = %q, want %q", got, tc.TraceID())
+	}
+	out := sp.Context()
+	if out.TraceID() != tc.TraceID() || out.SpanID != sp.ID() || !out.Sampled {
+		t.Errorf("span Context = %+v, want same trace, parent %d, sampled", out, sp.ID())
+	}
+
+	snap := sp.Snapshot()
+	if snap.ParentID != 99 {
+		t.Errorf("root ParentID = %d, want the remote parent 99", snap.ParentID)
+	}
+	if snap.Node != "10.0.0.1:7946" {
+		t.Errorf("Node = %q", snap.Node)
+	}
+	if len(snap.Children) != 1 || snap.Children[0].Node != snap.Node {
+		t.Fatalf("child did not inherit node: %+v", snap.Children)
+	}
+	if snap.Children[0].TraceID != snap.TraceID || snap.Children[0].ParentID != snap.SpanID {
+		t.Errorf("child linkage wrong: %+v", snap.Children[0])
+	}
+}
+
+func TestLocalStartHasNoIdentity(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("group_search")
+	sp.End()
+	if sp.TraceID() != "" {
+		t.Errorf("local span TraceID = %q, want empty", sp.TraceID())
+	}
+	if c := sp.Context(); c.Valid() {
+		t.Errorf("local span Context = %+v, want zero", c)
+	}
+	snap := sp.Snapshot()
+	if snap.TraceID != "" || snap.SpanID == 0 {
+		t.Errorf("local snapshot identity: TraceID=%q SpanID=%d", snap.TraceID, snap.SpanID)
+	}
+}
+
+func TestTracerTraceLookup(t *testing.T) {
+	tr := NewTracer(8)
+	tc := NewTraceContext()
+	a := tr.StartTrace("search", tc)
+	a.End()
+	b := tr.StartTrace("fetch_region", tc)
+	b.End()
+	other := tr.StartTrace("search", NewTraceContext())
+	other.End()
+
+	got := tr.Trace(tc.TraceID())
+	if len(got) != 2 {
+		t.Fatalf("Trace returned %d spans, want 2", len(got))
+	}
+	if got[0].Name != "search" || got[1].Name != "fetch_region" {
+		t.Errorf("Trace order = %s, %s; want oldest first", got[0].Name, got[1].Name)
+	}
+	if tr.Trace("") != nil {
+		t.Error("empty trace ID returned spans")
+	}
+	if spans := tr.Trace("feedfacefeedfacefeedfacefeedface"); len(spans) != 0 {
+		t.Errorf("unknown trace ID returned %d spans", len(spans))
+	}
+}
+
+func TestAttachSnapshotAppearsInSnapshot(t *testing.T) {
+	tr := NewTracer(8)
+	tc := NewTraceContext()
+	sp := tr.StartTrace("group", tc)
+	remote := SpanSnapshot{TraceID: tc.TraceID(), SpanID: 12345, ParentID: sp.ID(),
+		Node: "10.0.0.2:7946", Name: "local_search"}
+	sp.AttachSnapshot(remote)
+	sp.End()
+	snap := sp.Snapshot()
+	if len(snap.Children) != 1 || snap.Children[0].SpanID != 12345 {
+		t.Fatalf("graft missing from snapshot: %+v", snap.Children)
+	}
+}
+
+// TestAssembleTraceCrossNode models the real shipping paths at once: the
+// coordinator's root holds a fan-out child, the node's group_search root
+// (remote-parented at the fan-out span) arrives BOTH grafted under the
+// fan-out span and as a ring root pulled via TraceFetch, and a fetch_region
+// ring root arrives only via pull. Assembly must dedup the double delivery
+// and hang everything off one tree.
+func TestAssembleTraceCrossNode(t *testing.T) {
+	coord := NewTracer(8)
+	node := NewTracer(8)
+	tc := NewTraceContext()
+
+	root := coord.StartTrace("search", tc)
+	fan := root.Child("group")
+
+	nodeSp := node.StartTrace("group_search", tc.WithParent(fan.ID()))
+	nodeSp.SetNode("10.0.0.2:7946")
+	nodeSp.Child("knn").End()
+	nodeSp.End()
+	fan.AttachSnapshot(nodeSp.Snapshot())
+	fan.End()
+
+	fetch := node.StartTrace("fetch_region", tc.WithParent(root.ID()))
+	fetch.SetNode("10.0.0.2:7946")
+	fetch.End()
+	root.End()
+
+	var all []SpanSnapshot
+	all = append(all, coord.Trace(tc.TraceID())...)
+	all = append(all, node.Trace(tc.TraceID())...)
+	trees := AssembleTrace(all)
+	if len(trees) != 1 {
+		t.Fatalf("assembled %d roots, want 1:\n%+v", len(trees), trees)
+	}
+	tree := trees[0]
+	if tree.Name != "search" {
+		t.Fatalf("root is %q, want search", tree.Name)
+	}
+	if got := len(tree.FindAll("group_search")); got != 1 {
+		var b strings.Builder
+		tree.WriteTo(&b)
+		t.Fatalf("group_search appears %d times, want 1 (dedup):\n%s", got, b.String())
+	}
+	gs := tree.Find("group")
+	if gs == nil || gs.Find("group_search") == nil || gs.Find("knn") == nil {
+		t.Fatalf("node subtree not under the fan-out span: %+v", tree)
+	}
+	if tree.Find("fetch_region") == nil {
+		t.Fatal("pulled fetch_region root not re-linked under the coordinator root")
+	}
+	var check func(s SpanSnapshot)
+	check = func(s SpanSnapshot) {
+		if s.TraceID != tc.TraceID() {
+			t.Errorf("span %s has TraceID %q, want %q", s.Name, s.TraceID, tc.TraceID())
+		}
+		for _, c := range s.Children {
+			check(c)
+		}
+	}
+	check(tree)
+}
+
+func TestAssembleTraceOrphanAndLegacy(t *testing.T) {
+	tc := NewTraceContext()
+	// An orphan whose parent span was never collected stays a root.
+	orphan := SpanSnapshot{TraceID: tc.TraceID(), SpanID: 5, ParentID: 77, Name: "group_search"}
+	// Identity-less legacy roots (pre-tracing nodes) pass through verbatim,
+	// keeping their own subtree intact.
+	legacy := SpanSnapshot{Name: "group_search", StartUnix: 10,
+		Children: []SpanSnapshot{{Name: "local:a"}, {Name: "local:b"}}}
+	out := AssembleTrace([]SpanSnapshot{orphan, legacy})
+	if len(out) != 2 {
+		t.Fatalf("assembled %d roots, want 2", len(out))
+	}
+	for _, s := range out {
+		if s.Name != "group_search" {
+			t.Errorf("unexpected root %q", s.Name)
+		}
+		if s.SpanID == 0 && len(s.Children) != 2 {
+			t.Errorf("legacy subtree lost children: %+v", s)
+		}
+	}
+	if got := AssembleTrace(nil); len(got) != 0 {
+		t.Errorf("AssembleTrace(nil) = %+v, want empty", got)
+	}
+}
+
+func TestWriteToShowsNode(t *testing.T) {
+	snap := SpanSnapshot{Name: "local_search", NS: 1000, Node: "10.0.0.9:1"}
+	var b strings.Builder
+	snap.WriteTo(&b)
+	if !strings.Contains(b.String(), "@10.0.0.9:1") {
+		t.Errorf("rendered span lacks @node: %q", b.String())
+	}
+	// Spans without a node render exactly as before tracing existed.
+	b.Reset()
+	SpanSnapshot{Name: "x", NS: 1000}.WriteTo(&b)
+	if strings.Contains(b.String(), "@") {
+		t.Errorf("node-less span rendered an @: %q", b.String())
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("search_ns")
+	h.ObserveExemplar(100, "aaaa")
+	h.ObserveExemplar(500, "bbbb")
+	h.ObserveExemplar(200, "cccc") // slower exemplar already held
+	label, v := h.Exemplar()
+	if label != "bbbb" || v != 500 {
+		t.Errorf("Exemplar = %q, %d; want bbbb, 500", label, v)
+	}
+	// Unlabelled observations (unsampled queries) still count but never
+	// displace the exemplar.
+	h.ObserveExemplar(9999, "")
+	if label, _ = h.Exemplar(); label != "bbbb" {
+		t.Errorf("empty label displaced exemplar: %q", label)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, s := range snap {
+		if s.Name == "search_ns" {
+			found = true
+			if s.Exemplar != "bbbb" || s.ExemplarValue != 500 {
+				t.Errorf("snapshot exemplar = %q, %d", s.Exemplar, s.ExemplarValue)
+			}
+			if s.Count != 4 {
+				t.Errorf("Count = %d, want 4 (every observation recorded)", s.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("search_ns missing from snapshot")
+	}
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	if !strings.Contains(b.String(), "search_ns_slowest_trace bbbb") {
+		t.Errorf("WriteText lacks exemplar line:\n%s", b.String())
+	}
+
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x") // must not panic
+	if label, v := nilH.Exemplar(); label != "" || v != 0 {
+		t.Errorf("nil histogram exemplar = %q, %d", label, v)
+	}
+}
+
+func TestMergeSnapshotsKeepsSlowestExemplar(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("search_ns").ObserveExemplar(100, "fast")
+	b := NewRegistry()
+	b.Histogram("search_ns").ObserveExemplar(900, "slow")
+	c := NewRegistry()
+	c.Histogram("search_ns").Observe(5000) // no exemplar at all
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot(), c.Snapshot())
+	for _, s := range merged {
+		if s.Name == "search_ns" {
+			if s.Exemplar != "slow" || s.ExemplarValue != 900 {
+				t.Errorf("merged exemplar = %q, %d; want slow, 900", s.Exemplar, s.ExemplarValue)
+			}
+			return
+		}
+	}
+	t.Fatal("search_ns missing from merge")
+}

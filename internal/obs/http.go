@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 )
 
 // Handler builds the observability HTTP surface over a registry and tracer
@@ -18,15 +19,40 @@ import (
 //	/debug/spans      recent completed query span trees; ?slow=1 for the
 //	                  slow-query log, ?format=json for machine-readable
 //	                  output, ?n=K to bound the span count
+//	/debug/trace/{id} the assembled span tree of one trace ID (local roots
+//	                  merged via AssembleTrace, or the tree registered with
+//	                  SetTraceSource); 404 for unknown IDs
 func Handler(reg *Registry, tr *Tracer) http.Handler {
+	return HandlerWithTraces(reg, tr, nil)
+}
+
+// TraceSource resolves a 32-hex trace ID to its assembled cross-node span
+// tree. The coordinator passes Cluster.FetchTrace-backed lookup so
+// /debug/trace/{id} covers node-side spans; plain node processes use the
+// tracer-local fallback.
+type TraceSource func(traceID string) []SpanSnapshot
+
+// HandlerWithTraces is Handler with an optional cross-node trace source
+// backing /debug/trace/{id}. A nil src falls back to the tracer's own
+// retained roots. All three sinks may be nil: nil reg serves empty metrics,
+// nil tr serves empty span lists and 404 traces — never a panic (the
+// documented "either may be nil" contract).
+func HandlerWithTraces(reg *Registry, tr *Tracer, src TraceSource) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
+			if reg == nil {
+				w.Write([]byte("[]\n"))
+				return
+			}
 			json.NewEncoder(w).Encode(reg.Snapshot())
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg == nil {
+			return
+		}
 		reg.WriteText(w)
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
@@ -35,10 +61,37 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			n, _ = strconv.Atoi(v)
 		}
 		var spans []SpanSnapshot
-		if r.URL.Query().Get("slow") != "" {
-			spans = tr.Slow(n)
-		} else {
-			spans = tr.Recent(n)
+		if tr != nil {
+			if r.URL.Query().Get("slow") != "" {
+				spans = tr.Slow(n)
+			} else {
+				spans = tr.Recent(n)
+			}
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, s := range spans {
+			s.WriteTo(w)
+		}
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		var spans []SpanSnapshot
+		switch {
+		case id == "":
+			// fall through to 404
+		case src != nil:
+			spans = src(id)
+		case tr != nil:
+			spans = AssembleTrace(tr.Trace(id))
+		}
+		if len(spans) == 0 {
+			http.NotFound(w, r)
+			return
 		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
@@ -71,11 +124,17 @@ func Publish(name string, reg *Registry) {
 // surface from a background goroutine, and returns the server (for
 // Shutdown/Close) plus the bound address. It is a convenience for CLIs.
 func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error) {
+	return ServeWithTraces(addr, reg, tr, nil)
+}
+
+// ServeWithTraces is Serve with a cross-node trace source backing
+// /debug/trace/{id} (see HandlerWithTraces).
+func ServeWithTraces(addr string, reg *Registry, tr *Tracer, src TraceSource) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(reg, tr)}
+	srv := &http.Server{Handler: HandlerWithTraces(reg, tr, src)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

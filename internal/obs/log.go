@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger both CLIs share: one JSON object
+// per line on w, machine-parseable (time/level/msg plus attrs), with any
+// base attributes (e.g. node identity) stamped on every record. The
+// output shape is pinned by TestLogOutputShape.
+func NewLogger(w io.Writer, level slog.Level, attrs ...slog.Attr) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	if len(attrs) == 0 {
+		return slog.New(h)
+	}
+	return slog.New(h.WithAttrs(attrs))
+}
+
+// WithTrace returns a logger stamping every record with the trace ID, so
+// log lines grep-correlate with /debug/trace/{id}. Invalid contexts (no
+// trace) return l unchanged; a nil l returns nil (callers using optional
+// logging guard on nil themselves).
+func WithTrace(l *slog.Logger, tc TraceContext) *slog.Logger {
+	if l == nil || !tc.Valid() {
+		return l
+	}
+	return l.With(slog.String("trace_id", tc.TraceID()))
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLogOutputShape pins the structured log format both CLIs emit: one
+// JSON object per line with time/level/msg, base attributes on every
+// record, and — after WithTrace — the 32-hex trace_id.
+func TestLogOutputShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo, slog.String("node", "10.0.0.1:7946"))
+	tc := NewTraceContext()
+	WithTrace(l, tc).Info("slow query", slog.Int("hits", 3))
+	l.Debug("suppressed") // below the configured level
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, lines[0])
+	}
+	want := map[string]any{
+		"level":    "INFO",
+		"msg":      "slow query",
+		"node":     "10.0.0.1:7946",
+		"trace_id": tc.TraceID(),
+		"hits":     float64(3),
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Errorf("record[%q] = %v, want %v", k, rec[k], v)
+		}
+	}
+	if _, ok := rec["time"]; !ok {
+		t.Error("record has no time field")
+	}
+}
+
+func TestWithTraceNoOpCases(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	if got := WithTrace(l, TraceContext{}); got != l {
+		t.Error("invalid context did not return the logger unchanged")
+	}
+	if got := WithTrace(nil, NewTraceContext()); got != nil {
+		t.Error("nil logger did not stay nil")
+	}
+	WithTrace(l, TraceContext{}).Info("ok")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("trace_id stamped from invalid context:\n%s", buf.String())
+	}
+}

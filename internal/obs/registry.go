@@ -85,6 +85,14 @@ type Histogram struct {
 	minPlus1 atomic.Int64
 	max      atomic.Int64
 	buckets  [HistogramBuckets]atomic.Int64
+
+	// Exemplar: the label (a trace ID) of the largest observation recorded
+	// via ObserveExemplar, linking /metrics tails to /debug/trace/{id}.
+	// Mutex-guarded: only sampled observations carry labels, so the lock is
+	// off the unlabelled hot path.
+	exMu    sync.Mutex
+	exLabel string
+	exValue int64
 }
 
 // bucketIndex returns the bucket of observation v: the number of bits
@@ -132,6 +140,37 @@ func (h *Histogram) Observe(v int64) {
 		}
 	}
 	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveExemplar records one observation and, when label is non-empty and
+// v is the largest labelled observation so far, retains label as the
+// histogram's exemplar. Mendel labels sampled search latencies with their
+// trace ID, so the slowest traced query is always one curl away from its
+// full cross-node span tree.
+func (h *Histogram) ObserveExemplar(v int64, label string) {
+	h.Observe(v)
+	if h == nil || label == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.exMu.Lock()
+	if h.exLabel == "" || v >= h.exValue {
+		h.exLabel, h.exValue = label, v
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the label and value of the largest labelled observation,
+// or ("", 0) when none was recorded.
+func (h *Histogram) Exemplar() (string, int64) {
+	if h == nil {
+		return "", 0
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exLabel, h.exValue
 }
 
 // Count returns the number of observations.
@@ -217,6 +256,10 @@ type Snapshot struct {
 	Min     int64
 	Max     int64
 	Buckets []int64
+	// Exemplar links the histogram's tail to a trace: the label (trace ID)
+	// and value of the largest labelled observation, when any was recorded.
+	Exemplar      string `json:",omitempty"`
+	ExemplarValue int64  `json:",omitempty"`
 }
 
 // Quantile estimates a quantile of a histogram snapshot.
@@ -357,6 +400,7 @@ func (r *Registry) Snapshot() []Snapshot {
 		for i := range h.buckets {
 			s.Buckets[i] = h.buckets[i].Load()
 		}
+		s.Exemplar, s.ExemplarValue = h.Exemplar()
 		out = append(out, s)
 	}
 	r.mu.RUnlock()
@@ -375,6 +419,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s_count %d\n%s_sum %d\n%s_min %d\n%s_max %d\n%s_p50 %d\n%s_p95 %d\n%s_p99 %d\n",
 				s.Name, s.Count, s.Name, s.Sum, s.Name, s.Min, s.Name, s.Max,
 				s.Name, s.Quantile(0.50), s.Name, s.Quantile(0.95), s.Name, s.Quantile(0.99))
+			if err == nil && s.Exemplar != "" {
+				_, err = fmt.Fprintf(w, "%s_slowest_trace %s\n", s.Name, s.Exemplar)
+			}
 		default:
 			_, err = fmt.Fprintf(w, "%s %d\n", s.Name, s.Value)
 		}
@@ -416,6 +463,9 @@ func MergeSnapshots(groups ...[]Snapshot) []Snapshot {
 				if i < len(agg.Buckets) {
 					agg.Buckets[i] += s.Buckets[i]
 				}
+			}
+			if s.Exemplar != "" && (agg.Exemplar == "" || s.ExemplarValue > agg.ExemplarValue) {
+				agg.Exemplar, agg.ExemplarValue = s.Exemplar, s.ExemplarValue
 			}
 		}
 	}

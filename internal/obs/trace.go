@@ -1,12 +1,16 @@
 package obs
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	crand "crypto/rand"
 )
 
 // Attr is one key/value annotation on a span. Values are int64 — the
@@ -24,13 +28,24 @@ type Attr struct {
 type Span struct {
 	tracer *Tracer
 	parent *Span
-	id     int64
+	id     uint64
 	name   string
 	start  time.Time
 
+	// Distributed-trace identity. Zero traceHi|traceLo means the span is
+	// purely local (pre-tracing behaviour). remoteParent is the caller-side
+	// span ID for roots adopted from an RPC's TraceContext; it is what lets
+	// the coordinator re-link shipped node spans under its own fan-out
+	// spans during assembly.
+	traceHi      uint64
+	traceLo      uint64
+	remoteParent uint64
+
 	mu       sync.Mutex
+	node     string
 	attrs    []Attr
 	children []*Span
+	grafts   []SpanSnapshot // completed remote subtrees attached verbatim
 	dur      time.Duration
 	ended    bool
 }
@@ -39,7 +54,7 @@ type Span struct {
 // ring for spans slower than a configurable threshold (the slow-query log).
 // A nil *Tracer is a valid no-op sink.
 type Tracer struct {
-	nextID atomic.Int64
+	nextID atomic.Uint64
 
 	mu     sync.Mutex
 	recent []*Span // completed roots, oldest first
@@ -54,11 +69,19 @@ type Tracer struct {
 const DefaultTraceCapacity = 128
 
 // NewTracer creates a tracer retaining up to capacity completed root spans.
+// Span IDs start at a random 64-bit offset so IDs minted by different
+// tracers (different nodes, or a restarted process) stay distinct within
+// one assembled trace.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{cap: capacity}
+	t := &Tracer{cap: capacity}
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		t.nextID.Store(binary.BigEndian.Uint64(b[:]))
+	}
+	return t
 }
 
 // SetSlowThreshold enables the slow-query log: completed root spans with a
@@ -84,7 +107,9 @@ func (t *Tracer) OnSlow(fn func(SpanSnapshot)) {
 	t.onSlow = fn
 }
 
-// Start opens a root span. Returns nil (a no-op span) on a nil tracer.
+// Start opens a root span with no distributed-trace identity — the
+// node-local tracing mode that predates trace propagation, still used when
+// a request arrives without a TraceContext.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
@@ -92,13 +117,70 @@ func (t *Tracer) Start(name string) *Span {
 	return &Span{tracer: t, id: t.nextID.Add(1), name: name, start: time.Now()}
 }
 
-// Child opens a sub-span under s. Returns nil on a nil span.
+// StartTrace opens a root span carrying the given trace identity: the span
+// joins tc's trace, and tc.SpanID (the caller-side span on another node)
+// becomes its remote parent for cross-node assembly. Callers are expected
+// to check tc.Sampled first; StartTrace on a nil tracer or an invalid
+// context degrades to Start's behaviour.
+func (t *Tracer) StartTrace(name string, tc TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t, id: t.nextID.Add(1), name: name, start: time.Now(),
+		traceHi: tc.TraceHi, traceLo: tc.TraceLo, remoteParent: tc.SpanID,
+	}
+}
+
+// ID returns the span's ID, the value remote children reference as their
+// parent. Zero on a nil span.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Context returns the trace context an RPC issued under this span should
+// carry: same trace, this span as parent, sampled (a span only exists for
+// sampled queries). The zero context on a nil or trace-less span.
+func (s *Span) Context() TraceContext {
+	if s == nil || s.traceHi|s.traceLo == 0 {
+		return TraceContext{}
+	}
+	return TraceContext{TraceHi: s.traceHi, TraceLo: s.traceLo, SpanID: s.id, Sampled: true}
+}
+
+// TraceID returns the span's 32-hex-character trace ID, or "" for local
+// spans with no distributed identity.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return TraceContext{TraceHi: s.traceHi, TraceLo: s.traceLo}.TraceID()
+}
+
+// SetNode stamps the span (and, by inheritance at creation time, its future
+// children) with the network identity of the process that recorded it.
+func (s *Span) SetNode(node string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.node = node
+	s.mu.Unlock()
+}
+
+// Child opens a sub-span under s, inheriting its trace identity and node.
+// Returns nil on a nil span.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tracer: s.tracer, parent: s, id: s.tracer.nextID.Add(1), name: name, start: time.Now()}
+	c := &Span{tracer: s.tracer, parent: s, id: s.tracer.nextID.Add(1), name: name, start: time.Now(),
+		traceHi: s.traceHi, traceLo: s.traceLo}
 	s.mu.Lock()
+	c.node = s.node
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
@@ -112,9 +194,24 @@ func (s *Span) AddTimed(name string, d time.Duration, attrs ...Attr) {
 		return
 	}
 	c := &Span{tracer: s.tracer, parent: s, id: s.tracer.nextID.Add(1), name: name,
-		start: time.Now().Add(-d), dur: d, ended: true, attrs: attrs}
+		start: time.Now().Add(-d), dur: d, ended: true, attrs: attrs,
+		traceHi: s.traceHi, traceLo: s.traceLo}
 	s.mu.Lock()
+	c.node = s.node
 	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// AttachSnapshot grafts a completed remote span subtree (shipped back in an
+// RPC reply) under s. The graft is kept verbatim — its SpanID/ParentID
+// linkage already points into this trace — and appears among the span's
+// children in every snapshot.
+func (s *Span) AttachSnapshot(snap SpanSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.grafts = append(s.grafts, snap)
 	s.mu.Unlock()
 }
 
@@ -188,9 +285,14 @@ func (s *Span) End() {
 }
 
 // SpanSnapshot is an immutable copy of a completed span subtree, the unit
-// of /debug/spans output.
+// of /debug/spans and /debug/trace output. TraceID/SpanID/ParentID carry
+// the distributed identity (empty/zero for purely local spans); ParentID on
+// a root names the caller-side span on another node.
 type SpanSnapshot struct {
-	ID        int64
+	TraceID   string `json:",omitempty"`
+	SpanID    uint64 `json:",omitempty"`
+	ParentID  uint64 `json:",omitempty"`
+	Node      string `json:",omitempty"`
 	Name      string
 	StartUnix int64 // nanoseconds since the epoch
 	NS        int64 // duration in nanoseconds
@@ -198,24 +300,42 @@ type SpanSnapshot struct {
 	Children  []SpanSnapshot
 }
 
+// Snapshot deep-copies the span subtree, including grafted remote spans.
+// Safe on an unfinished span (the duration reads as "so far").
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot()
+}
+
 // snapshot deep-copies a span subtree.
 func (s *Span) snapshot() SpanSnapshot {
 	s.mu.Lock()
 	out := SpanSnapshot{
-		ID:        s.id,
+		TraceID:   TraceContext{TraceHi: s.traceHi, TraceLo: s.traceLo}.TraceID(),
+		SpanID:    s.id,
+		Node:      s.node,
 		Name:      s.name,
 		StartUnix: s.start.UnixNano(),
 		NS:        int64(s.dur),
 		Attrs:     append([]Attr(nil), s.attrs...),
 	}
+	if s.parent != nil {
+		out.ParentID = s.parent.id
+	} else {
+		out.ParentID = s.remoteParent
+	}
 	if !s.ended {
 		out.NS = int64(time.Since(s.start))
 	}
 	children := append([]*Span(nil), s.children...)
+	grafts := append([]SpanSnapshot(nil), s.grafts...)
 	s.mu.Unlock()
 	for _, c := range children {
 		out.Children = append(out.Children, c.snapshot())
 	}
+	out.Children = append(out.Children, grafts...)
 	return out
 }
 
@@ -251,10 +371,129 @@ func (t *Tracer) ring(n int, slow bool) []SpanSnapshot {
 	return out
 }
 
+// Trace returns snapshots of every retained root span belonging to the
+// given 32-hex trace ID, oldest first. Node-side this is the TraceFetch
+// handler's data source; coordinator-side it seeds cross-node assembly.
+func (t *Tracer) Trace(traceID string) []SpanSnapshot {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.recent...)
+	t.mu.Unlock()
+	var out []SpanSnapshot
+	for _, s := range spans {
+		if s.TraceID() == traceID {
+			out = append(out, s.snapshot())
+		}
+	}
+	return out
+}
+
+// AssembleTrace merges span snapshots gathered from several tracers (the
+// coordinator's own roots, subtrees shipped in RPC replies, and roots
+// pulled from node rings via TraceFetch) into one tree per trace root.
+// Spans are deduplicated by SpanID — the same span can arrive both grafted
+// into a parent and as a node-ring root, or twice when coordinator and
+// nodes share one in-process tracer — and roots are re-linked under the
+// span named by their ParentID when it is present. Spans without a
+// distributed identity (SpanID zero) keep their structural position.
+// Children and the returned roots are ordered by start time.
+func AssembleTrace(spans []SpanSnapshot) []SpanSnapshot {
+	type node struct {
+		snap     SpanSnapshot // Children stripped; rebuilt below
+		pid      uint64
+		kids     []*node
+		verbatim []SpanSnapshot // legacy SpanID-0 subtrees, kept as-is
+	}
+	byID := make(map[uint64]*node)
+	var order []*node
+
+	var walk func(s SpanSnapshot, structParent uint64) *node
+	walk = func(s SpanSnapshot, structParent uint64) *node {
+		pid := s.ParentID
+		if structParent != 0 {
+			pid = structParent
+		}
+		n, dup := byID[s.SpanID]
+		if s.SpanID == 0 || !dup {
+			flat := s
+			flat.Children = nil
+			n = &node{snap: flat, pid: pid}
+			if s.SpanID != 0 {
+				byID[s.SpanID] = n
+			}
+			order = append(order, n)
+		} else if n.pid == 0 {
+			n.pid = pid
+		}
+		for _, c := range s.Children {
+			if c.SpanID == 0 {
+				// No identity to dedup on: keep the subtree exactly where
+				// it structurally appeared, once per distinct parent visit.
+				if !dup {
+					n.verbatim = append(n.verbatim, c)
+				}
+				continue
+			}
+			walk(c, s.SpanID)
+		}
+		return n
+	}
+	var legacy []SpanSnapshot // identity-less roots pass through untouched
+	for _, s := range spans {
+		if s.SpanID == 0 {
+			legacy = append(legacy, s)
+			continue
+		}
+		walk(s, 0)
+	}
+
+	var roots []*node
+	for _, n := range order {
+		if p, ok := byID[n.pid]; ok && p != n && n.pid != 0 {
+			p.kids = append(p.kids, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+
+	seen := make(map[*node]bool)
+	var build func(n *node) SpanSnapshot
+	build = func(n *node) SpanSnapshot {
+		out := n.snap
+		seen[n] = true
+		kids := make([]SpanSnapshot, 0, len(n.kids)+len(n.verbatim))
+		for _, k := range n.kids {
+			if seen[k] {
+				continue
+			}
+			kids = append(kids, build(k))
+		}
+		kids = append(kids, n.verbatim...)
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartUnix < kids[j].StartUnix })
+		if len(kids) > 0 {
+			out.Children = kids
+		}
+		return out
+	}
+	out := make([]SpanSnapshot, 0, len(roots)+len(legacy))
+	for _, r := range roots {
+		if seen[r] {
+			continue
+		}
+		out = append(out, build(r))
+	}
+	out = append(out, legacy...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartUnix < out[j].StartUnix })
+	return out
+}
+
 // WriteTo renders the snapshot as an indented tree, one line per span:
 //
 //	search 1.2ms [query_len=130 hits=3]
 //	  fanout 800µs [groups=2]
+//	    group_search 700µs @127.0.0.1:9001 [anchors=12]
 func (s SpanSnapshot) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	s.write(&b, 0)
@@ -266,6 +505,10 @@ func (s SpanSnapshot) write(b *strings.Builder, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(s.Name)
 	fmt.Fprintf(b, " %v", time.Duration(s.NS).Round(time.Microsecond))
+	if s.Node != "" {
+		b.WriteString(" @")
+		b.WriteString(s.Node)
+	}
 	if len(s.Attrs) > 0 {
 		b.WriteString(" [")
 		for i, a := range s.Attrs {
@@ -297,4 +540,24 @@ func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
 		}
 	}
 	return nil
+}
+
+// FindAll appends every descendant span (including s itself) with the given
+// name, pre-order.
+func (s *SpanSnapshot) FindAll(name string) []SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	var out []SpanSnapshot
+	var walk func(sp SpanSnapshot)
+	walk = func(sp SpanSnapshot) {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(*s)
+	return out
 }

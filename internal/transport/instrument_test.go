@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mendel/internal/obs"
+	"mendel/internal/wire"
+)
+
+// flakyStub fails every third call with ErrUnreachable and succeeds
+// otherwise, deterministically, so totals are exactly predictable.
+type flakyStub struct {
+	n atomic.Int64
+}
+
+func (s *flakyStub) Call(ctx context.Context, addr string, req any) (any, error) {
+	if s.n.Add(1)%3 == 0 {
+		return nil, fmt.Errorf("stub: %s: %w", addr, ErrUnreachable)
+	}
+	return wire.Pong{}, nil
+}
+
+// TestInstrumentedCallerConcurrent hammers one InstrumentedCaller from many
+// goroutines (run under -race in CI) and asserts the counter and histogram
+// totals are exact: no update may be lost or double-counted under
+// contention.
+func TestInstrumentedCallerConcurrent(t *testing.T) {
+	const goroutines = 16
+	const perG = 250
+	const total = goroutines * perG
+
+	reg := obs.NewRegistry()
+	stub := &flakyStub{}
+	ic := NewInstrumentedCaller(stub, reg)
+
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ic.Call(context.Background(), "10.0.0.1:1", wire.Ping{})
+			}
+		}()
+	}
+	wg.Wait()
+
+	wantErrors := int64(total / 3)
+	snaps := make(map[string]obs.Snapshot)
+	for _, s := range reg.Snapshot() {
+		snaps[s.Name] = s
+	}
+	if got := snaps["rpc_calls"].Value; got != total {
+		t.Errorf("rpc_calls = %d, want %d", got, total)
+	}
+	if got := snaps["rpc_errors"].Value; got != wantErrors {
+		t.Errorf("rpc_errors = %d, want %d", got, wantErrors)
+	}
+	if got := snaps["rpc_unreachable"].Value; got != wantErrors {
+		t.Errorf("rpc_unreachable = %d, want %d", got, wantErrors)
+	}
+	if got := snaps["rpc_call_ns"].Count; got != total {
+		t.Errorf("rpc_call_ns count = %d, want %d", got, total)
+	}
+	if got := snaps["rpc_call_ns.Ping"].Count; got != total {
+		t.Errorf("rpc_call_ns.Ping count = %d, want %d", got, total)
+	}
+}
+
+// TestInstrumentedCallerNilRegistry pins the pass-through contract: a nil
+// registry must cost nothing and crash nothing.
+func TestInstrumentedCallerNilRegistry(t *testing.T) {
+	ic := NewInstrumentedCaller(&flakyStub{}, nil)
+	for i := 0; i < 6; i++ {
+		ic.Call(context.Background(), "10.0.0.1:1", wire.Ping{})
+	}
+}

@@ -202,7 +202,10 @@ func (n *MemNetwork) Call(ctx context.Context, addr string, req any) (any, error
 
 // call routes one request from src to addr through every enabled chaos
 // filter, in the order a real network would apply them: partition and crash
-// checks first, then loss, then latency, then delivery.
+// checks first, then loss, then latency, then delivery. The caller's ctx
+// reaches the handler directly, so a trace context attached with
+// obs.ContextWithTrace propagates implicitly — the in-memory counterpart of
+// the TCP transport's explicit envelope field.
 func (n *MemNetwork) call(ctx context.Context, src, addr string, req any) (any, error) {
 	n.mu.Lock()
 	h, ok := n.handlers[addr]

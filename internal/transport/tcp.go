@@ -15,8 +15,14 @@ import (
 
 // reqEnvelope and respEnvelope frame every TCP exchange. gob streams are
 // self-delimiting, so a persistent encoder/decoder pair per connection is
-// both the simplest and the fastest framing.
-type reqEnvelope struct{ V any }
+// both the simplest and the fastest framing. TC carries the caller's trace
+// context; gob ignores unknown fields and zeroes missing ones, so peers
+// built before tracing interoperate — their requests simply arrive with an
+// invalid (zero) context and handlers fall back to local-only tracing.
+type reqEnvelope struct {
+	V  any
+	TC obs.TraceContext
+}
 
 type respEnvelope struct {
 	V   any
@@ -137,7 +143,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if h == nil {
 			env = respEnvelope{Err: "transport: server has no handler installed"}
 		} else {
-			resp, err := safeHandle(h, req.V)
+			resp, err := safeHandle(h, req.TC, req.V)
 			env = respEnvelope{V: resp}
 			if err != nil {
 				env = respEnvelope{Err: err.Error()}
@@ -159,14 +165,20 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 
 // safeHandle invokes the handler, converting a panic into an error so one
 // poisoned request surfaces as a RemoteError on the client instead of
-// killing the connection goroutine (and, unrecovered, the whole node).
-func safeHandle(h Handler, req any) (resp any, err error) {
+// killing the connection goroutine (and, unrecovered, the whole node). A
+// valid trace context from the request envelope is re-injected into the
+// handler's context, completing server-side trace extraction.
+func safeHandle(h Handler, tc obs.TraceContext, req any) (resp any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp, err = nil, fmt.Errorf("transport: handler panic on %T: %v", req, r)
 		}
 	}()
-	return h.Handle(context.Background(), req)
+	ctx := context.Background()
+	if tc.Valid() {
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
+	return h.Handle(ctx, req)
 }
 
 // TCPClient is a Caller over TCP with a small per-address connection pool.
@@ -258,6 +270,7 @@ func (c *TCPClient) put(addr string, tc *tcpConn) {
 // lookups, dedup-on-insert stores), so replaying the request on a fresh
 // connection is safe. A freshly dialed connection's failure is final.
 func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error) {
+	trace, _ := obs.TraceFromContext(ctx)
 	for {
 		tc, pooled, err := c.get(ctx, addr)
 		if err != nil {
@@ -269,7 +282,7 @@ func (c *TCPClient) Call(ctx context.Context, addr string, req any) (any, error)
 			tc.c.SetDeadline(time.Time{})
 		}
 		retriable := pooled && ctx.Err() == nil
-		if err := tc.enc.Encode(&reqEnvelope{V: req}); err != nil {
+		if err := tc.enc.Encode(&reqEnvelope{V: req, TC: trace}); err != nil {
 			tc.c.Close()
 			if retriable {
 				continue

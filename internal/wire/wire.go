@@ -213,6 +213,11 @@ type LocalSearchResult struct {
 	KNNNs    int64
 	ExtendNs int64
 	Visits   int64
+	// Spans carries the node's completed span subtrees for this request
+	// when the caller's TraceContext was sampled; empty otherwise. Gob
+	// ignores unknown fields, so results from nodes predating tracing
+	// simply arrive without spans.
+	Spans []obs.SpanSnapshot
 }
 
 // GroupSearch is sent to a group entry point, which fans the contained
@@ -235,6 +240,9 @@ type GroupSearchResult struct {
 	ExtendNs int64
 	Visits   int64
 	MergeNs  int64
+	// Spans carries the entry point's group_search subtree (member
+	// local_search spans grafted in) for sampled traces; empty otherwise.
+	Spans []obs.SpanSnapshot
 }
 
 // Metrics asks a node for a snapshot of its observability registry.
@@ -246,6 +254,21 @@ type Metrics struct{}
 type MetricsResult struct {
 	Node    string
 	Metrics []obs.Snapshot
+}
+
+// TraceFetch asks a node for every retained root span belonging to the
+// given 32-hex trace ID — the pull half of cross-node trace assembly,
+// covering spans that were not shipped inline in a search result (e.g.
+// fetch_region spans recorded during gapped extension).
+type TraceFetch struct {
+	TraceID string
+}
+
+// TraceFetchResult answers TraceFetch; empty when the node runs without a
+// tracer or retains nothing for the trace.
+type TraceFetchResult struct {
+	Node  string
+	Spans []obs.SpanSnapshot
 }
 
 // Stats queries a node's storage counters.
@@ -325,4 +348,6 @@ func init() {
 	gob.Register(StatsResult{})
 	gob.Register(Metrics{})
 	gob.Register(MetricsResult{})
+	gob.Register(TraceFetch{})
+	gob.Register(TraceFetchResult{})
 }

@@ -26,6 +26,7 @@ package mendel
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 
 	"mendel/internal/blast"
@@ -83,9 +84,17 @@ type (
 	MetricSnapshot = obs.Snapshot
 	// SpanSnapshot is an immutable copy of a finished query span tree.
 	SpanSnapshot = obs.SpanSnapshot
+	// SpanAttr is one integer attribute recorded on a span.
+	SpanAttr = obs.Attr
 	// NodeMetrics is one node's registry snapshot, as returned by
 	// Cluster.MetricsDetailed.
 	NodeMetrics = wire.MetricsResult
+	// TraceContext is the per-query distributed trace identity carried on
+	// every RPC (128-bit trace ID, span ID, head-sampling decision).
+	TraceContext = obs.TraceContext
+	// TraceSource resolves a trace ID to its assembled cross-node span
+	// tree; Cluster.TraceSource produces one backed by the whole cluster.
+	TraceSource = obs.TraceSource
 )
 
 // NewMetricsRegistry creates an empty metrics registry.
@@ -95,15 +104,46 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // spans (0 uses the default).
 func NewQueryTracer(capacity int) *QueryTracer { return obs.NewTracer(capacity) }
 
-// MetricsHandler serves /metrics, /debug/spans, /debug/vars and
-// /debug/pprof/* from the given sinks; either may be nil.
+// MetricsHandler serves /metrics, /debug/spans, /debug/trace/{id},
+// /debug/vars and /debug/pprof/* from the given sinks; either may be nil.
 func MetricsHandler(reg *MetricsRegistry, tr *QueryTracer) http.Handler { return obs.Handler(reg, tr) }
+
+// MetricsHandlerWithTraces is MetricsHandler with an explicit cross-node
+// trace source backing /debug/trace/{id}; pass Cluster.TraceSource so the
+// endpoint assembles node-side spans too. A nil src falls back to the
+// tracer's own retained roots.
+func MetricsHandlerWithTraces(reg *MetricsRegistry, tr *QueryTracer, src TraceSource) http.Handler {
+	return obs.HandlerWithTraces(reg, tr, src)
+}
 
 // ServeMetrics starts an HTTP observability endpoint on addr (":0" picks a
 // free port) and returns the server plus its bound address.
 func ServeMetrics(addr string, reg *MetricsRegistry, tr *QueryTracer) (*http.Server, string, error) {
 	return obs.Serve(addr, reg, tr)
 }
+
+// ServeMetricsWithTraces is ServeMetrics with a cross-node trace source
+// backing /debug/trace/{id} (see MetricsHandlerWithTraces).
+func ServeMetricsWithTraces(addr string, reg *MetricsRegistry, tr *QueryTracer, src TraceSource) (*http.Server, string, error) {
+	return obs.ServeWithTraces(addr, reg, tr, src)
+}
+
+// AssembleTraceSpans merges span trees collected from several tracers —
+// coordinator roots plus node-shipped subtrees — into the deduplicated
+// per-trace forest that /debug/trace/{id} serves.
+func AssembleTraceSpans(spans []SpanSnapshot) []SpanSnapshot { return obs.AssembleTrace(spans) }
+
+// NewLogger returns a structured logger writing one JSON object per line to
+// w, with the given minimum level and constant attributes (a node address,
+// a role) stamped on every record.
+func NewLogger(w io.Writer, level slog.Level, attrs ...slog.Attr) *slog.Logger {
+	return obs.NewLogger(w, level, attrs...)
+}
+
+// LoggerWithTrace returns l with the trace's 32-hex trace_id attribute
+// attached, so log lines correlate with /debug/trace/{id}. Invalid contexts
+// return l unchanged.
+func LoggerWithTrace(l *slog.Logger, tc TraceContext) *slog.Logger { return obs.WithTrace(l, tc) }
 
 // MergeMetricSnapshots merges per-node snapshots into cluster-wide totals;
 // histogram buckets share a fixed layout, so quantiles survive the merge.
