@@ -16,6 +16,7 @@ import (
 	"mendel/internal/bench"
 	"mendel/internal/matrix"
 	"mendel/internal/metric"
+	"mendel/internal/node"
 	"mendel/internal/seq"
 	"mendel/internal/vptree"
 )
@@ -335,6 +336,50 @@ func BenchmarkIndexThroughput(b *testing.B) { benchmarkIngest(b, 0) }
 // BenchmarkIndexThroughputSerial is the IngestWorkers=1 baseline the
 // parallel pipeline's speedup is quoted against.
 func BenchmarkIndexThroughputSerial(b *testing.B) { benchmarkIngest(b, 1) }
+
+// BenchmarkRepairThroughput measures anti-entropy re-replication speed:
+// every iteration wipes one storage node (a fresh empty node takes over its
+// address and is re-bootstrapped) and a full Cluster.Repair restores its
+// block inventory from the surviving replicas, reporting blocks/sec moved.
+func BenchmarkRepairThroughput(b *testing.B) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(8))
+	cfg := DefaultConfig(Protein)
+	cfg.Groups = 2
+	cfg.Replicas = 2
+	cluster, err := NewInProcess(cfg, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := NewSet(Protein)
+	for i := 0; i < 50; i++ {
+		if _, err := db.Add(fmt.Sprintf("ref%03d", i), randomProteinB(rng, 400)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cluster.Index(ctx, db); err != nil {
+		b.Fatal(err)
+	}
+	victim := cluster.Nodes[1].Addr()
+	hm := NewHealthMonitor(cluster.Cluster, DefaultHealthConfig())
+	moved := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cluster.Net.Register(victim, node.New(victim, cluster.Net.Bind(victim)))
+		hm.ProbeOnce(ctx) // re-bootstrap the wiped node
+		b.StartTimer()
+		rep, err := cluster.Repair(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.BlocksMoved == 0 {
+			b.Fatal("repair moved no blocks")
+		}
+		moved += rep.BlocksMoved
+	}
+	b.ReportMetric(float64(moved)/b.Elapsed().Seconds(), "blocks/s")
+}
 
 // BenchmarkBlastBaselineSearch measures the comparator on the same data
 // shape as BenchmarkEndToEndSearch.

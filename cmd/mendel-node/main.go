@@ -64,10 +64,11 @@ func main() {
 	}
 	srv.Observe(reg, tracer)
 	if *metricsAddr != "" {
-		_, bound, err := mendel.ServeMetrics(*metricsAddr, reg, tracer)
+		_, bound, err := mendel.ServeMetricsWithHealth(*metricsAddr, reg, tracer, nil, srv.HealthSource())
 		if err != nil {
 			log.Fatalf("mendel-node: metrics endpoint: %v", err)
 		}
+		fmt.Printf("mendel-node health on http://%s/debug/health\n", bound)
 		fmt.Printf("mendel-node metrics on http://%s/metrics\n", bound)
 	}
 	if *dataFile != "" {

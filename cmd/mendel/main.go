@@ -42,6 +42,8 @@ func main() {
 		cmdExplain(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "repair":
+		cmdRepair(os.Args[2:])
 	default:
 		usage()
 	}
@@ -54,7 +56,8 @@ commands:
   index    fragment and index a FASTA file onto running storage nodes
   query    evaluate alignment queries against an indexed cluster
   explain  run one fully-traced query and render its cross-node span tree
-  stats    print per-node storage statistics`)
+  stats    print per-node storage statistics
+  repair   probe node health and run an anti-entropy repair pass`)
 	os.Exit(2)
 }
 
@@ -83,6 +86,7 @@ func cmdIndex(args []string) {
 	fasta := fs.String("fasta", "", "FASTA file with reference sequences (required)")
 	manifest := fs.String("manifest", "cluster.mendel", "manifest file to create or extend")
 	blockLen := fs.Int("block", 16, "inverted index block length w")
+	replicas := fs.Int("replicas", 1, "copies of each block and sequence within its group (>= 2 enables hinted handoff and repair to survive node loss)")
 	resilience := resilienceFlags(fs)
 	fs.Parse(args)
 	if *nodeList == "" && !fileExists(*manifest) {
@@ -101,6 +105,7 @@ func cmdIndex(args []string) {
 		cfg := mendel.DefaultConfig(kind)
 		cfg.Groups = *groups
 		cfg.BlockLen = *blockLen
+		cfg.Replicas = *replicas
 		nodes := strings.Split(*nodeList, ",")
 		groupLists, err := splitGroups(nodes, *groups)
 		if err != nil {
@@ -182,12 +187,18 @@ func cmdQuery(args []string) {
 			cluster.SetTraceSampleRate(*traceSample)
 		}
 		if *metricsAddr != "" {
-			_, bound, err := mendel.ServeMetricsWithTraces(*metricsAddr, reg, tracer,
-				cluster.TraceSource(context.Background()))
+			// The observability endpoint doubles as the cluster health view:
+			// a background monitor probes the nodes, replays hinted handoffs
+			// to recovered ones, and backs /debug/health.
+			hm := mendel.NewHealthMonitor(cluster, mendel.DefaultHealthConfig())
+			hm.ObserveBreakers(rpc)
+			go hm.Run(context.Background())
+			_, bound, err := mendel.ServeMetricsWithHealth(*metricsAddr, reg, tracer,
+				cluster.TraceSource(context.Background()), hm.Source())
 			if err != nil {
 				log.Fatalf("mendel query: metrics endpoint: %v", err)
 			}
-			fmt.Printf("metrics on http://%s/metrics\n", bound)
+			fmt.Printf("metrics on http://%s/metrics, health on http://%s/debug/health\n", bound, bound)
 		}
 	}
 	params := mendel.DefaultParams()
@@ -586,6 +597,57 @@ func printClusterMetrics(cluster *mendel.Cluster) {
 		}
 		fmt.Printf("  %-28s %d\n", s.Name, s.Value)
 	}
+}
+
+// cmdRepair probes every node, reports the health view, and — unless the
+// probe is all that was asked for — runs one anti-entropy pass: missing
+// block and sequence replicas are re-pushed between nodes until every item
+// is back at full replication. The probe itself already performs recovery
+// (re-bootstrap, topology re-push, hinted-handoff replay) for nodes that
+// just returned.
+func cmdRepair(args []string) {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	checkOnly := fs.Bool("check", false, "only probe and print node health, skip the repair pass")
+	jsonOut := fs.Bool("json", false, "print the health snapshot as JSON")
+	resilience := resilienceFlags(fs)
+	fs.Parse(args)
+
+	cluster, rpc := loadManifest(*manifest, resilience())
+	ctx := context.Background()
+	hm := mendel.NewHealthMonitor(cluster, mendel.DefaultHealthConfig())
+	hm.ObserveBreakers(rpc)
+	hm.ProbeOnce(ctx)
+
+	snap := hm.Snapshot()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			log.Fatalf("mendel repair: %v", err)
+		}
+	} else {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NODE\tGROUP\tSTATE\tBOOTED\tHINTS")
+		for _, n := range snap {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%v\t%d\n", n.Addr, n.Group, n.State, n.Booted, n.HintsPending)
+		}
+		tw.Flush()
+	}
+	if *checkOnly {
+		return
+	}
+
+	start := time.Now()
+	rep, err := cluster.Repair(ctx)
+	if err != nil {
+		log.Fatalf("mendel repair: %v", err)
+	}
+	fmt.Printf("repair: %s\n", rep)
+	if pending := cluster.HintsPending(); pending > 0 {
+		fmt.Printf("warning: %d hinted-handoff items still pending (target nodes down?)\n", pending)
+	}
+	fmt.Printf("done in %v; rpc: %s\n", time.Since(start).Round(time.Millisecond), rpc.Stats())
 }
 
 func loadManifest(path string, rc mendel.ResilienceConfig) (*mendel.Cluster, *mendel.ResilientCaller) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"os"
+	"reflect"
 	"strconv"
 	"sync"
 	"testing"
@@ -409,6 +410,161 @@ func TestChaosCoordinatorPartitionedFromNode(t *testing.T) {
 	peer := ip.Net.Bind(ip.Nodes[0].Addr())
 	if _, err := peer.Call(ctx, victim, wire.Ping{}); err != nil {
 		t.Fatalf("peer cannot reach partitioned node: %v", err)
+	}
+}
+
+// victimsCoverSeqIDs is victimsCoverSomeSequence for a global ID range
+// [first, first+n): sequences indexed from a second set, whose per-set IDs
+// do not match their cluster-global ones.
+func victimsCoverSeqIDs(ip *InProcess, first, n int, victims ...string) bool {
+	dead := make(map[string]bool, len(victims))
+	for _, v := range victims {
+		dead[v] = true
+	}
+	for i := 0; i < n; i++ {
+		holders := ip.seqRing.LookupN(seqKey(seq.ID(first+i)), ip.cfg.replicas())
+		alive := false
+		for _, h := range holders {
+			if !dead[h] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosKillRestartConvergeFullRecall is the self-healing acceptance
+// scenario: one node is killed mid-ingest (its writes park as hints), a
+// second is killed mid-query after the first restarted empty; both restarts
+// are recovered by the health monitor (re-bootstrap, hint replay, index
+// build) and a Cluster.Repair pass re-replicates everything the wipes lost.
+// Afterwards every query must return full (non-partial) results identical to
+// a never-faulted twin cluster built from the same data, the hint queue must
+// be empty, and the health view must report every node up.
+func TestChaosKillRestartConvergeFullRecall(t *testing.T) {
+	ip, db1 := chaosCluster(t)
+	ctx := context.Background()
+	db2 := buildTestDB(rand.New(rand.NewSource(77)), 10, 300)
+
+	// The no-fault twin: same config, same data, no chaos. Placement is a
+	// pure function of content and topology, and node-side search is exact,
+	// so its answers are the ground truth the healed cluster must reproduce.
+	twinCfg := DefaultConfig(seq.Protein)
+	twinCfg.Groups = 2
+	twinCfg.SampleSize = 500
+	twinCfg.Replicas = 2
+	twin, err := NewInProcess(twinCfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Index(ctx, buildTestDB(rand.New(rand.NewSource(71)), 20, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Index(ctx, buildTestDB(rand.New(rand.NewSource(77)), 10, 300)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Victims in different groups whose simultaneous loss destroys no
+	// repository shard of either data set (see victimsCoverSomeSequence).
+	var victimA, victimB string
+	for _, v0 := range ip.Topology().GroupNodes(0) {
+		for _, v1 := range ip.Topology().GroupNodes(1) {
+			if victimsCoverSomeSequence(ip, db1, v0, v1) ||
+				victimsCoverSeqIDs(ip, db1.Len(), db2.Len(), v0, v1) {
+				continue
+			}
+			victimA, victimB = v0, v1
+		}
+	}
+	if victimA == "" {
+		t.Fatal("no survivable victim pair exists; reshape the test database")
+	}
+
+	hm := NewHealthMonitor(ip.Cluster, HealthConfig{DownAfter: 2})
+	hm.ProbeOnce(ctx)
+
+	// Kill victimA mid-ingest: the second data set arrives while it is
+	// down, so its share of the writes parks in the hint queue.
+	ip.Net.Fail(victimA)
+	if err := ip.Index(ctx, db2); err != nil {
+		t.Fatalf("ingest with %s down: %v", victimA, err)
+	}
+	if ip.HintsPending() == 0 {
+		t.Fatal("mid-ingest crash parked no hints")
+	}
+
+	// victimA restarts empty (the crash lost its disk); the next sweep
+	// re-bootstraps it, replays the parked hints and rebuilds its index.
+	ip.Net.Register(victimA, node.New(victimA, ip.Net.Bind(victimA)))
+	ip.Net.Heal(victimA)
+	hm.ProbeOnce(ctx)
+	if pending := ip.HintsPending(); pending != 0 {
+		t.Fatalf("hints not drained after %s recovered: %d pending", victimA, pending)
+	}
+
+	// Kill victimB mid-query: R=2 keeps answers full while it is down.
+	ip.Net.Fail(victimB)
+	hits, trace, err := ip.SearchTrace(ctx, db1.Seqs[11].Data[50:180], defaultTestParams())
+	if err != nil {
+		t.Fatalf("query with %s down: %v", victimB, err)
+	}
+	if trace.Partial || len(hits) == 0 || hits[0].Seq != 11 {
+		t.Fatalf("mid-outage query degraded: %s %+v", trace, hits)
+	}
+
+	// victimB restarts empty too and is recovered the same way.
+	ip.Net.Register(victimB, node.New(victimB, ip.Net.Bind(victimB)))
+	ip.Net.Heal(victimB)
+	hm.ProbeOnce(ctx)
+
+	// Anti-entropy: re-replicate everything the two wipes lost.
+	rep, err := ip.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksMoved == 0 {
+		t.Fatalf("repair after two wipes moved no blocks: %s", rep)
+	}
+	if rep.Unrepairable != 0 || rep.PushErrors != 0 || len(rep.Unreachable) != 0 {
+		t.Fatalf("repair not clean: %s", rep)
+	}
+
+	// Converged: no hints, every node up, and every query answers full
+	// results identical to the never-faulted twin.
+	if pending := ip.HintsPending(); pending != 0 {
+		t.Fatalf("hints pending after repair: %d", pending)
+	}
+	for _, n := range hm.Snapshot() {
+		if n.State != HealthUp || !n.Booted {
+			t.Fatalf("node not healthy after convergence: %+v", n)
+		}
+	}
+	queries := make(map[int][]byte, db1.Len()+db2.Len())
+	for i, s := range db1.Seqs {
+		queries[i] = s.Data[40:170]
+	}
+	for i, s := range db2.Seqs {
+		queries[db1.Len()+i] = s.Data[40:170]
+	}
+	for id := 0; id < len(queries); id++ {
+		hits, trace, err := ip.SearchTrace(ctx, queries[id], defaultTestParams())
+		if err != nil {
+			t.Fatalf("post-repair query %d: %v", id, err)
+		}
+		if trace.Partial {
+			t.Fatalf("post-repair query %d partial: %s", id, trace)
+		}
+		want, err := twin.Search(ctx, queries[id], defaultTestParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hits, want) {
+			t.Fatalf("query %d diverged from the no-fault run:\n got %+v\nwant %+v", id, hits, want)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"mendel/internal/dht"
@@ -44,6 +45,14 @@ type Cluster struct {
 	totalResidues int
 	nextID        seq.ID
 	rng           *rand.Rand
+
+	// hints is the hinted-handoff queue: writes that could not reach their
+	// replica during ingest, parked for replay when the node recovers.
+	hints *hintStore
+	// repairPending collects group IDs that a partial query flagged for
+	// read-repair; the health monitor drains it with scoped repairs.
+	repairMu      sync.Mutex
+	repairPending map[int]bool
 }
 
 // NewCluster creates a coordinator for the given group layout. No node is
@@ -64,16 +73,18 @@ func NewCluster(cfg Config, caller transport.Caller, groups [][]string) (*Cluste
 		seqRing.Add(n)
 	}
 	return &Cluster{
-		cfg:     cfg,
-		caller:  caller,
-		groups:  groups,
-		topo:    topo,
-		met:     metric.ForKind(cfg.Kind),
-		sampler: obs.NewSampler(cfg.traceSampleRate()),
-		seqRing: seqRing,
-		names:   make(map[seq.ID]string),
-		lengths: make(map[seq.ID]int),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:           cfg,
+		caller:        caller,
+		groups:        groups,
+		topo:          topo,
+		met:           metric.ForKind(cfg.Kind),
+		sampler:       obs.NewSampler(cfg.traceSampleRate()),
+		seqRing:       seqRing,
+		names:         make(map[seq.ID]string),
+		lengths:       make(map[seq.ID]int),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		hints:         newHintStore(),
+		repairPending: make(map[int]bool),
 	}, nil
 }
 
@@ -88,6 +99,7 @@ func (c *Cluster) Config() Config { return c.cfg }
 func (c *Cluster) SetObservability(reg *obs.Registry, tracer *obs.Tracer) {
 	c.reg = reg
 	c.tracer = tracer
+	reg.SetGaugeFunc("hints_pending", c.hints.pending)
 }
 
 // Registry returns the coordinator's metrics registry (nil if unset).
@@ -231,6 +243,55 @@ func (c *Cluster) StatsDetailed(ctx context.Context) ([]wire.StatsResult, []stri
 func (c *Cluster) Ping(ctx context.Context) error {
 	_, err := transport.Broadcast(ctx, c.caller, c.topo.AllNodes(), wire.Ping{})
 	return err
+}
+
+// groupsSnapshot returns a copy of the current group membership lists.
+func (c *Cluster) groupsSnapshot() [][]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([][]string, len(c.groups))
+	for i, members := range c.groups {
+		out[i] = append([]string(nil), members...)
+	}
+	return out
+}
+
+// noteFailedGroups schedules a scoped read-repair of groups that failed to
+// answer a query; the health monitor drains the set once the group has live
+// members again. Scheduling is idempotent per group.
+func (c *Cluster) noteFailedGroups(groups []int) {
+	c.repairMu.Lock()
+	for _, g := range groups {
+		if !c.repairPending[g] {
+			c.repairPending[g] = true
+			c.reg.Counter("read_repair_scheduled").Inc()
+		}
+	}
+	c.repairMu.Unlock()
+}
+
+// takePendingRepairGroups drains the read-repair schedule, returning the
+// group IDs in ascending order.
+func (c *Cluster) takePendingRepairGroups() []int {
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	if len(c.repairPending) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(c.repairPending))
+	for g := range c.repairPending {
+		out = append(out, g)
+	}
+	c.repairPending = make(map[int]bool)
+	sort.Ints(out)
+	return out
+}
+
+// PendingRepairGroups reports how many groups are awaiting read-repair.
+func (c *Cluster) PendingRepairGroups() int {
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	return len(c.repairPending)
 }
 
 // seqKey is the placement key of a sequence in the repository ring.

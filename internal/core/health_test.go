@@ -1,0 +1,337 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"mendel/internal/node"
+	"mendel/internal/wire"
+)
+
+// snapshotState returns addr's state in a health snapshot.
+func snapshotState(t *testing.T, snap []NodeHealth, addr string) NodeHealth {
+	t.Helper()
+	for _, n := range snap {
+		if n.Addr == addr {
+			return n
+		}
+	}
+	t.Fatalf("node %s missing from snapshot %+v", addr, snap)
+	return NodeHealth{}
+}
+
+// nodeStats asks a node directly (bypassing the chaos network) for its
+// storage statistics.
+func nodeStats(t *testing.T, n *node.Node) wire.StatsResult {
+	t.Helper()
+	resp, err := n.Handle(context.Background(), wire.Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.(wire.StatsResult)
+}
+
+// nodeByAddr finds the in-process node object serving addr.
+func nodeByAddr(t *testing.T, ip *InProcess, addr string) *node.Node {
+	t.Helper()
+	for _, n := range ip.Nodes {
+		if n.Addr() == addr {
+			return n
+		}
+	}
+	t.Fatalf("no node %s", addr)
+	return nil
+}
+
+func TestHealthMonitorStateTransitions(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	hm := NewHealthMonitor(ip.Cluster, HealthConfig{DownAfter: 2})
+
+	hm.ProbeOnce(ctx)
+	for _, n := range hm.Snapshot() {
+		if n.State != HealthUp || !n.Booted {
+			t.Fatalf("healthy cluster reports %+v", n)
+		}
+	}
+
+	victim := ip.Nodes[2].Addr()
+	ip.Net.Fail(victim)
+	hm.ProbeOnce(ctx)
+	if st := snapshotState(t, hm.Snapshot(), victim); st.State != HealthSuspect || st.Fails != 1 {
+		t.Fatalf("after one miss: %+v", st)
+	}
+	hm.ProbeOnce(ctx)
+	if st := snapshotState(t, hm.Snapshot(), victim); st.State != HealthDown || st.Fails != 2 {
+		t.Fatalf("after two misses: %+v", st)
+	}
+
+	ip.Net.Heal(victim)
+	hm.ProbeOnce(ctx)
+	st := snapshotState(t, hm.Snapshot(), victim)
+	if st.State != HealthUp || st.Fails != 0 || st.LastSeen.IsZero() {
+		t.Fatalf("after heal: %+v", st)
+	}
+
+	// The recovered cluster answers with full recall.
+	hits, trace, err := ip.SearchTrace(ctx, db.Seqs[11].Data[50:180], defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Partial || len(hits) == 0 || hits[0].Seq != 11 {
+		t.Fatalf("post-recovery query degraded: %s %+v", trace, hits)
+	}
+}
+
+// TestHealthMonitorRepushesTopologyAfterRecovery is the regression test for
+// the AddNode/broadcastTopology gap: a node that is down during a membership
+// change used to keep its stale topology forever once it returned (it never
+// re-bootstraps on its own). The monitor's recovery sequence now re-pushes
+// the current topology.
+func TestHealthMonitorRepushesTopologyAfterRecovery(t *testing.T) {
+	ip, _ := chaosCluster(t)
+	ctx := context.Background()
+	hm := NewHealthMonitor(ip.Cluster, HealthConfig{DownAfter: 2})
+
+	victim := ip.Topology().GroupNodes(0)[0]
+	ip.Net.Fail(victim)
+	hm.ProbeOnce(ctx)
+	hm.ProbeOnce(ctx) // suspect -> down
+
+	// Membership changes while the victim sleeps: it misses the broadcast.
+	joiner := node.New("node-new", ip.Net.Bind("node-new"))
+	ip.Net.Register("node-new", joiner)
+	if err := ip.AddNode(ctx, 1, "node-new"); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeStats(t, nodeByAddr(t, ip, victim)).TopoNodes; got != 6 {
+		t.Fatalf("victim should still hold the stale 6-node topology, has %d", got)
+	}
+
+	ip.Net.Heal(victim)
+	hm.ProbeOnce(ctx)
+	if st := snapshotState(t, hm.Snapshot(), victim); st.State != HealthUp {
+		t.Fatalf("victim not recovered: %+v", st)
+	}
+	if got := nodeStats(t, nodeByAddr(t, ip, victim)).TopoNodes; got != 7 {
+		t.Fatalf("victim topology after recovery = %d nodes, want 7", got)
+	}
+}
+
+func TestHintedHandoffReplayOnRecovery(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	hm := NewHealthMonitor(ip.Cluster, HealthConfig{DownAfter: 2})
+
+	victim := ip.Topology().GroupNodes(0)[1]
+	blocksBefore := nodeStats(t, nodeByAddr(t, ip, victim)).Blocks
+
+	// Ingest with a replica down: its share of the writes parks as hints.
+	ip.Net.Fail(victim)
+	rng := rand.New(rand.NewSource(75))
+	db2 := buildTestDB(rng, 10, 300)
+	if err := ip.Index(ctx, db2); err != nil {
+		t.Fatalf("ingest with a down replica must succeed: %v", err)
+	}
+	if ip.HintsPending() == 0 {
+		t.Fatal("no hints parked for the down replica")
+	}
+	if st := snapshotState(t, hm.Snapshot(), victim); st.HintsPending == 0 {
+		t.Fatalf("snapshot does not surface pending hints: %+v", st)
+	}
+
+	// The new data is fully searchable mid-outage (R=2).
+	newID := db.Len() + 3
+	hits, trace, err := ip.SearchTrace(ctx, db2.Seqs[3].Data[40:170], defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Partial || len(hits) == 0 || int(hits[0].Seq) != newID {
+		t.Fatalf("mid-outage query on fresh data degraded: %s %+v", trace, hits)
+	}
+
+	ip.Net.Heal(victim)
+	hm.ProbeOnce(ctx)
+	if pending := ip.HintsPending(); pending != 0 {
+		t.Fatalf("hints not drained after recovery: %d pending", pending)
+	}
+	if got := nodeStats(t, nodeByAddr(t, ip, victim)).Blocks; got <= blocksBefore {
+		t.Fatalf("victim blocks %d after replay, want > %d", got, blocksBefore)
+	}
+	hits, trace, err = ip.SearchTrace(ctx, db2.Seqs[3].Data[40:170], defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Partial || len(hits) == 0 || int(hits[0].Seq) != newID {
+		t.Fatalf("post-replay query degraded: %s %+v", trace, hits)
+	}
+}
+
+func TestReadRepairScheduledOnPartialQuery(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	hm := NewHealthMonitor(ip.Cluster, HealthConfig{DownAfter: 2})
+	query, _ := findSpanningQuery(t, ip, db)
+
+	for _, addr := range ip.Topology().GroupNodes(1) {
+		ip.Net.Fail(addr)
+	}
+	_, trace, err := ip.SearchTrace(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Partial {
+		t.Fatalf("whole-group outage not partial: %s", trace)
+	}
+	if got := ip.PendingRepairGroups(); got != 1 {
+		t.Fatalf("pending repair groups = %d, want 1", got)
+	}
+
+	// While the whole group is down the repair stays scheduled.
+	hm.ProbeOnce(ctx)
+	if got := ip.PendingRepairGroups(); got != 1 {
+		t.Fatalf("repair of an all-down group should stay scheduled, pending = %d", got)
+	}
+
+	for _, addr := range ip.Topology().GroupNodes(1) {
+		ip.Net.Heal(addr)
+	}
+	hm.ProbeOnce(ctx)
+	if got := ip.PendingRepairGroups(); got != 0 {
+		t.Fatalf("read repair not drained after heal, pending = %d", got)
+	}
+	_, trace, err = ip.SearchTrace(ctx, query, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Partial {
+		t.Fatalf("still partial after read repair: %s", trace)
+	}
+}
+
+func TestRepairRestoresWipedNode(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+	hm := NewHealthMonitor(ip.Cluster, HealthConfig{DownAfter: 2})
+
+	victim := ip.Nodes[3].Addr()
+	before := nodeStats(t, nodeByAddr(t, ip, victim))
+	if before.Blocks == 0 {
+		t.Fatalf("victim %s holds no blocks; pick another", victim)
+	}
+
+	// Crash-restart with empty state: a fresh node object takes over the
+	// address, answering pings with Booted=false.
+	fresh := node.New(victim, ip.Net.Bind(victim))
+	ip.Net.Register(victim, fresh)
+	hm.ProbeOnce(ctx) // re-bootstraps the empty node
+
+	rep, err := ip.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksMoved == 0 {
+		t.Fatalf("repair moved nothing: %s", rep)
+	}
+	if rep.Unrepairable != 0 || rep.PushErrors != 0 || len(rep.Unreachable) != 0 {
+		t.Fatalf("repair not clean: %s", rep)
+	}
+
+	after := nodeStats(t, fresh)
+	if after.Blocks != before.Blocks || after.Sequences != before.Sequences {
+		t.Fatalf("wiped node restored to blocks=%d seqs=%d, want blocks=%d seqs=%d",
+			after.Blocks, after.Sequences, before.Blocks, before.Sequences)
+	}
+
+	// Placement is converged: a second pass finds nothing to move.
+	rep2, err := ip.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.BlocksMoved != 0 || rep2.SequencesMoved != 0 {
+		t.Fatalf("second repair pass still moved data: %s", rep2)
+	}
+
+	hits, trace, err := ip.SearchTrace(ctx, db.Seqs[11].Data[50:180], defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Partial || len(hits) == 0 || hits[0].Seq != 11 {
+		t.Fatalf("post-repair query degraded: %s %+v", trace, hits)
+	}
+}
+
+// TestManifestChurnRoundTrip covers membership churn across a manifest
+// save/load cycle: join one node, remove another, persist, restore — the
+// restored coordinator must carry the post-churn groups and sequence ring
+// and answer queries with full recall.
+func TestManifestChurnRoundTrip(t *testing.T) {
+	ip, db := chaosCluster(t)
+	ctx := context.Background()
+
+	joiner := node.New("node-new", ip.Net.Bind("node-new"))
+	ip.Net.Register("node-new", joiner)
+	if err := ip.AddNode(ctx, 0, "node-new"); err != nil {
+		t.Fatal(err)
+	}
+	victim := ip.Topology().GroupNodes(1)[0]
+	if err := ip.RemoveNode(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// More data lands on the post-churn layout (some of it on the joiner).
+	rng := rand.New(rand.NewSource(76))
+	db2 := buildTestDB(rng, 10, 300)
+	if err := ip.Index(ctx, db2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ip.SaveManifest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadManifest(&buf, ip.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := restored.Topology().NumNodes(), ip.Topology().NumNodes(); got != want {
+		t.Fatalf("restored topology has %d nodes, want %d", got, want)
+	}
+	if _, ok := restored.Topology().GroupOf("node-new"); !ok {
+		t.Fatal("joiner missing from restored topology")
+	}
+	if _, ok := restored.Topology().GroupOf(victim); ok {
+		t.Fatal("removed node still in restored topology")
+	}
+
+	for _, tc := range []struct {
+		id    int
+		query []byte
+	}{
+		{11, db.Seqs[11].Data[50:180]},
+		{db.Len() + 4, db2.Seqs[4].Data[40:170]},
+	} {
+		hits, trace, err := restored.SearchTrace(ctx, tc.query, defaultTestParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace.Partial || len(hits) == 0 || int(hits[0].Seq) != tc.id {
+			t.Fatalf("restored cluster recall lost for seq %d: %s %+v", tc.id, trace, hits)
+		}
+	}
+
+	// The restored coordinator can run the full self-healing loop too.
+	hm := NewHealthMonitor(restored, HealthConfig{DownAfter: 2})
+	hm.ProbeOnce(ctx)
+	for _, n := range hm.Snapshot() {
+		if n.State != HealthUp {
+			t.Fatalf("restored cluster health: %+v", n)
+		}
+	}
+	if _, err := restored.Repair(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

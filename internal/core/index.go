@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -104,15 +105,48 @@ func (c *Cluster) buildHashTree(set *seq.Set, blockCfg invindex.Config) (*vphash
 	return vphash.Build(c.met, sample, depth, c.cfg.Groups, c.cfg.Seed)
 }
 
-// bootstrapNodes ships the shared cluster state to every node.
+// bootstrapNodes ships the shared cluster state to every node. Individual
+// unreachable nodes do not fail the bootstrap — the health monitor
+// re-bootstraps them on recovery (Pong.Booted tells it to) — but a cluster
+// where nobody answers, or a live node that rejects the state, does.
 func (c *Cluster) bootstrapNodes(ctx context.Context) error {
-	c.mu.RLock()
-	enc, err := c.hashTree.MarshalBinary()
-	c.mu.RUnlock()
+	boot, err := c.bootstrapMsg()
 	if err != nil {
 		return err
 	}
-	boot := wire.Bootstrap{
+	nodes := c.topo.AllNodes()
+	_, errs := transport.BroadcastAll(ctx, c.caller, nodes, boot)
+	reached := 0
+	for i, e := range errs {
+		switch {
+		case e == nil:
+			reached++
+		case errors.Is(e, transport.ErrUnreachable):
+			// Recovered later by the health monitor.
+		default:
+			return fmt.Errorf("core: bootstrap %s: %w", nodes[i], e)
+		}
+	}
+	if reached == 0 {
+		return fmt.Errorf("core: bootstrap: no node reachable")
+	}
+	return nil
+}
+
+// bootstrapMsg assembles the Bootstrap message carrying the current shared
+// cluster state, used both at first ingest and when the health monitor
+// re-bootstraps a node that restarted empty.
+func (c *Cluster) bootstrapMsg() (wire.Bootstrap, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.hashTree == nil {
+		return wire.Bootstrap{}, ErrNotIndexed
+	}
+	enc, err := c.hashTree.MarshalBinary()
+	if err != nil {
+		return wire.Bootstrap{}, err
+	}
+	return wire.Bootstrap{
 		HashTree:     enc,
 		Metric:       c.met.Name(),
 		BlockLen:     c.cfg.BlockLen,
@@ -120,16 +154,15 @@ func (c *Cluster) bootstrapNodes(ctx context.Context) error {
 		Groups:       c.groups,
 		Kind:         c.cfg.Kind,
 		SearchBudget: c.cfg.searchBudget(),
-	}
-	if _, err := transport.Broadcast(ctx, c.caller, c.topo.AllNodes(), boot); err != nil {
-		return fmt.Errorf("core: bootstrap: %w", err)
-	}
-	return nil
+	}, nil
 }
 
 // storeSequences places each sequence on its repository shard. Shards are
 // independent, so the per-node StoreSequences calls run concurrently unless
-// the serial pipeline (IngestWorkers = 1) was requested.
+// the serial pipeline (IngestWorkers = 1) was requested. An unreachable
+// shard does not fail the ingest: its write set is parked as a hint and
+// replayed when the health monitor sees the node return (with Replicas >= 2
+// the surviving copies keep queries at full recall meanwhile).
 func (c *Cluster) storeSequences(ctx context.Context, set *seq.Set, base seq.ID) error {
 	byNode := make(map[string]*wire.StoreSequences)
 	for _, s := range set.Seqs {
@@ -145,10 +178,20 @@ func (c *Cluster) storeSequences(ctx context.Context, set *seq.Set, base seq.ID)
 			msg.Data = append(msg.Data, s.Data)
 		}
 	}
+	store := func(node string, msg *wire.StoreSequences) error {
+		if _, err := c.caller.Call(ctx, node, *msg); err != nil {
+			if errors.Is(err, transport.ErrUnreachable) {
+				c.hintSequences(node, *msg)
+				return nil
+			}
+			return fmt.Errorf("core: storing sequences on %s: %w", node, err)
+		}
+		return nil
+	}
 	if c.cfg.ingestWorkers() <= 1 {
 		for node, msg := range byNode {
-			if _, err := c.caller.Call(ctx, node, *msg); err != nil {
-				return fmt.Errorf("core: storing sequences on %s: %w", node, err)
+			if err := store(node, msg); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -162,15 +205,25 @@ func (c *Cluster) storeSequences(ctx context.Context, set *seq.Set, base seq.ID)
 		wg.Add(1)
 		go func(node string, msg *wire.StoreSequences) {
 			defer wg.Done()
-			if _, err := c.caller.Call(ctx, node, *msg); err != nil {
-				errOnce.Do(func() {
-					firstErr = fmt.Errorf("core: storing sequences on %s: %w", node, err)
-				})
+			if err := store(node, msg); err != nil {
+				errOnce.Do(func() { firstErr = err })
 			}
 		}(node, msg)
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// hintSequences parks an undeliverable StoreSequences as a hinted handoff.
+func (c *Cluster) hintSequences(node string, msg wire.StoreSequences) {
+	c.hints.addSequences(node, msg)
+	c.reg.Counter("hints_queued").Add(int64(len(msg.IDs)))
+}
+
+// hintBlocks parks undeliverable blocks as a hinted handoff.
+func (c *Cluster) hintBlocks(node string, blocks []wire.Block) {
+	c.hints.addBlocks(node, blocks)
+	c.reg.Counter("hints_queued").Add(int64(len(blocks)))
 }
 
 // dispatchBlocks fragments, hashes and ships every block, then broadcasts
@@ -188,8 +241,15 @@ func (c *Cluster) dispatchBlocks(ctx context.Context, set *seq.Set, base seq.ID,
 	if err != nil {
 		return err
 	}
-	if _, err := transport.Broadcast(ctx, c.caller, c.topo.AllNodes(), wire.BuildIndex{}); err != nil {
-		return fmt.Errorf("core: building local indexes: %w", err)
+	// A node that went down mid-ingest must not fail the build for everyone
+	// else: its staged blocks are parked as hints, and the recovery sequence
+	// always ends with a BuildIndex, so nothing is lost — only deferred.
+	nodes := c.topo.AllNodes()
+	_, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.BuildIndex{})
+	for i, e := range errs {
+		if e != nil && !errors.Is(e, transport.ErrUnreachable) {
+			return fmt.Errorf("core: building local index on %s: %w", nodes[i], e)
+		}
 	}
 	return nil
 }
@@ -205,6 +265,13 @@ func (c *Cluster) dispatchSerial(ctx context.Context, set *seq.Set, base seq.ID,
 			return nil
 		}
 		if _, err := c.caller.Call(ctx, node, wire.IndexBlocks{Blocks: blocks, Stage: true}); err != nil {
+			if errors.Is(err, transport.ErrUnreachable) {
+				// Hinted handoff: park the batch for replay on recovery
+				// instead of failing the ingest (§VII-B fault tolerance).
+				c.hintBlocks(node, blocks)
+				pending[node] = nil
+				return nil
+			}
 			return fmt.Errorf("core: indexing blocks on %s: %w", node, err)
 		}
 		pending[node] = nil
@@ -279,6 +346,13 @@ func (c *Cluster) dispatchParallel(ctx context.Context, set *seq.Set, base seq.I
 					continue // failed: drain so workers never block
 				}
 				if _, err := c.caller.Call(ctx, node, wire.IndexBlocks{Blocks: blocks, Stage: true}); err != nil {
+					if errors.Is(err, transport.ErrUnreachable) {
+						// Hinted handoff, as in the serial pipeline; the
+						// sender goroutine owns this node's batches, so
+						// hints preserve delivery order per node.
+						c.hintBlocks(node, blocks)
+						continue
+					}
 					fail(fmt.Errorf("core: indexing blocks on %s: %w", node, err))
 				}
 			}

@@ -76,6 +76,8 @@ func LoadManifest(r io.Reader, caller transport.Caller) (*Cluster, error) {
 		lengths:       m.Lengths,
 		totalResidues: m.Total,
 		nextID:        m.NextID,
+		hints:         newHintStore(),
+		repairPending: make(map[int]bool),
 	}
 	if c.names == nil {
 		c.names = make(map[seq.ID]string)

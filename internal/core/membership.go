@@ -62,8 +62,9 @@ func (c *Cluster) AddNode(ctx context.Context, g int, addr string) error {
 	c.groups = newGroups
 	c.seqRing.Add(addr)
 	c.mu.Unlock()
-	// Nodes that are down right now miss the update; they are reported by
-	// StatsDetailed and re-learn the topology when re-bootstrapped.
+	// Nodes that are down right now miss the update; a HealthMonitor re-pushes
+	// the current topology (or re-bootstraps a node that restarted empty) as
+	// part of the recovery sequence when they return.
 	_, err = c.broadcastTopology(ctx, addr)
 	return err
 }

@@ -239,14 +239,18 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 	// Stage 2: parallel fan-out to group entry points.
 	start = time.Now()
 	spFanOut := root.Child("fanout")
-	anchors, gt, groupsFailed, err := c.fanOut(ctx, q, groupOffsets, p, spFanOut)
+	anchors, gt, failedGroups, err := c.fanOut(ctx, q, groupOffsets, p, spFanOut)
 	if err != nil {
 		spFanOut.End()
 		return nil, err
 	}
-	if groupsFailed > 0 {
-		trace.GroupsFailed += groupsFailed
+	if len(failedGroups) > 0 {
+		trace.GroupsFailed += len(failedGroups)
 		trace.Partial = true
+		// Read-repair: a partial answer is the system telling us a replica
+		// set is degraded — schedule a scoped repair of the failed groups
+		// rather than waiting for an operator to notice.
+		c.noteFailedGroups(failedGroups)
 	}
 	trace.FanOut += time.Since(start)
 	trace.AnchorsReturned += len(anchors)
@@ -254,7 +258,7 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 	trace.Ungapped += time.Duration(gt.extendNs)
 	trace.TreeVisits += gt.visits
 	spFanOut.SetAttr("groups", int64(len(groupOffsets)))
-	spFanOut.SetAttr("groups_failed", int64(groupsFailed))
+	spFanOut.SetAttr("groups_failed", int64(len(failedGroups)))
 	spFanOut.SetAttr("anchors", int64(len(anchors)))
 	// Stages 2a/2b ran inside the fan-out on the storage nodes; attach them
 	// as completed children carrying the CPU time summed across all nodes.
@@ -346,8 +350,9 @@ type groupTiming struct {
 // and reported through the failed count so the surviving groups still
 // answer; without it — or when no group answers at all — the query fails
 // with the first error.
-func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params, sp *obs.Span) (anchors []wire.Anchor, gt groupTiming, failed int, err error) {
+func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]int, p wire.Params, sp *obs.Span) (anchors []wire.Anchor, gt groupTiming, failedGroups []int, err error) {
 	type result struct {
+		group   int
 		anchors []wire.Anchor
 		timing  groupTiming
 		err     error
@@ -405,7 +410,7 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 						}
 					}
 					spG.End()
-					ch <- result{anchors: gsr.Anchors, timing: groupTiming{
+					ch <- result{group: g, anchors: gsr.Anchors, timing: groupTiming{
 						knnNs:    gsr.KNNNs,
 						extendNs: gsr.ExtendNs,
 						visits:   gsr.Visits,
@@ -420,14 +425,14 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 			}
 			spG.SetAttr("failed", 1)
 			spG.End()
-			ch <- result{err: fmt.Errorf("core: group %d unreachable: %w", g, lastErr)}
+			ch <- result{group: g, err: fmt.Errorf("core: group %d unreachable: %w", g, lastErr)}
 		}(g, offsets)
 	}
 	var firstErr error
 	for range groupOffsets {
 		r := <-ch
 		if r.err != nil {
-			failed++
+			failedGroups = append(failedGroups, r.group)
 			if firstErr == nil {
 				firstErr = r.err
 			}
@@ -440,11 +445,11 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 		gt.mergeNs += r.timing.mergeNs
 	}
 	if firstErr != nil {
-		if !c.cfg.AllowPartial || failed == len(groupOffsets) {
-			return nil, gt, failed, firstErr
+		if !c.cfg.AllowPartial || len(failedGroups) == len(groupOffsets) {
+			return nil, gt, failedGroups, firstErr
 		}
 	}
-	return anchors, gt, failed, nil
+	return anchors, gt, failedGroups, nil
 }
 
 // gappedExtend runs banded gapped extension (within p.Band diagonals of

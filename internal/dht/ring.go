@@ -97,6 +97,14 @@ func (r *Ring) Lookup(key []byte) string {
 // the replica set used when replication is enabled. n is clamped to the
 // ring size.
 func (r *Ring) LookupN(key []byte, n int) []string {
+	return r.LookupNHash(keyHash(key), n)
+}
+
+// LookupNHash is LookupN for a precomputed key hash. Anti-entropy repair
+// uses it: block manifests ship KeyHash(content) instead of the contents
+// themselves, so the coordinator can recompute placement for millions of
+// blocks without ever holding their bytes.
+func (r *Ring) LookupNHash(h uint64, n int) []string {
 	if len(r.points) == 0 {
 		panic("dht: lookup on empty ring")
 	}
@@ -106,7 +114,6 @@ func (r *Ring) LookupN(key []byte, n int) []string {
 	if n <= 0 {
 		return nil
 	}
-	h := keyHash(key)
 	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	out := make([]string, 0, n)
 	seen := make(map[string]bool, n)

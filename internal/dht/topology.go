@@ -77,6 +77,12 @@ func (t *Topology) ReplicasFor(g int, key []byte, n int) []string {
 	return t.groups[g].LookupN(key, n)
 }
 
+// ReplicasForHash is ReplicasFor with a precomputed key hash, for callers
+// (anti-entropy repair) that know KeyHash(key) but not key itself.
+func (t *Topology) ReplicasForHash(g int, h uint64, n int) []string {
+	return t.groups[g].LookupNHash(h, n)
+}
+
 // AllNodes returns every node address in the cluster, sorted.
 func (t *Topology) AllNodes() []string {
 	out := make([]string, 0, len(t.byNode))

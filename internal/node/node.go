@@ -103,7 +103,10 @@ func (n *Node) metrics() wire.MetricsResult {
 func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 	switch r := req.(type) {
 	case wire.Ping:
-		return wire.Pong{Node: n.addr}, nil
+		n.mu.RLock()
+		booted := n.booted
+		n.mu.RUnlock()
+		return wire.Pong{Node: n.addr, Booted: booted}, nil
 	case wire.Bootstrap:
 		return n.bootstrap(r)
 	case wire.UpdateTopology:
@@ -120,6 +123,12 @@ func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 		return n.localSearch(ctx, r)
 	case wire.GroupSearch:
 		return n.groupSearch(ctx, r)
+	case wire.BlockManifest:
+		return n.blockManifest()
+	case wire.PushBlocks:
+		return n.pushBlocks(ctx, r)
+	case wire.PushSequences:
+		return n.pushSequences(ctx, r)
 	case wire.Stats:
 		return n.stats(), nil
 	case wire.Metrics:
@@ -316,6 +325,10 @@ func (n *Node) stats() wire.StatsResult {
 	if n.tree != nil {
 		treeSize = n.tree.Size()
 	}
+	topoNodes := 0
+	if n.topo != nil {
+		topoNodes = n.topo.NumNodes()
+	}
 	return wire.StatsResult{
 		Node:      n.addr,
 		Blocks:    len(n.blocks),
@@ -323,5 +336,6 @@ func (n *Node) stats() wire.StatsResult {
 		Sequences: len(n.seqs),
 		TreeSize:  treeSize,
 		BusyNS:    n.busyNS.Load(),
+		TopoNodes: topoNodes,
 	}
 }

@@ -32,13 +32,33 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 // tracer-local fallback.
 type TraceSource func(traceID string) []SpanSnapshot
 
+// HealthSource supplies the value served as JSON from /debug/health. The
+// coordinator plugs in HealthMonitor.Snapshot (per-node up/suspect/down
+// states); a standalone node serves its own inventory summary. The returned
+// value must be JSON-encodable.
+type HealthSource func() any
+
 // HandlerWithTraces is Handler with an optional cross-node trace source
 // backing /debug/trace/{id}. A nil src falls back to the tracer's own
 // retained roots. All three sinks may be nil: nil reg serves empty metrics,
 // nil tr serves empty span lists and 404 traces — never a panic (the
 // documented "either may be nil" contract).
 func HandlerWithTraces(reg *Registry, tr *Tracer, src TraceSource) http.Handler {
+	return HandlerWithHealth(reg, tr, src, nil)
+}
+
+// HandlerWithHealth is HandlerWithTraces with an optional health source
+// backing /debug/health. A nil health source serves 404 from that path.
+func HandlerWithHealth(reg *Registry, tr *Tracer, src TraceSource, health HealthSource) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		if health == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(health())
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
@@ -130,11 +150,17 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, string, error)
 // ServeWithTraces is Serve with a cross-node trace source backing
 // /debug/trace/{id} (see HandlerWithTraces).
 func ServeWithTraces(addr string, reg *Registry, tr *Tracer, src TraceSource) (*http.Server, string, error) {
+	return ServeWithHealth(addr, reg, tr, src, nil)
+}
+
+// ServeWithHealth is ServeWithTraces with a health source backing
+// /debug/health (see HandlerWithHealth).
+func ServeWithHealth(addr string, reg *Registry, tr *Tracer, src TraceSource, health HealthSource) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: HandlerWithTraces(reg, tr, src)}
+	srv := &http.Server{Handler: HandlerWithHealth(reg, tr, src, health)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -145,3 +145,35 @@ func TestServeBindsAndAnswers(t *testing.T) {
 		t.Fatal("second bind of the same address should fail")
 	}
 }
+
+func TestHealthEndpoint(t *testing.T) {
+	reg, tr := testSinks()
+	type row struct {
+		Addr  string `json:"addr"`
+		State string `json:"state"`
+	}
+	src := HealthSource(func() any {
+		return []row{{Addr: "node-000", State: "up"}, {Addr: "node-001", State: "down"}}
+	})
+	h := HandlerWithHealth(reg, tr, nil, src)
+	code, body := get(t, h, "/debug/health")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var rows []row
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("invalid JSON from /debug/health: %v\n%s", err, body)
+	}
+	if len(rows) != 2 || rows[0].Addr != "node-000" || rows[1].State != "down" {
+		t.Fatalf("health rows = %+v", rows)
+	}
+
+	// Without a source the path 404s; the rest of the surface still works.
+	h = HandlerWithHealth(reg, tr, nil, nil)
+	if code, _ := get(t, h, "/debug/health"); code != http.StatusNotFound {
+		t.Fatalf("nil source status = %d, want 404", code)
+	}
+	if code, _ := get(t, h, "/metrics"); code != http.StatusOK {
+		t.Fatalf("metrics broken by nil health source: %d", code)
+	}
+}

@@ -145,6 +145,27 @@ func (r *ResilientCaller) Stats() ResilientStats {
 	}
 }
 
+// BreakerStates reports the current circuit state of every address the
+// caller has a breaker for: "closed", "open", or "half-open". The health
+// monitor folds these into its cluster view, so an address that trips mid
+// query surfaces as suspect before the next probe sweep reaches it.
+func (r *ResilientCaller) BreakerStates() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.breakers))
+	for addr, b := range r.breakers {
+		switch b.state {
+		case breakerOpen:
+			out[addr] = "open"
+		case breakerHalfOpen:
+			out[addr] = "half-open"
+		default:
+			out[addr] = "closed"
+		}
+	}
+	return out
+}
+
 // admit consults addr's breaker. It returns false when the call must be
 // rejected; probe is true when the call was admitted as the half-open probe.
 func (r *ResilientCaller) admit(addr string) (admitted, probe bool) {

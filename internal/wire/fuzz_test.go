@@ -12,7 +12,7 @@ import (
 func sampleMessages() []any {
 	return []any{
 		Ping{},
-		Pong{Node: "node-007"},
+		Pong{Node: "node-007", Booted: true},
 		Bootstrap{
 			HashTree: []byte{1, 2, 3},
 			Metric:   "hamming",
@@ -46,7 +46,18 @@ func sampleMessages() []any {
 		Metrics{},
 		MetricsResult{Node: "node-001"},
 		Stats{},
-		StatsResult{Node: "node-001", Blocks: 10, Residues: 160, Sequences: 2, TreeSize: 10, BusyNS: 999},
+		StatsResult{Node: "node-001", Blocks: 10, Residues: 160, Sequences: 2, TreeSize: 10, BusyNS: 999, TopoNodes: 6},
+		BlockManifest{},
+		BlockManifestResult{
+			Node:   "node-002",
+			Refs:   []uint64{1 << 20, 2 << 20},
+			Hashes: []uint64{0xdeadbeef, 0xcafef00d},
+			Seqs:   []seq.ID{1, 3},
+		},
+		PushBlocks{Target: "node-003", Refs: []uint64{42, 43}},
+		PushBlocksAck{Pushed: 2, Missing: 1},
+		PushSequences{Target: "node-004", IDs: []seq.ID{7}},
+		PushSequencesAck{Pushed: 1},
 	}
 }
 

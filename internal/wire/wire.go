@@ -103,9 +103,13 @@ func (a Anchor) Diagonal() int { return a.SStart - a.QStart }
 // Ping checks liveness.
 type Ping struct{}
 
-// Pong answers Ping.
+// Pong answers Ping. Booted distinguishes a node that merely restarted (its
+// process answers but it lost the bootstrapped cluster state) from one that
+// is fully operational; the health monitor re-bootstraps the former before
+// replaying hints at it.
 type Pong struct {
-	Node string
+	Node   string
+	Booted bool
 }
 
 // Bootstrap distributes the shared cluster state to a storage node: the
@@ -271,6 +275,52 @@ type TraceFetchResult struct {
 	Spans []obs.SpanSnapshot
 }
 
+// BlockManifest asks a node for a summary of its block and sequence
+// inventory — the read half of anti-entropy repair. The reply carries hashes
+// rather than contents, so a manifest sweep over the whole cluster stays
+// cheap relative to the data it describes.
+type BlockManifest struct{}
+
+// BlockManifestResult lists a node's holdings: the packed reference and
+// placement hash (dht.KeyHash of the block content) of every stored block,
+// index-aligned, plus the IDs of the sequence-repository shards it holds.
+// The coordinator diffs Hashes against Topology.ReplicasForHash placement to
+// find blocks whose replica set lost a copy.
+type BlockManifestResult struct {
+	Node   string
+	Refs   []uint64 // packed (seq, start) block references, sorted
+	Hashes []uint64 // Hashes[i] = dht.KeyHash of the block at Refs[i]
+	Seqs   []seq.ID // sequence-repository shard IDs held, sorted
+}
+
+// PushBlocks tells a node (a surviving replica) to re-replicate the listed
+// blocks to Target via the staged IndexBlocks path. Block contents flow
+// node-to-node; the coordinator only ever routes references.
+type PushBlocks struct {
+	Target string
+	Refs   []uint64
+}
+
+// PushBlocksAck reports a PushBlocks outcome: how many blocks the target
+// accepted and how many of the requested refs the source no longer holds.
+type PushBlocksAck struct {
+	Pushed  int
+	Missing int
+}
+
+// PushSequences is PushBlocks for the sequence repository: the receiving
+// node forwards the listed full sequences to Target with StoreSequences.
+type PushSequences struct {
+	Target string
+	IDs    []seq.ID
+}
+
+// PushSequencesAck reports a PushSequences outcome.
+type PushSequencesAck struct {
+	Pushed  int
+	Missing int
+}
+
 // Stats queries a node's storage counters.
 type Stats struct{}
 
@@ -288,6 +338,10 @@ type StatsResult struct {
 	Sequences int
 	TreeSize  int
 	BusyNS    int64
+	// TopoNodes is the cluster size in the node's own topology view; a node
+	// that missed an UpdateTopology broadcast disagrees with the
+	// coordinator here, which the self-healing tests assert against.
+	TopoNodes int
 }
 
 // envelope boxes a message for Marshal/Unmarshal: gob refuses to encode a
@@ -344,6 +398,12 @@ func init() {
 	gob.Register(LocalSearchResult{})
 	gob.Register(GroupSearch{})
 	gob.Register(GroupSearchResult{})
+	gob.Register(BlockManifest{})
+	gob.Register(BlockManifestResult{})
+	gob.Register(PushBlocks{})
+	gob.Register(PushBlocksAck{})
+	gob.Register(PushSequences{})
+	gob.Register(PushSequencesAck{})
 	gob.Register(Stats{})
 	gob.Register(StatsResult{})
 	gob.Register(Metrics{})

@@ -95,7 +95,45 @@ type (
 	// TraceSource resolves a trace ID to its assembled cross-node span
 	// tree; Cluster.TraceSource produces one backed by the whole cluster.
 	TraceSource = obs.TraceSource
+	// HealthSource supplies the JSON value served from /debug/health;
+	// HealthMonitor.Source produces one backed by the cluster health view.
+	HealthSource = obs.HealthSource
 )
+
+// Self-healing re-exports. A HealthMonitor probes every node on a jittered
+// interval, tracks per-node up/suspect/down state, replays hinted-handoff
+// queues to recovered nodes and re-pushes topology; Cluster.Repair runs an
+// anti-entropy pass that re-replicates blocks and sequence shards a node
+// lost (e.g. after a crash-restart with empty state).
+type (
+	// HealthMonitor is the coordinator-side failure detector and recovery
+	// driver.
+	HealthMonitor = core.HealthMonitor
+	// HealthConfig tunes the probe interval, jitter and down threshold.
+	HealthConfig = core.HealthConfig
+	// NodeHealth is one node's health record in a HealthMonitor snapshot.
+	NodeHealth = core.NodeHealth
+	// RepairReport summarizes one Cluster.Repair anti-entropy pass.
+	RepairReport = core.RepairReport
+)
+
+// Node health states reported in NodeHealth.State.
+const (
+	HealthUp      = core.HealthUp
+	HealthSuspect = core.HealthSuspect
+	HealthDown    = core.HealthDown
+)
+
+// NewHealthMonitor creates a health monitor for the cluster. Zero-valued
+// config fields take the defaults; start the probe loop with Run or drive it
+// manually with ProbeOnce.
+func NewHealthMonitor(c *Cluster, cfg HealthConfig) *HealthMonitor {
+	return core.NewHealthMonitor(c, cfg)
+}
+
+// DefaultHealthConfig returns the production defaults (2s probe interval,
+// 500ms jitter, down after 2 consecutive misses).
+func DefaultHealthConfig() HealthConfig { return core.DefaultHealthConfig() }
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -126,6 +164,19 @@ func ServeMetrics(addr string, reg *MetricsRegistry, tr *QueryTracer) (*http.Ser
 // backing /debug/trace/{id} (see MetricsHandlerWithTraces).
 func ServeMetricsWithTraces(addr string, reg *MetricsRegistry, tr *QueryTracer, src TraceSource) (*http.Server, string, error) {
 	return obs.ServeWithTraces(addr, reg, tr, src)
+}
+
+// MetricsHandlerWithHealth is MetricsHandlerWithTraces with a health source
+// backing /debug/health; pass HealthMonitor.Source on a coordinator or
+// NodeServer.HealthSource on a node. A nil health source serves 404 there.
+func MetricsHandlerWithHealth(reg *MetricsRegistry, tr *QueryTracer, src TraceSource, health HealthSource) http.Handler {
+	return obs.HandlerWithHealth(reg, tr, src, health)
+}
+
+// ServeMetricsWithHealth is ServeMetricsWithTraces with a health source
+// backing /debug/health (see MetricsHandlerWithHealth).
+func ServeMetricsWithHealth(addr string, reg *MetricsRegistry, tr *QueryTracer, src TraceSource, health HealthSource) (*http.Server, string, error) {
+	return obs.ServeWithHealth(addr, reg, tr, src, health)
 }
 
 // AssembleTraceSpans merges span trees collected from several tracers —

@@ -72,6 +72,14 @@ func (s *NodeServer) Observe(reg *MetricsRegistry, tracer *QueryTracer) {
 // Addr returns the bound address to hand to NewTCPCluster.
 func (s *NodeServer) Addr() string { return s.srv.Addr() }
 
+// HealthSource returns a /debug/health backend serving this node's local
+// inventory summary (booted flag, block/sequence/tree counts). Pass it to
+// ServeMetricsWithHealth; cluster-wide health lives on the coordinator's
+// HealthMonitor instead.
+func (s *NodeServer) HealthSource() HealthSource {
+	return func() any { return s.node.Health() }
+}
+
 // Close shuts the node down.
 func (s *NodeServer) Close() error { return s.srv.Close() }
 
