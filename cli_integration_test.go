@@ -7,13 +7,16 @@ package mendel
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -297,5 +300,228 @@ func TestCLIObservability(t *testing.T) {
 	out = runTool(t, cliBin, "query", "-manifest", manifest, "-fasta", queryFasta, "-log-json")
 	if !strings.Contains(out, `"msg":"query"`) || !strings.Contains(out, `"trace_id":"`) {
 		t.Fatalf("-log-json produced no trace-correlated record:\n%s", out)
+	}
+}
+
+// metricValue parses the plain-text /metrics format ("name value" lines)
+// and returns the named reading, or fails the test if absent.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s has non-integer value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+// TestCLIServeGateway exercises the full serving path over real TCP: two
+// mendel-node daemons, `mendel index`, then `mendel serve` fronting the
+// cluster with the HTTP gateway. Concurrent HTTP clients all get correct
+// answers, /v1/status and /metrics agree with what the clients observed,
+// and a short `mendel-bench load` read mix sustains traffic with zero
+// non-shed errors, leaving the gateway counters consistent with its report.
+func TestCLIServeGateway(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	nodeBin := buildTool(t, dir, "./cmd/mendel-node")
+	cliBin := buildTool(t, dir, "./cmd/mendel")
+	genBin := buildTool(t, dir, "./cmd/mendel-datagen")
+	benchBin := buildTool(t, dir, "./cmd/mendel-bench")
+
+	dbFasta := filepath.Join(dir, "nr.fasta")
+	runTool(t, genBin, "-kind", "protein", "-n", "24", "-len", "400", "-out", dbFasta)
+
+	addr1, stop1 := startNode(t, nodeBin, "-addr", "127.0.0.1:0")
+	defer stop1()
+	addr2, stop2 := startNode(t, nodeBin, "-addr", "127.0.0.1:0")
+	defer stop2()
+
+	manifest := filepath.Join(dir, "cluster.mendel")
+	runTool(t, cliBin, "index",
+		"-nodes", addr1+","+addr2, "-groups", "2", "-kind", "protein",
+		"-fasta", dbFasta, "-manifest", manifest)
+
+	// `mendel serve` announces its bound address with the same
+	// "listening on" line mendel-node uses, so the node starter doubles
+	// as the gateway starter.
+	gwAddr, stopGW := startNode(t, cliBin, "serve",
+		"-manifest", manifest, "-addr", "127.0.0.1:0",
+		"-max-inflight", "8", "-max-queue", "32")
+	defer stopGW()
+	base := "http://" + gwAddr
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	// Queries are exact windows of the generated database, so every one
+	// must land at least one hit.
+	f, err := os.Open(dbFasta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadFASTA(f, Protein)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]string, 8)
+	for i := range queries {
+		s := db.Seqs[i%len(db.Seqs)]
+		queries[i] = string(s.Data[10:130])
+	}
+
+	const clients, perClient = 6, 4
+	var (
+		mu       sync.Mutex
+		okCount  int
+		hitTotal int
+		wg       sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				q := queries[(c+r)%len(queries)]
+				body, _ := json.Marshal(map[string]any{"query": q, "max_hits": 5})
+				resp, err := client.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d\n%s", c, resp.StatusCode, data)
+					return
+				}
+				var sr struct {
+					Hits []struct {
+						Name  string  `json:"name"`
+						Cigar string  `json:"cigar"`
+						Bits  float64 `json:"bits"`
+					} `json:"hits"`
+				}
+				if err := json.Unmarshal(data, &sr); err != nil {
+					t.Errorf("client %d: bad response JSON: %v\n%s", c, err, data)
+					return
+				}
+				if len(sr.Hits) == 0 {
+					t.Errorf("client %d: exact database window found no hits", c)
+					return
+				}
+				if sr.Hits[0].Cigar == "" || sr.Hits[0].Bits <= 0 {
+					t.Errorf("client %d: degenerate top hit %+v", c, sr.Hits[0])
+					return
+				}
+				mu.Lock()
+				okCount++
+				hitTotal += len(sr.Hits)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if okCount != clients*perClient {
+		t.Fatalf("%d/%d concurrent requests succeeded", okCount, clients*perClient)
+	}
+
+	// /v1/status reflects the indexed cluster and a drained gateway.
+	resp, err := client.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		InFlight    int64  `json:"inflight"`
+		MaxInFlight int    `json:"max_inflight"`
+		Sequences   int    `json:"sequences"`
+		Groups      int    `json:"groups"`
+		Nodes       int    `json:"nodes"`
+		Kind        string `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Sequences != 24 || status.Groups != 2 || status.Nodes != 2 {
+		t.Fatalf("status reports %d sequences / %d groups / %d nodes, want 24/2/2", status.Sequences, status.Groups, status.Nodes)
+	}
+	if status.MaxInFlight != 8 || status.InFlight != 0 {
+		t.Fatalf("status admission view: inflight=%d max=%d, want 0/8", status.InFlight, status.MaxInFlight)
+	}
+	if status.Kind != "protein" {
+		t.Fatalf("status kind = %q", status.Kind)
+	}
+
+	// The gateway's own counters agree exactly with what the clients saw.
+	getMetrics := func() string {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+		}
+		return string(body)
+	}
+	body := getMetrics()
+	okBefore := metricValue(t, body, "gw_search_ok_total")
+	if okBefore != int64(okCount) {
+		t.Fatalf("gw_search_ok_total = %d, clients observed %d OK responses", okBefore, okCount)
+	}
+	if reqs := metricValue(t, body, "gw_requests_total"); reqs < int64(okCount) {
+		t.Fatalf("gw_requests_total = %d < %d observed requests", reqs, okCount)
+	}
+	if v := metricValue(t, body, "gw_inflight"); v != 0 {
+		t.Fatalf("gw_inflight = %d after drain", v)
+	}
+
+	// A short open-loop read mix against the live gateway: it must sustain
+	// traffic with zero non-shed errors, and the gateway counter delta must
+	// match the harness's own accounting.
+	benchJSON := filepath.Join(dir, "bench_load.json")
+	out := runTool(t, benchBin, "load",
+		"-url", base, "-rate", "40", "-duration", "2s", "-mix", "read",
+		"-qlen", "64", "-seed", "1", "-json", benchJSON)
+	if !strings.Contains(out, "sent") {
+		t.Fatalf("bench load output:\n%s", out)
+	}
+	data, err := os.ReadFile(benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load struct {
+		Sent         int64   `json:"sent"`
+		OK           int64   `json:"ok"`
+		Shed         int64   `json:"shed"`
+		Deadline     int64   `json:"deadline"`
+		Errors       int64   `json:"errors"`
+		SustainedQPS float64 `json:"sustained_qps"`
+		P95Ms        float64 `json:"p95_ms"`
+	}
+	if err := json.Unmarshal(data, &load); err != nil {
+		t.Fatalf("bench JSON artifact: %v\n%s", err, data)
+	}
+	if load.Sent < 40 || load.OK == 0 {
+		t.Fatalf("load harness barely ran: %+v", load)
+	}
+	if load.Errors != 0 {
+		t.Fatalf("%d non-shed errors from live gateway under read mix:\n%s", load.Errors, data)
+	}
+	if load.SustainedQPS <= 0 || load.P95Ms <= 0 {
+		t.Fatalf("degenerate load result: %+v", load)
+	}
+	okAfter := metricValue(t, getMetrics(), "gw_search_ok_total")
+	if okAfter-okBefore != load.OK {
+		t.Fatalf("gateway counted %d successful searches during load, harness counted %d", okAfter-okBefore, load.OK)
 	}
 }

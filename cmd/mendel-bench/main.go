@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,10 +24,18 @@ import (
 	"time"
 
 	"mendel/internal/bench"
+	"mendel/internal/loadgen"
+	"mendel/internal/seq"
 	"mendel/internal/transport"
 )
 
 func main() {
+	// The load harness drives a live gateway over HTTP and takes its own
+	// flags, so it dispatches before the experiment flag set.
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		runLoad(os.Args[2:])
+		return
+	}
 	nodes := flag.Int("nodes", 20, "storage nodes in the simulated cluster")
 	groups := flag.Int("groups", 4, "storage node groups")
 	dbSeqs := flag.Int("db", 400, "database sequences")
@@ -128,6 +137,61 @@ func run(name string, scale bench.Scale, jsonPath string) {
 		return
 	}
 	runOne(name)
+}
+
+// runLoad is the `mendel-bench load` subcommand: an open-loop load run
+// against a live `mendel serve` gateway, emitting the BENCH_5.json artifact
+// with -json. Unlike the closed-loop experiments above (which own their
+// simulated cluster), load offers requests on a fixed arrival schedule to a
+// real HTTP endpoint, so it measures shed behaviour and goodput under
+// overload rather than best-case latency.
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:9090", "gateway base URL")
+	rate := fs.Float64("rate", 50, "target arrival rate, requests/sec")
+	duration := fs.Duration("duration", 10*time.Second, "load duration")
+	mix := fs.String("mix", "read", "workload mix: read, write, or burst")
+	tenants := fs.Int("tenants", 1, "spread requests over N tenants")
+	qlen := fs.Int("qlen", 64, "synthesized query length, residues")
+	kind := fs.String("kind", "protein", "molecule kind: protein or dna")
+	seed := fs.Int64("seed", 1, "workload seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	jsonPath := fs.String("json", "", "write the JSON result to this file")
+	failOnErr := fs.Bool("fail-on-errors", false, "exit non-zero on non-shed errors or zero successes (CI gate)")
+	fs.Parse(args)
+
+	k := seq.Protein
+	if *kind == "dna" {
+		k = seq.DNA
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:      *url,
+		Rate:     *rate,
+		Duration: *duration,
+		Mix:      loadgen.Mix(*mix),
+		Kind:     k,
+		QueryLen: *qlen,
+		Tenants:  *tenants,
+		Timeout:  *timeout,
+		Seed:     *seed,
+	})
+	if err != nil {
+		log.Fatalf("mendel-bench load: %v", err)
+	}
+	fmt.Println(res.String())
+	if *jsonPath != "" {
+		data, err := res.JSON()
+		if err != nil {
+			log.Fatalf("mendel-bench load: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("mendel-bench load: %v", err)
+		}
+	}
+	// Gate after the artifact is written, so a failing run still uploads.
+	if *failOnErr && (res.Errors > 0 || res.OK == 0) {
+		log.Fatalf("mendel-bench load: gate failed: %d non-shed errors, %d ok responses", res.Errors, res.OK)
+	}
 }
 
 // renderer adapts the bench Render methods to fmt.Stringer.

@@ -20,8 +20,10 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -44,6 +46,8 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "repair":
 		cmdRepair(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -57,7 +61,8 @@ commands:
   query    evaluate alignment queries against an indexed cluster
   explain  run one fully-traced query and render its cross-node span tree
   stats    print per-node storage statistics
-  repair   probe node health and run an anti-entropy repair pass`)
+  repair   probe node health and run an anti-entropy repair pass
+  serve    run a long-lived HTTP query gateway over an indexed cluster`)
 	os.Exit(2)
 }
 
@@ -648,6 +653,63 @@ func cmdRepair(args []string) {
 		fmt.Printf("warning: %d hinted-handoff items still pending (target nodes down?)\n", pending)
 	}
 	fmt.Printf("done in %v; rpc: %s\n", time.Since(start).Round(time.Millisecond), rpc.Stats())
+}
+
+// cmdServe runs the long-lived query gateway: many concurrent HTTP clients
+// against one shared cluster, with admission control and per-tenant quotas.
+// The API and the observability surface (/metrics, /debug/...) share the
+// one listener.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	addr := fs.String("addr", "127.0.0.1:9090", "HTTP listen address (use :0 for a free port)")
+	maxInflight := fs.Int("max-inflight", 16, "queries running concurrently")
+	maxQueue := fs.Int("max-queue", 64, "admission queue length before shedding with 429")
+	deadline := fs.Duration("deadline", 30*time.Second, "per-request deadline (queue wait + query)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant query rate limit, qps (0 disables quotas)")
+	tenantBurst := fs.Int("tenant-burst", 8, "per-tenant token bucket capacity")
+	maxHits := fs.Int("max-hits", 50, "hits returned per query")
+	coalesce := fs.Bool("coalesce", true, "batch concurrent queries' per-group fan-out RPCs")
+	coalesceTick := fs.Duration("coalesce-tick", 2*time.Millisecond, "max extra latency a query pays waiting for batch companions")
+	sample := fs.Float64("trace-sample", 0.01, "fraction of queries traced end to end")
+	resilience := resilienceFlags(fs)
+	fs.Parse(args)
+
+	cluster, rpc := loadManifest(*manifest, resilience())
+	reg := mendel.NewMetricsRegistry()
+	tracer := mendel.NewQueryTracer(0)
+	cluster.SetObservability(reg, tracer)
+	cluster.SetTraceSampleRate(*sample)
+	rpc.Register(reg)
+	if *coalesce {
+		cluster.EnableFanOutCoalescing(mendel.CoalesceConfig{Tick: *coalesceTick})
+	}
+
+	gw := mendel.NewGateway(cluster, mendel.GatewayConfig{
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		Deadline:    *deadline,
+		TenantRate:  *tenantRate,
+		TenantBurst: *tenantBurst,
+		MaxHits:     *maxHits,
+	}, reg)
+
+	ctx := context.Background()
+	srv, bound, err := mendel.ServeMetricsWithRoutes(*addr, reg, tracer,
+		cluster.TraceSource(ctx), nil, gw.Routes()...)
+	if err != nil {
+		log.Fatalf("mendel serve: %v", err)
+	}
+	// The e2e test and scripts read this line to find the bound port.
+	fmt.Printf("mendel serve: listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	cluster.DisableFanOutCoalescing()
 }
 
 func loadManifest(path string, rc mendel.ResilienceConfig) (*mendel.Cluster, *mendel.ResilientCaller) {

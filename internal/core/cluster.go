@@ -36,6 +36,10 @@ type Cluster struct {
 	// sampler makes the head-based trace sampling decision once per query;
 	// built from Config.TraceSampleRate, replaceable via SetTraceSampleRate.
 	sampler *obs.Sampler
+	// batcher, when non-nil, coalesces concurrent queries' group subqueries
+	// into batch RPCs. Set via EnableFanOutCoalescing before serving
+	// queries; read without synchronization by concurrent Searches.
+	batcher *fanoutBatcher
 
 	mu            sync.RWMutex
 	hashTree      *vphash.Tree
@@ -130,7 +134,7 @@ func (c *Cluster) FetchTrace(ctx context.Context, traceID string) []obs.SpanSnap
 		return nil
 	}
 	spans := c.tracer.Trace(traceID)
-	nodes := c.topo.AllNodes()
+	nodes := c.topology().AllNodes()
 	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.TraceFetch{TraceID: traceID})
 	for i, r := range resps {
 		if errs[i] != nil {
@@ -159,7 +163,7 @@ func (c *Cluster) TraceSource(ctx context.Context) obs.TraceSource {
 // snapshot. The per-node bucket vectors share a fixed layout, so callers can
 // merge them cluster-wide with obs.MergeSnapshots.
 func (c *Cluster) MetricsDetailed(ctx context.Context) ([]wire.MetricsResult, []string, error) {
-	nodes := c.topo.AllNodes()
+	nodes := c.topology().AllNodes()
 	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.Metrics{})
 	out := make([]wire.MetricsResult, 0, len(resps))
 	var down []string
@@ -181,7 +185,18 @@ func (c *Cluster) MetricsDetailed(ctx context.Context) ([]wire.MetricsResult, []
 }
 
 // Topology exposes the node layout for diagnostics.
-func (c *Cluster) Topology() *dht.Topology { return c.topo }
+func (c *Cluster) Topology() *dht.Topology { return c.topology() }
+
+// topology returns the current topology snapshot. The returned value is
+// immutable — membership changes swap in a freshly built topology under
+// c.mu rather than mutating the shared one — so callers may use it without
+// holding the lock, and a concurrent AddNode/RemoveNode can never race an
+// in-flight fan-out.
+func (c *Cluster) topology() *dht.Topology {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.topo
+}
 
 // TotalResidues returns the indexed database size in residues, the n of
 // E-value statistics.
@@ -218,7 +233,7 @@ func (c *Cluster) Stats(ctx context.Context) ([]wire.StatsResult, error) {
 // reached. Only a malformed reply or an application-level failure from a
 // live node is an error.
 func (c *Cluster) StatsDetailed(ctx context.Context) ([]wire.StatsResult, []string, error) {
-	nodes := c.topo.AllNodes()
+	nodes := c.topology().AllNodes()
 	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.Stats{})
 	out := make([]wire.StatsResult, 0, len(resps))
 	var down []string
@@ -241,7 +256,7 @@ func (c *Cluster) StatsDetailed(ctx context.Context) ([]wire.StatsResult, []stri
 
 // Ping verifies every node is reachable.
 func (c *Cluster) Ping(ctx context.Context) error {
-	_, err := transport.Broadcast(ctx, c.caller, c.topo.AllNodes(), wire.Ping{})
+	_, err := transport.Broadcast(ctx, c.caller, c.topology().AllNodes(), wire.Ping{})
 	return err
 }
 

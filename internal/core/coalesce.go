@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mendel/internal/obs"
+	"mendel/internal/transport"
+	"mendel/internal/wire"
+)
+
+// CoalesceConfig tunes cross-query fan-out coalescing. Zero values select
+// the defaults (2ms tick, 32 queries per batch).
+type CoalesceConfig struct {
+	// Tick is how long the first query queued for a group waits for
+	// companions before the batch is flushed. It bounds the latency a query
+	// can pay for coalescing.
+	Tick time.Duration
+	// MaxBatch flushes a group's queue immediately once this many queries
+	// are waiting, so a hot group never builds a batch larger than one
+	// entry point comfortably serves.
+	MaxBatch int
+}
+
+func (cc CoalesceConfig) withDefaults() CoalesceConfig {
+	if cc.Tick <= 0 {
+		cc.Tick = 2 * time.Millisecond
+	}
+	if cc.MaxBatch <= 0 {
+		cc.MaxBatch = 32
+	}
+	return cc
+}
+
+// EnableFanOutCoalescing routes concurrent queries' per-group subqueries
+// through a shared batcher: all GroupSearch calls targeting the same group
+// within one tick travel as a single wire.GroupSearchBatch RPC, amortizing
+// transport round-trips when many queries are in flight (the gateway's
+// serving mode). Queries keep their individual results and trace contexts;
+// a batch of one behaves exactly like the direct path. Like
+// SetObservability, call before serving queries.
+func (c *Cluster) EnableFanOutCoalescing(cfg CoalesceConfig) {
+	c.batcher = newFanoutBatcher(c, cfg)
+}
+
+// DisableFanOutCoalescing tears the batcher down, failing any queries still
+// waiting in a batch queue. Only for tests and orderly shutdown; like
+// EnableFanOutCoalescing it must not race in-flight searches.
+func (c *Cluster) DisableFanOutCoalescing() {
+	if c.batcher != nil {
+		c.batcher.close()
+		c.batcher = nil
+	}
+}
+
+// errCoalescerClosed fails queries caught in the queue by a shutdown.
+var errCoalescerClosed = errors.New("core: fan-out coalescer closed")
+
+// batchOutcome is one query's share of a batch reply.
+type batchOutcome struct {
+	res wire.GroupSearchResult
+	err error
+}
+
+// batchWaiter is one query's pending subquery in a group queue.
+type batchWaiter struct {
+	item wire.GroupSearch
+	tc   obs.TraceContext
+	done chan batchOutcome // buffered(1): send never blocks, waiter may abandon
+}
+
+// fanoutBatcher coalesces concurrent queries' GroupSearch calls into
+// per-group batch RPCs. The first query to queue for a group arms that
+// group's tick timer; the batch flushes at the tick or as soon as MaxBatch
+// queries are waiting, whichever comes first.
+type fanoutBatcher struct {
+	c      *Cluster
+	cfg    CoalesceConfig
+	ctx    context.Context // bounds batch RPCs to the batcher's lifetime
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	closed  bool
+	pending map[int][]*batchWaiter
+	timer   map[int]*time.Timer
+}
+
+func newFanoutBatcher(c *Cluster, cfg CoalesceConfig) *fanoutBatcher {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &fanoutBatcher{
+		c:       c,
+		cfg:     cfg.withDefaults(),
+		ctx:     ctx,
+		cancel:  cancel,
+		pending: make(map[int][]*batchWaiter),
+		timer:   make(map[int]*time.Timer),
+	}
+}
+
+// do queues one group subquery, waits for its batch to complete, and
+// returns this query's share of the reply. Cancelling ctx abandons the wait
+// (the batch itself keeps running for its other members).
+func (b *fanoutBatcher) do(ctx context.Context, msg wire.GroupSearch, tc obs.TraceContext) (wire.GroupSearchResult, error) {
+	w := &batchWaiter{item: msg, tc: tc, done: make(chan batchOutcome, 1)}
+	g := msg.Group
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return wire.GroupSearchResult{}, errCoalescerClosed
+	}
+	b.pending[g] = append(b.pending[g], w)
+	var ready []*batchWaiter
+	switch {
+	case len(b.pending[g]) >= b.cfg.MaxBatch:
+		ready = b.takeLocked(g)
+	case len(b.pending[g]) == 1:
+		b.timer[g] = time.AfterFunc(b.cfg.Tick, func() { b.flush(g) })
+	}
+	b.mu.Unlock()
+	if ready != nil {
+		go b.send(g, ready)
+	}
+	select {
+	case out := <-w.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return wire.GroupSearchResult{}, ctx.Err()
+	}
+}
+
+// takeLocked empties group g's queue and disarms its timer. Caller holds b.mu.
+func (b *fanoutBatcher) takeLocked(g int) []*batchWaiter {
+	ws := b.pending[g]
+	delete(b.pending, g)
+	if t := b.timer[g]; t != nil {
+		t.Stop()
+		delete(b.timer, g)
+	}
+	return ws
+}
+
+// flush is the tick-timer callback: sends whatever is queued for group g.
+func (b *fanoutBatcher) flush(g int) {
+	b.mu.Lock()
+	ws := b.takeLocked(g)
+	b.mu.Unlock()
+	if len(ws) > 0 {
+		b.send(g, ws)
+	}
+}
+
+// send ships one batch to a group entry point, retrying with the next
+// member on unreachability exactly like the direct fan-out path, and
+// distributes the per-item results. A batch-level failure (every member
+// down, malformed reply) fails every query in the batch; a per-item error
+// string fails only that query.
+func (b *fanoutBatcher) send(g int, ws []*batchWaiter) {
+	req := wire.GroupSearchBatch{
+		Group: g,
+		Items: make([]wire.GroupSearch, len(ws)),
+		TCs:   make([]obs.TraceContext, len(ws)),
+	}
+	for i, w := range ws {
+		req.Items[i] = w.item
+		req.TCs[i] = w.tc
+	}
+	if reg := b.c.reg; reg != nil {
+		reg.Counter("coalesce_batches").Inc()
+		reg.Counter("coalesce_batched_queries").Add(int64(len(ws)))
+		reg.Histogram("coalesce_batch_size").Observe(int64(len(ws)))
+	}
+	fail := func(err error) {
+		for _, w := range ws {
+			w.done <- batchOutcome{err: err}
+		}
+	}
+	members := b.c.topology().GroupNodes(g)
+	if len(members) == 0 {
+		fail(fmt.Errorf("core: group %d has no members", g))
+		return
+	}
+	b.c.mu.Lock()
+	start := b.c.rng.Intn(len(members))
+	b.c.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(members); i++ {
+		entry := members[(start+i)%len(members)]
+		resp, err := b.c.caller.Call(b.ctx, entry, req)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, transport.ErrUnreachable) {
+				continue
+			}
+			break
+		}
+		bres, ok := resp.(wire.GroupSearchBatchResult)
+		if !ok {
+			lastErr = fmt.Errorf("core: group %d entry %s: malformed batch reply %T", g, entry, resp)
+			break
+		}
+		if len(bres.Items) != len(ws) || len(bres.Errs) != len(ws) {
+			lastErr = fmt.Errorf("core: group %d entry %s: batch reply carries %d results for %d items",
+				g, entry, len(bres.Items), len(ws))
+			break
+		}
+		for i, w := range ws {
+			if bres.Errs[i] != "" {
+				w.done <- batchOutcome{err: errors.New(bres.Errs[i])}
+				continue
+			}
+			w.done <- batchOutcome{res: bres.Items[i]}
+		}
+		return
+	}
+	fail(lastErr)
+}
+
+// close fails every queued query and stops accepting new ones.
+func (b *fanoutBatcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	var all []*batchWaiter
+	for g := range b.pending {
+		all = append(all, b.takeLocked(g)...)
+	}
+	b.mu.Unlock()
+	for _, w := range all {
+		w.done <- batchOutcome{err: errCoalescerClosed}
+	}
+	b.cancel()
+}

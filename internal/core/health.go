@@ -151,7 +151,7 @@ func (hm *HealthMonitor) Run(ctx context.Context) {
 // the read-repair schedule for groups that have live members again. Tests
 // and `mendel repair` call it directly for deterministic behaviour.
 func (hm *HealthMonitor) ProbeOnce(ctx context.Context) {
-	nodes := hm.c.topo.AllNodes()
+	nodes := hm.c.topology().AllNodes()
 	resps, errs := transport.BroadcastAll(ctx, hm.c.caller, nodes, wire.Ping{})
 	for i, addr := range nodes {
 		if errs[i] != nil {
@@ -266,7 +266,7 @@ func (hm *HealthMonitor) drainReadRepairs(ctx context.Context) {
 func (hm *HealthMonitor) groupHasLiveMember(g int) bool {
 	hm.mu.Lock()
 	defer hm.mu.Unlock()
-	for _, m := range hm.c.topo.GroupNodes(g) {
+	for _, m := range hm.c.topology().GroupNodes(g) {
 		st := hm.nodes[m]
 		if st == nil || st.state == HealthUp {
 			return true
@@ -284,11 +284,11 @@ func (hm *HealthMonitor) Snapshot() []NodeHealth {
 	if hm.breakers != nil {
 		breakers = hm.breakers.BreakerStates()
 	}
-	nodes := hm.c.topo.AllNodes()
+	nodes := hm.c.topology().AllNodes()
 	hm.mu.Lock()
 	out := make([]NodeHealth, 0, len(nodes))
 	for _, addr := range nodes {
-		g, _ := hm.c.topo.GroupOf(addr)
+		g, _ := hm.c.topology().GroupOf(addr)
 		nh := NodeHealth{Addr: addr, Group: g, State: HealthUp, Booted: true}
 		if st := hm.nodes[addr]; st != nil {
 			nh.State = st.state

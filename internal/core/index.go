@@ -114,7 +114,7 @@ func (c *Cluster) bootstrapNodes(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	nodes := c.topo.AllNodes()
+	nodes := c.topology().AllNodes()
 	_, errs := transport.BroadcastAll(ctx, c.caller, nodes, boot)
 	reached := 0
 	for i, e := range errs {
@@ -244,7 +244,7 @@ func (c *Cluster) dispatchBlocks(ctx context.Context, set *seq.Set, base seq.ID,
 	// A node that went down mid-ingest must not fail the build for everyone
 	// else: its staged blocks are parked as hints, and the recovery sequence
 	// always ends with a BuildIndex, so nothing is lost — only deferred.
-	nodes := c.topo.AllNodes()
+	nodes := c.topology().AllNodes()
 	_, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.BuildIndex{})
 	for i, e := range errs {
 		if e != nil && !errors.Is(e, transport.ErrUnreachable) {
@@ -278,13 +278,14 @@ func (c *Cluster) dispatchSerial(ctx context.Context, set *seq.Set, base seq.ID,
 		return nil
 	}
 	replicas := c.cfg.replicas()
+	topo := c.topology()
 	for _, s := range set.Seqs {
 		gid := base + s.ID
 		for _, b := range invindex.Blocks(s, blockCfg) {
 			group := tree.Group(b.Content) // tier 1: similarity
 			// Tier 2: flat SHA-1 ring within the group, with optional
 			// replication to the next distinct ring members.
-			for _, node := range c.topo.ReplicasFor(group, b.Content, replicas) {
+			for _, node := range topo.ReplicasFor(group, b.Content, replicas) {
 				pending[node] = append(pending[node], wire.Block{
 					Seq:     gid,
 					Start:   b.Start,
@@ -332,7 +333,7 @@ func (c *Cluster) dispatchParallel(ctx context.Context, set *seq.Set, base seq.I
 		})
 	}
 
-	nodes := c.topo.AllNodes()
+	nodes := c.topology().AllNodes()
 	sendCh := make(map[string]chan []wire.Block, len(nodes))
 	var senders sync.WaitGroup
 	for _, node := range nodes {
@@ -360,6 +361,7 @@ func (c *Cluster) dispatchParallel(ctx context.Context, set *seq.Set, base seq.I
 	}
 
 	replicas := c.cfg.replicas()
+	topo := c.topology()
 	seqCh := make(chan *seq.Sequence)
 	var frags sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -380,7 +382,7 @@ func (c *Cluster) dispatchParallel(ctx context.Context, set *seq.Set, base seq.I
 				gid := base + s.ID
 				for _, b := range invindex.Blocks(s, blockCfg) {
 					group := tree.Group(b.Content)
-					for _, node := range c.topo.ReplicasFor(group, b.Content, replicas) {
+					for _, node := range topo.ReplicasFor(group, b.Content, replicas) {
 						pending[node] = append(pending[node], wire.Block{
 							Seq:     gid,
 							Start:   b.Start,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mendel/internal/dht"
 	"mendel/internal/transport"
 	"mendel/internal/wire"
 )
@@ -40,6 +41,15 @@ func (c *Cluster) AddNode(ctx context.Context, g int, addr string) error {
 	}
 	newGroups[g] = append(newGroups[g], addr)
 	c.mu.Unlock()
+	// Build the successor topology up front: it validates the join (duplicate
+	// addresses, empty groups) before any node is contacted, and the swap
+	// below publishes it atomically — concurrent searches keep reading the
+	// old immutable topology until the new one is committed, so a membership
+	// change never races an in-flight fan-out.
+	newTopo, err := dht.NewTopology(newGroups, 0)
+	if err != nil {
+		return err
+	}
 
 	boot := wire.Bootstrap{
 		HashTree:     enc,
@@ -55,10 +65,8 @@ func (c *Cluster) AddNode(ctx context.Context, g int, addr string) error {
 	}
 
 	// Commit locally, then inform the rest of the cluster.
-	if err := c.topo.AddNode(g, addr); err != nil {
-		return err
-	}
 	c.mu.Lock()
+	c.topo = newTopo
 	c.groups = newGroups
 	c.seqRing.Add(addr)
 	c.mu.Unlock()
@@ -74,14 +82,11 @@ func (c *Cluster) AddNode(ctx context.Context, g int, addr string) error {
 // cluster was configured with Replicas >= 2, in which case queries keep
 // full recall from the surviving copies.
 func (c *Cluster) RemoveNode(ctx context.Context, addr string) error {
-	g, ok := c.topo.GroupOf(addr)
+	g, ok := c.topology().GroupOf(addr)
 	if !ok {
 		return fmt.Errorf("core: unknown node %q", addr)
 	}
-	if err := c.topo.RemoveNode(addr); err != nil {
-		return err
-	}
-	c.mu.Lock()
+	c.mu.RLock()
 	newGroups := make([][]string, len(c.groups))
 	for i, members := range c.groups {
 		for _, m := range members {
@@ -90,13 +95,24 @@ func (c *Cluster) RemoveNode(ctx context.Context, addr string) error {
 			}
 		}
 	}
+	c.mu.RUnlock()
+	if len(newGroups[g]) == 0 {
+		return fmt.Errorf("core: node %q is the last member of group %d", addr, g)
+	}
+	// Same copy-on-write commit as AddNode: concurrent searches see either
+	// the old or the new topology, never a half-mutated one.
+	newTopo, err := dht.NewTopology(newGroups, 0)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.topo = newTopo
 	c.groups = newGroups
 	c.seqRing.Remove(addr)
 	c.mu.Unlock()
-	_ = g
 	// The removed node itself is typically the unreachable one; a dead
 	// node must not block its own removal.
-	_, err := c.broadcastTopology(ctx, "")
+	_, err = c.broadcastTopology(ctx, "")
 	return err
 }
 
@@ -109,9 +125,10 @@ func (c *Cluster) RemoveNode(ctx context.Context, addr string) error {
 func (c *Cluster) broadcastTopology(ctx context.Context, skip string) (missed []string, err error) {
 	c.mu.RLock()
 	groups := c.groups
+	topo := c.topo
 	c.mu.RUnlock()
 	var targets []string
-	for _, n := range c.topo.AllNodes() {
+	for _, n := range topo.AllNodes() {
 		if n != skip {
 			targets = append(targets, n)
 		}

@@ -50,7 +50,7 @@ func (r *RepairReport) String() string {
 // deterministic bulk builds. Block contents never pass through the
 // coordinator; manifests carry placement hashes instead.
 func (c *Cluster) Repair(ctx context.Context) (*RepairReport, error) {
-	groups := make([]int, c.topo.Groups())
+	groups := make([]int, c.topology().Groups())
 	for i := range groups {
 		groups[i] = i
 	}
@@ -75,7 +75,7 @@ func (c *Cluster) repairGroups(ctx context.Context, groups []int, withSeqs bool)
 	// Phase 1: manifest sweep. A node that answers with an application
 	// error (e.g. not bootstrapped yet) holds nothing usable, so it counts
 	// as unreachable for planning purposes.
-	nodes := c.topo.AllNodes()
+	nodes := c.topology().AllNodes()
 	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.BlockManifest{})
 	manifests := make(map[string]wire.BlockManifestResult, len(nodes))
 	for i, addr := range nodes {
@@ -94,6 +94,7 @@ func (c *Cluster) repairGroups(ctx context.Context, groups []int, withSeqs bool)
 	}
 
 	// Phase 2: per-group diff and block transfer plan.
+	topo := c.topology()
 	replicas := c.cfg.replicas()
 	plan := make(map[[2]string][]uint64) // {source, target} -> refs
 	targets := make(map[string]bool)
@@ -103,7 +104,7 @@ func (c *Cluster) repairGroups(ctx context.Context, groups []int, withSeqs bool)
 			holders []string
 		}
 		universe := make(map[uint64]*blockInfo)
-		for _, m := range c.topo.GroupNodes(g) {
+		for _, m := range topo.GroupNodes(g) {
 			man, ok := manifests[m]
 			if !ok {
 				continue
@@ -118,7 +119,7 @@ func (c *Cluster) repairGroups(ctx context.Context, groups []int, withSeqs bool)
 			}
 		}
 		for ref, info := range universe {
-			desired := c.topo.ReplicasForHash(g, info.hash, replicas)
+			desired := topo.ReplicasForHash(g, info.hash, replicas)
 			for _, d := range desired {
 				if _, live := manifests[d]; !live {
 					continue // down: a later pass covers it

@@ -358,12 +358,9 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 		err     error
 	}
 	ch := make(chan result, len(groupOffsets))
+	topo := c.topology()
 	for g, offsets := range groupOffsets {
 		go func(g int, offsets []int) {
-			members := c.topo.GroupNodes(g)
-			c.mu.Lock()
-			start := c.rng.Intn(len(members))
-			c.mu.Unlock()
 			msg := wire.GroupSearch{
 				Group:     g,
 				Query:     q,
@@ -389,43 +386,35 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 					spG.SetAttr("bytes_out", int64(len(b)))
 				}
 			}
-			var lastErr error
-			for i := 0; i < len(members); i++ {
-				entry := members[(start+i)%len(members)]
-				resp, callErr := c.caller.Call(callCtx, entry, msg)
-				if callErr == nil {
-					gsr, ok := resp.(wire.GroupSearchResult)
-					if !ok {
-						lastErr = fmt.Errorf("core: group %d entry %s: malformed reply %T", g, entry, resp)
-						break
-					}
-					spG.SetAttr("attempts", int64(i+1))
-					spG.SetAttr("anchors", int64(len(gsr.Anchors)))
-					for _, s := range gsr.Spans {
-						spG.AttachSnapshot(s)
-					}
-					if sampled {
-						if b, mErr := wire.Marshal(gsr); mErr == nil {
-							spG.SetAttr("bytes_in", int64(len(b)))
-						}
-					}
-					spG.End()
-					ch <- result{group: g, anchors: gsr.Anchors, timing: groupTiming{
-						knnNs:    gsr.KNNNs,
-						extendNs: gsr.ExtendNs,
-						visits:   gsr.Visits,
-						mergeNs:  gsr.MergeNs,
-					}}
-					return
-				}
-				lastErr = callErr
-				if !errors.Is(callErr, transport.ErrUnreachable) {
-					break
+			var gsr wire.GroupSearchResult
+			var callErr error
+			if b := c.batcher; b != nil {
+				gsr, callErr = b.do(callCtx, msg, spG.Context())
+			} else {
+				gsr, callErr = c.callGroupEntry(callCtx, topo.GroupNodes(g), msg, spG)
+			}
+			if callErr != nil {
+				spG.SetAttr("failed", 1)
+				spG.End()
+				ch <- result{group: g, err: fmt.Errorf("core: group %d unreachable: %w", g, callErr)}
+				return
+			}
+			spG.SetAttr("anchors", int64(len(gsr.Anchors)))
+			for _, s := range gsr.Spans {
+				spG.AttachSnapshot(s)
+			}
+			if sampled {
+				if b, mErr := wire.Marshal(gsr); mErr == nil {
+					spG.SetAttr("bytes_in", int64(len(b)))
 				}
 			}
-			spG.SetAttr("failed", 1)
 			spG.End()
-			ch <- result{group: g, err: fmt.Errorf("core: group %d unreachable: %w", g, lastErr)}
+			ch <- result{group: g, anchors: gsr.Anchors, timing: groupTiming{
+				knnNs:    gsr.KNNNs,
+				extendNs: gsr.ExtendNs,
+				visits:   gsr.Visits,
+				mergeNs:  gsr.MergeNs,
+			}}
 		}(g, offsets)
 	}
 	var firstErr error
@@ -450,6 +439,34 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 		}
 	}
 	return anchors, gt, failedGroups, nil
+}
+
+// callGroupEntry is the direct (uncoalesced) per-group RPC path: pick a
+// random entry point — the symmetric architecture makes any member a valid
+// coordinator — and retry with the next member while the chosen one is
+// unreachable.
+func (c *Cluster) callGroupEntry(ctx context.Context, members []string, msg wire.GroupSearch, spG *obs.Span) (wire.GroupSearchResult, error) {
+	c.mu.Lock()
+	start := c.rng.Intn(len(members))
+	c.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(members); i++ {
+		entry := members[(start+i)%len(members)]
+		resp, callErr := c.caller.Call(ctx, entry, msg)
+		if callErr == nil {
+			gsr, ok := resp.(wire.GroupSearchResult)
+			if !ok {
+				return wire.GroupSearchResult{}, fmt.Errorf("core: group %d entry %s: malformed reply %T", msg.Group, entry, resp)
+			}
+			spG.SetAttr("attempts", int64(i+1))
+			return gsr, nil
+		}
+		lastErr = callErr
+		if !errors.Is(callErr, transport.ErrUnreachable) {
+			break
+		}
+	}
+	return wire.GroupSearchResult{}, lastErr
 }
 
 // gappedExtend runs banded gapped extension (within p.Band diagonals of

@@ -1,0 +1,114 @@
+// Package gateway turns a coordinator into a long-lived query service: an
+// HTTP/JSON API over one shared core.Cluster, running many queries
+// concurrently under admission control (a bounded in-flight window with a
+// FIFO wait queue), per-tenant token-bucket quotas, and per-request
+// deadlines. Overload sheds load explicitly — 429 with Retry-After — rather
+// than queueing without bound, so goodput stays flat when offered load
+// exceeds capacity.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull is returned by acquire when the wait queue is at capacity;
+// the HTTP layer maps it to 429 + Retry-After.
+var errQueueFull = errors.New("gateway: admission queue full")
+
+// waiter is one request parked in the admission queue.
+type waiter struct {
+	grant   chan struct{} // closed (under admission.mu) when a slot transfers
+	granted bool          // set under admission.mu before closing grant
+	gone    bool          // abandoned by deadline/cancel; release skips it
+}
+
+// admission is a bounded in-flight semaphore with an explicit FIFO wait
+// queue. Up to max requests run concurrently; the next maxQueue wait in
+// arrival order; beyond that acquire fails fast with errQueueFull. release
+// hands the freed slot directly to the queue head, so admission order is
+// strictly FIFO and a full window never starves waiters.
+type admission struct {
+	mu       sync.Mutex
+	max      int
+	maxQueue int
+	inflight int
+	queued   int // live (non-gone) waiters, for the gw_queue_depth gauge
+	queue    []*waiter
+}
+
+func newAdmission(max, maxQueue int) *admission {
+	return &admission{max: max, maxQueue: maxQueue}
+}
+
+// acquire blocks until a slot is granted, the queue is full (errQueueFull),
+// or ctx ends (its error). The caller must release after a nil return.
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.inflight < a.max {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	w := &waiter{grant: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.queued++
+	a.mu.Unlock()
+	select {
+	case <-w.grant:
+		return nil // slot transferred by release; inflight already counted
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// Lost the race: a slot arrived while we were cancelling.
+			// Put it back so it reaches the next waiter.
+			a.mu.Unlock()
+			a.release()
+			return ctx.Err()
+		}
+		w.gone = true
+		a.queued--
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release frees one slot, handing it to the first still-waiting request in
+// FIFO order, or shrinking the in-flight count when the queue is empty.
+func (a *admission) release() {
+	a.mu.Lock()
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue[0] = nil
+		a.queue = a.queue[1:]
+		if w.gone {
+			continue
+		}
+		w.granted = true
+		a.queued--
+		close(w.grant)
+		a.mu.Unlock()
+		return // inflight unchanged: the slot moved to w
+	}
+	a.inflight--
+	a.mu.Unlock()
+}
+
+// inflightNow reports the number of admitted requests, for gw_inflight.
+func (a *admission) inflightNow() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(a.inflight)
+}
+
+// queueDepth reports the number of live waiters, for gw_queue_depth.
+func (a *admission) queueDepth() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(a.queued)
+}

@@ -1,0 +1,167 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateBelowLimit(t *testing.T) {
+	a := newAdmission(2, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inflightNow(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	a.release()
+	a.release()
+	if got := a.inflightNow(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 2)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Two waiters fit in the queue.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { results <- a.acquire(ctx) }()
+	}
+	waitFor(t, func() bool { return a.queueDepth() == 2 })
+	// The third is shed immediately.
+	if err := a.acquire(ctx); !errors.Is(err, errQueueFull) {
+		t.Fatalf("acquire with full queue = %v, want errQueueFull", err)
+	}
+	// Draining grants both waiters.
+	a.release()
+	a.release()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	}
+	a.release()
+}
+
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := newAdmission(1, 8)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 5
+	order := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			if err := a.acquire(ctx); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			a.release()
+		}()
+		// Serialize enqueue so arrival order is known.
+		waitFor(t, func() bool { return a.queueDepth() == int64(i+1) })
+	}
+	a.release() // start the chain: each waiter releases to the next
+	for want := 0; want < waiters; want++ {
+		got := <-order
+		if got != want {
+			t.Fatalf("grant order: got waiter %d in position %d (not FIFO)", got, want)
+		}
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.acquire(cctx) }()
+	waitFor(t, func() bool { return a.queueDepth() == 1 })
+	// A second, patient waiter queues behind the doomed one.
+	okCh := make(chan error, 1)
+	go func() { okCh <- a.acquire(ctx) }()
+	waitFor(t, func() bool { return a.queueDepth() == 2 })
+
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return a.queueDepth() == 1 })
+	// Releasing must skip the abandoned waiter and grant the live one.
+	a.release()
+	if err := <-okCh; err != nil {
+		t.Fatalf("patient acquire: %v", err)
+	}
+	a.release()
+	if a.inflightNow() != 0 || a.queueDepth() != 0 {
+		t.Fatalf("inflight=%d queued=%d after drain, want 0/0", a.inflightNow(), a.queueDepth())
+	}
+}
+
+// TestAdmissionStress hammers acquire/release from many goroutines with
+// random cancellation, checking the semaphore invariant (never more than
+// max concurrent holders) and that everything drains. Run with -race.
+func TestAdmissionStress(t *testing.T) {
+	const max, maxQueue, goroutines, rounds = 4, 8, 32, 50
+	a := newAdmission(max, maxQueue)
+	var holders atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if (g+r)%3 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(r%5)*100*time.Microsecond)
+				}
+				err := a.acquire(ctx)
+				cancel()
+				if err != nil {
+					continue // shed or timed out: both fine under stress
+				}
+				if n := holders.Add(1); n > max {
+					t.Errorf("%d concurrent holders, limit %d", n, max)
+				}
+				time.Sleep(time.Duration(r%3) * 50 * time.Microsecond)
+				holders.Add(-1)
+				a.release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.inflightNow() != 0 || a.queueDepth() != 0 {
+		t.Fatalf("inflight=%d queued=%d after stress, want 0/0", a.inflightNow(), a.queueDepth())
+	}
+}
+
+// waitFor polls cond until true or the test deadline budget runs out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}

@@ -1,0 +1,69 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a standard token bucket: tokens refill continuously at
+// rate per second up to burst, and each admitted request spends one. A
+// bucket starts full, so over any window of length t starting from first
+// contact a tenant is admitted at most rate·t + burst requests — the bound
+// the property test in quota_test.go checks.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaTable holds one token bucket per tenant, created full on first use.
+// The clock is injectable so tests can drive time deterministically.
+type quotaTable struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newQuotaTable(rate float64, burst int, now func() time.Time) *quotaTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &quotaTable{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow spends one token from tenant's bucket, reporting whether one was
+// available. A nil table (quotas disabled) admits everything.
+func (q *quotaTable) allow(tenant string) bool {
+	if q == nil {
+		return true
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * q.rate
+			if b.tokens > q.burst {
+				b.tokens = q.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

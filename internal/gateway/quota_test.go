@@ -1,0 +1,108 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic, manually advanced quota clock.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestQuotaBurstThenThrottle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	q := newQuotaTable(1, 3, clk.Now)
+	for i := 0; i < 3; i++ {
+		if !q.allow("a") {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	if q.allow("a") {
+		t.Fatal("request beyond burst admitted with no time passing")
+	}
+	// One second refills exactly one token at rate 1.
+	clk.advance(time.Second)
+	if !q.allow("a") {
+		t.Fatal("refilled token denied")
+	}
+	if q.allow("a") {
+		t.Fatal("second token admitted after one second at rate 1")
+	}
+}
+
+func TestQuotaTenantsIndependent(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	q := newQuotaTable(1, 2, clk.Now)
+	for i := 0; i < 2; i++ {
+		if !q.allow("a") {
+			t.Fatal("tenant a within burst denied")
+		}
+	}
+	if q.allow("a") {
+		t.Fatal("tenant a beyond burst admitted")
+	}
+	// Tenant b's bucket is untouched by a's exhaustion.
+	for i := 0; i < 2; i++ {
+		if !q.allow("b") {
+			t.Fatal("tenant b within burst denied")
+		}
+	}
+}
+
+func TestQuotaNilTableAdmitsEverything(t *testing.T) {
+	var q *quotaTable
+	for i := 0; i < 100; i++ {
+		if !q.allow("any") {
+			t.Fatal("nil quota table denied a request")
+		}
+	}
+}
+
+// TestQuotaPropertyRateBound is the property test of the token bucket: for
+// random rates, bursts, and arrival schedules, the number of admitted
+// requests in the window [start, t] never exceeds rate·t + burst — the
+// bucket must not be exploitable by any arrival pattern, including long
+// idle stretches (capped refill) and dense bursts.
+func TestQuotaPropertyRateBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rate := 0.5 + rng.Float64()*20 // 0.5..20.5 qps
+			burst := 1 + rng.Intn(10)      // 1..10
+			clk := &fakeClock{now: time.Unix(int64(trial)*1000, 0)}
+			q := newQuotaTable(rate, burst, clk.Now)
+			start := clk.now
+			admitted := 0
+			arrivals := 200 + rng.Intn(200)
+			for i := 0; i < arrivals; i++ {
+				// Arrival gaps from 0 (same instant) to ~200ms, with
+				// occasional multi-second idles to test capped refill.
+				switch rng.Intn(10) {
+				case 0:
+					clk.advance(time.Duration(rng.Intn(5)) * time.Second)
+				case 1, 2:
+					// no advance: burst of simultaneous arrivals
+				default:
+					clk.advance(time.Duration(rng.Intn(200)) * time.Millisecond)
+				}
+				if q.allow("tenant") {
+					admitted++
+				}
+				elapsed := clk.now.Sub(start).Seconds()
+				bound := rate*elapsed + float64(burst)
+				if float64(admitted) > bound+1e-6 {
+					t.Fatalf("after %.3fs: admitted %d > rate·t+burst = %.3f (rate=%.2f burst=%d)",
+						elapsed, admitted, bound, rate, burst)
+				}
+			}
+			if admitted == 0 {
+				t.Fatal("property trial admitted nothing; schedule degenerate")
+			}
+		})
+	}
+}

@@ -12,6 +12,46 @@ import (
 	"mendel/internal/wire"
 )
 
+// groupSearchBatch answers a coalesced batch of group searches: each item
+// is evaluated exactly as a standalone GroupSearch would be, under its own
+// trace context, and failures are reported item-wise so one query's dead
+// replica set cannot fail the whole batch. Items run sequentially — every
+// member node already parallelizes internally across subquery windows, so
+// batch-level concurrency would only add scheduler churn on the entry
+// point's cores.
+func (n *Node) groupSearchBatch(ctx context.Context, r wire.GroupSearchBatch) (any, error) {
+	if len(r.TCs) != 0 && len(r.TCs) != len(r.Items) {
+		return nil, fmt.Errorf("node %s: batch of %d items with %d trace contexts", n.addr, len(r.Items), len(r.TCs))
+	}
+	n.mu.RLock()
+	reg := n.reg
+	n.mu.RUnlock()
+	out := wire.GroupSearchBatchResult{
+		Items: make([]wire.GroupSearchResult, len(r.Items)),
+		Errs:  make([]string, len(r.Items)),
+	}
+	for i, item := range r.Items {
+		itemCtx := ctx
+		if len(r.TCs) > 0 && r.TCs[i].Valid() {
+			itemCtx = obs.ContextWithTrace(ctx, r.TCs[i])
+		}
+		resp, err := n.groupSearch(itemCtx, item)
+		if err != nil {
+			out.Errs[i] = err.Error()
+			continue
+		}
+		gsr, ok := resp.(wire.GroupSearchResult)
+		if !ok {
+			out.Errs[i] = fmt.Sprintf("node %s: malformed group search reply %T", n.addr, resp)
+			continue
+		}
+		out.Items[i] = gsr
+	}
+	reg.Counter("node_batch_searches").Inc()
+	reg.Histogram("node_batch_size").Observe(int64(len(r.Items)))
+	return out, nil
+}
+
 // groupSearch implements the group entry point role (§V-B): blocks within a
 // group were dispersed by a flat hash, so any member may hold a relevant
 // block and the subqueries are replicated to every node of the group in

@@ -123,6 +123,8 @@ func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 		return n.localSearch(ctx, r)
 	case wire.GroupSearch:
 		return n.groupSearch(ctx, r)
+	case wire.GroupSearchBatch:
+		return n.groupSearchBatch(ctx, r)
 	case wire.BlockManifest:
 		return n.blockManifest()
 	case wire.PushBlocks:

@@ -47,10 +47,29 @@ func HandlerWithTraces(reg *Registry, tr *Tracer, src TraceSource) http.Handler 
 	return HandlerWithHealth(reg, tr, src, nil)
 }
 
+// Route is an application (pattern, handler) pair mounted onto the
+// observability mux, letting a process serve its API and its observability
+// surface from one listener (the gateway mounts /v1/search this way).
+// Patterns follow http.ServeMux rules and must not collide with the
+// observability paths.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // HandlerWithHealth is HandlerWithTraces with an optional health source
 // backing /debug/health. A nil health source serves 404 from that path.
 func HandlerWithHealth(reg *Registry, tr *Tracer, src TraceSource, health HealthSource) http.Handler {
+	return HandlerWithRoutes(reg, tr, src, health)
+}
+
+// HandlerWithRoutes is HandlerWithHealth plus application routes mounted
+// onto the same mux.
+func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health HealthSource, routes ...Route) http.Handler {
 	mux := http.NewServeMux()
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
 		if health == nil {
 			http.NotFound(w, r)
@@ -156,11 +175,17 @@ func ServeWithTraces(addr string, reg *Registry, tr *Tracer, src TraceSource) (*
 // ServeWithHealth is ServeWithTraces with a health source backing
 // /debug/health (see HandlerWithHealth).
 func ServeWithHealth(addr string, reg *Registry, tr *Tracer, src TraceSource, health HealthSource) (*http.Server, string, error) {
+	return ServeWithRoutes(addr, reg, tr, src, health)
+}
+
+// ServeWithRoutes is ServeWithHealth plus application routes mounted onto
+// the same mux (see HandlerWithRoutes).
+func ServeWithRoutes(addr string, reg *Registry, tr *Tracer, src TraceSource, health HealthSource, routes ...Route) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: HandlerWithHealth(reg, tr, src, health)}
+	srv := &http.Server{Handler: HandlerWithRoutes(reg, tr, src, health, routes...)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -43,6 +43,19 @@ func sampleMessages() []any {
 			Anchors: []Anchor{{Seq: 2, QEnd: 16, SStart: 5, SEnd: 21, Score: 33}},
 			KNNNs:   1, ExtendNs: 2, Visits: 3, MergeNs: 4,
 		},
+		GroupSearchBatch{
+			Group: 1,
+			Items: []GroupSearch{
+				{Group: 1, Query: []byte("MKVLAT"), Offsets: []int{0}, WindowLen: 16, Params: DefaultParams()},
+				{Group: 1, Query: []byte("TALVKM"), Offsets: []int{0, 16}, WindowLen: 16, Params: DefaultParams()},
+			},
+		},
+		GroupSearchBatchResult{
+			Items: []GroupSearchResult{{
+				Anchors: []Anchor{{Seq: 2, QEnd: 16, SStart: 5, SEnd: 21, Score: 33}},
+			}, {}},
+			Errs: []string{"", "node node-001: every member of group 1 unreachable"},
+		},
 		Metrics{},
 		MetricsResult{Node: "node-001"},
 		Stats{},

@@ -249,6 +249,31 @@ type GroupSearchResult struct {
 	Spans []obs.SpanSnapshot
 }
 
+// GroupSearchBatch carries several queries' GroupSearch requests for the
+// same group in one RPC — the cross-query coalescing a concurrent serving
+// layer uses to amortize transport cost: many in-flight searches that
+// target the same group within one coalescing tick share a single round
+// trip and a single gob envelope instead of one each.
+//
+// TCs, when present, carries one TraceContext per item so each query keeps
+// its own distributed trace identity even though the batch travels under a
+// single transport envelope; a zero context means that item is untraced.
+type GroupSearchBatch struct {
+	Group int
+	Items []GroupSearch
+	TCs   []obs.TraceContext
+}
+
+// GroupSearchBatchResult answers GroupSearchBatch item-wise: Items[i] is
+// the GroupSearchResult of Items[i] of the request. Errs, when non-empty,
+// is index-aligned with Items; a non-empty string is that item's
+// application-level failure (the other items still stand — one query's
+// failure must not shed the whole batch).
+type GroupSearchBatchResult struct {
+	Items []GroupSearchResult
+	Errs  []string
+}
+
 // Metrics asks a node for a snapshot of its observability registry.
 type Metrics struct{}
 
@@ -398,6 +423,8 @@ func init() {
 	gob.Register(LocalSearchResult{})
 	gob.Register(GroupSearch{})
 	gob.Register(GroupSearchResult{})
+	gob.Register(GroupSearchBatch{})
+	gob.Register(GroupSearchBatchResult{})
 	gob.Register(BlockManifest{})
 	gob.Register(BlockManifestResult{})
 	gob.Register(PushBlocks{})

@@ -31,6 +31,7 @@ import (
 
 	"mendel/internal/blast"
 	"mendel/internal/core"
+	"mendel/internal/gateway"
 	"mendel/internal/matrix"
 	"mendel/internal/obs"
 	"mendel/internal/seq"
@@ -99,6 +100,39 @@ type (
 	// HealthMonitor.Source produces one backed by the cluster health view.
 	HealthSource = obs.HealthSource
 )
+
+// Serving-layer re-exports. A Gateway turns a coordinator into a long-lived
+// concurrent query service: an HTTP/JSON API (POST /v1/search, POST
+// /v1/ingest, GET /v1/status) over one shared Cluster, with admission
+// control (bounded in-flight window plus a FIFO wait queue; overload sheds
+// with 429 + Retry-After), per-tenant token-bucket quotas keyed by the
+// X-Mendel-Tenant header, and per-request deadlines. Mount its Routes onto
+// the observability mux with ServeMetricsWithRoutes so the API and /metrics
+// share one listener. Cluster.EnableFanOutCoalescing complements it by
+// batching concurrent queries' per-group RPCs.
+type (
+	// Gateway is the concurrent query-serving layer over one Cluster.
+	Gateway = gateway.Gateway
+	// GatewayConfig tunes admission control, quotas, and deadlines.
+	GatewayConfig = gateway.Config
+	// CoalesceConfig tunes cross-query fan-out batching.
+	CoalesceConfig = core.CoalesceConfig
+	// Route is an application route mounted onto the observability mux.
+	Route = obs.Route
+)
+
+// NewGateway builds a query gateway over an indexed cluster. reg receives
+// the gw_* metrics and may be shared with the cluster's registry; nil
+// disables gateway metrics.
+func NewGateway(c *Cluster, cfg GatewayConfig, reg *MetricsRegistry) *Gateway {
+	return gateway.New(c, cfg, reg)
+}
+
+// ServeMetricsWithRoutes is ServeMetricsWithHealth plus application routes
+// (e.g. Gateway.Routes) mounted onto the same mux.
+func ServeMetricsWithRoutes(addr string, reg *MetricsRegistry, tr *QueryTracer, src TraceSource, health HealthSource, routes ...Route) (*http.Server, string, error) {
+	return obs.ServeWithRoutes(addr, reg, tr, src, health, routes...)
+}
 
 // Self-healing re-exports. A HealthMonitor probes every node on a jittered
 // interval, tracks per-node up/suspect/down state, replays hinted-handoff

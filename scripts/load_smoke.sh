@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Open-loop load smoke for CI: stand up a real TCP cluster behind
+# `mendel serve`, drive it with `mendel-bench load`, and fail on any
+# non-shed error. Two phases:
+#
+#   1. A 10s read mix against a generously provisioned gateway must
+#      sustain the offered rate with zero errors (emits BENCH_5.json).
+#   2. A 5s burst mix against a deliberately tiny admission window must
+#      shed (429) rather than error: overload stays bounded and correct.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/mendel" ./cmd/mendel
+go build -o "$workdir/mendel-node" ./cmd/mendel-node
+go build -o "$workdir/mendel-datagen" ./cmd/mendel-datagen
+go build -o "$workdir/mendel-bench" ./cmd/mendel-bench
+
+"$workdir/mendel-datagen" -kind protein -n 30 -len 400 -out "$workdir/db.fasta"
+
+"$workdir/mendel-node" -addr 127.0.0.1:7471 &
+"$workdir/mendel-node" -addr 127.0.0.1:7472 &
+sleep 1
+
+"$workdir/mendel" index -nodes 127.0.0.1:7471,127.0.0.1:7472 -groups 2 \
+  -kind protein -fasta "$workdir/db.fasta" -manifest "$workdir/cluster.mendel"
+
+# Phase 1: sustained read mix, roomy limits. Any non-shed error fails.
+"$workdir/mendel" serve -manifest "$workdir/cluster.mendel" -addr 127.0.0.1:7461 &
+sleep 1
+"$workdir/mendel-bench" load -url http://127.0.0.1:7461 \
+  -rate 60 -duration 10s -mix read -qlen 64 -seed 1 \
+  -json BENCH_5.json -fail-on-errors
+
+# Phase 2: burst mix into a one-slot admission window. The gateway must
+# shed some of the overload as 429s and error on none of it.
+"$workdir/mendel" serve -manifest "$workdir/cluster.mendel" -addr 127.0.0.1:7462 \
+  -max-inflight 1 -max-queue 2 &
+sleep 1
+"$workdir/mendel-bench" load -url http://127.0.0.1:7462 \
+  -rate 80 -duration 5s -mix burst -qlen 64 -seed 2 \
+  -json "$workdir/overload.json" -fail-on-errors
+
+shed=$(grep -o '"shed": *[0-9]*' "$workdir/overload.json" | grep -o '[0-9]*$')
+if [ "${shed:-0}" -eq 0 ]; then
+  echo "overload phase shed nothing; admission control not engaging" >&2
+  exit 1
+fi
+echo "load smoke ok: overload shed $shed requests with zero errors"
