@@ -7,7 +7,7 @@
 //	mendel-bench [flags] <experiment>
 //
 // where experiment is one of: table1, fig5, fig6a, fig6b, fig6c, fig6d,
-// ablate-depth, ablate-tier2, ablate-insert, ablate-bucket, perf, all.
+// ablate-depth, ablate-tier2, ablate-insert, ablate-bucket, perf, codec, all.
 //
 // The perf experiment measures the ingest and query hot paths (ns/op,
 // allocs/op, blocks/sec, p50/p95 latency); -json writes its machine-readable
@@ -47,7 +47,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mendel-bench [flags] <table1|fig5|fig6a|fig6b|fig6c|fig6d|ablate-depth|ablate-tier2|ablate-insert|ablate-bucket|perf|all>")
+		fmt.Fprintln(os.Stderr, "usage: mendel-bench [flags] <table1|fig5|fig6a|fig6b|fig6c|fig6d|ablate-depth|ablate-tier2|ablate-insert|ablate-bucket|perf|codec|all>")
 		os.Exit(2)
 	}
 	scale := bench.Scale{
@@ -108,9 +108,25 @@ func run(name string, scale bench.Scale, jsonPath string) {
 			}
 			return wrap(r, nil)
 		},
+		"codec": func(bench.Scale) (fmt.Stringer, error) {
+			r, err := bench.RunCodecAB()
+			if err != nil {
+				return nil, err
+			}
+			if jsonPath != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return wrap(r, nil)
+		},
 	}
 	order := []string{"table1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d",
-		"ablate-depth", "ablate-tier2", "ablate-insert", "ablate-bucket", "perf"}
+		"ablate-depth", "ablate-tier2", "ablate-insert", "ablate-bucket", "perf", "codec"}
 
 	runOne := func(id string) {
 		if id == "table1" {

@@ -83,6 +83,16 @@ func resilienceFlags(fs *flag.FlagSet) func() mendel.ResilienceConfig {
 	}
 }
 
+// wireFlags registers the RPC codec flags shared by every subcommand and
+// returns a function assembling the wire config after parsing.
+func wireFlags(fs *flag.FlagSet) func() mendel.WireConfig {
+	codec := fs.String("rpc-codec", mendel.CodecBinary, "RPC wire codec: binary (negotiated, with transparent gob fallback against old nodes) or gob (legacy framing)")
+	compress := fs.Bool("rpc-compress", false, "flate-compress block-transfer RPC frames (binary codec only)")
+	return func() mendel.WireConfig {
+		return mendel.WireConfig{Codec: *codec, Compress: *compress}
+	}
+}
+
 func cmdIndex(args []string) {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	nodeList := fs.String("nodes", "", "comma-separated storage node addresses (required)")
@@ -93,6 +103,7 @@ func cmdIndex(args []string) {
 	blockLen := fs.Int("block", 16, "inverted index block length w")
 	replicas := fs.Int("replicas", 1, "copies of each block and sequence within its group (>= 2 enables hinted handoff and repair to survive node loss)")
 	resilience := resilienceFlags(fs)
+	wire := wireFlags(fs)
 	fs.Parse(args)
 	if *nodeList == "" && !fileExists(*manifest) {
 		log.Fatal("mendel index: -nodes is required for a new cluster")
@@ -105,7 +116,7 @@ func cmdIndex(args []string) {
 	var cluster *mendel.Cluster
 	var rpc *mendel.ResilientCaller
 	if fileExists(*manifest) {
-		cluster, rpc = loadManifest(*manifest, resilience())
+		cluster, rpc = loadManifest(*manifest, resilience(), wire())
 	} else {
 		cfg := mendel.DefaultConfig(kind)
 		cfg.Groups = *groups
@@ -116,7 +127,7 @@ func cmdIndex(args []string) {
 		if err != nil {
 			log.Fatalf("mendel index: %v", err)
 		}
-		cluster, rpc, err = mendel.NewTCPClusterResilient(cfg, groupLists, resilience())
+		cluster, rpc, err = mendel.NewTCPClusterWire(cfg, groupLists, resilience(), wire())
 		if err != nil {
 			log.Fatalf("mendel index: %v", err)
 		}
@@ -172,9 +183,10 @@ func cmdQuery(args []string) {
 	traceSample := fs.Float64("trace-sample", 1, "fraction of queries traced cluster-wide (head-based sampling; 0 disables distributed tracing)")
 	logJSON := fs.Bool("log-json", false, "emit per-query structured JSON logs on stderr, stamped with the trace ID")
 	resilience := resilienceFlags(fs)
+	wire := wireFlags(fs)
 	fs.Parse(args)
 
-	cluster, rpc := loadManifest(*manifest, resilience())
+	cluster, rpc := loadManifest(*manifest, resilience(), wire())
 	var logger *slog.Logger
 	if *logJSON {
 		logger = mendel.NewLogger(os.Stderr, slog.LevelInfo)
@@ -340,9 +352,10 @@ func cmdExplain(args []string) {
 	matrixName := fs.String("matrix", "", "scoring matrix M (default by kind)")
 	jsonOut := fs.Bool("json", false, "print the assembled span tree as JSON instead of a table")
 	resilience := resilienceFlags(fs)
+	wire := wireFlags(fs)
 	fs.Parse(args)
 
-	cluster, rpc := loadManifest(*manifest, resilience())
+	cluster, rpc := loadManifest(*manifest, resilience(), wire())
 	reg := mendel.NewMetricsRegistry()
 	tracer := mendel.NewQueryTracer(0)
 	cluster.SetObservability(reg, tracer)
@@ -532,8 +545,9 @@ func cmdStats(args []string) {
 	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
 	showMetrics := fs.Bool("metrics", false, "also aggregate observability metrics cluster-wide")
 	resilience := resilienceFlags(fs)
+	wire := wireFlags(fs)
 	fs.Parse(args)
-	cluster, _ := loadManifest(*manifest, resilience())
+	cluster, _ := loadManifest(*manifest, resilience(), wire())
 	stats, down, err := cluster.StatsDetailed(context.Background())
 	if err != nil {
 		log.Fatalf("mendel stats: %v", err)
@@ -616,9 +630,10 @@ func cmdRepair(args []string) {
 	checkOnly := fs.Bool("check", false, "only probe and print node health, skip the repair pass")
 	jsonOut := fs.Bool("json", false, "print the health snapshot as JSON")
 	resilience := resilienceFlags(fs)
+	wire := wireFlags(fs)
 	fs.Parse(args)
 
-	cluster, rpc := loadManifest(*manifest, resilience())
+	cluster, rpc := loadManifest(*manifest, resilience(), wire())
 	ctx := context.Background()
 	hm := mendel.NewHealthMonitor(cluster, mendel.DefaultHealthConfig())
 	hm.ObserveBreakers(rpc)
@@ -673,9 +688,10 @@ func cmdServe(args []string) {
 	coalesceTick := fs.Duration("coalesce-tick", 2*time.Millisecond, "max extra latency a query pays waiting for batch companions")
 	sample := fs.Float64("trace-sample", 0.01, "fraction of queries traced end to end")
 	resilience := resilienceFlags(fs)
+	wire := wireFlags(fs)
 	fs.Parse(args)
 
-	cluster, rpc := loadManifest(*manifest, resilience())
+	cluster, rpc := loadManifest(*manifest, resilience(), wire())
 	reg := mendel.NewMetricsRegistry()
 	tracer := mendel.NewQueryTracer(0)
 	cluster.SetObservability(reg, tracer)
@@ -712,13 +728,13 @@ func cmdServe(args []string) {
 	cluster.DisableFanOutCoalescing()
 }
 
-func loadManifest(path string, rc mendel.ResilienceConfig) (*mendel.Cluster, *mendel.ResilientCaller) {
+func loadManifest(path string, rc mendel.ResilienceConfig, wc mendel.WireConfig) (*mendel.Cluster, *mendel.ResilientCaller) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatalf("mendel: opening manifest: %v", err)
 	}
 	defer f.Close()
-	cluster, rpc, err := mendel.LoadManifestTCPResilient(f, rc)
+	cluster, rpc, err := mendel.LoadManifestTCPWire(f, rc, wc)
 	if err != nil {
 		log.Fatalf("mendel: loading manifest: %v", err)
 	}

@@ -104,6 +104,14 @@ func (c *Cluster) SetObservability(reg *obs.Registry, tracer *obs.Tracer) {
 	c.reg = reg
 	c.tracer = tracer
 	reg.SetGaugeFunc("hints_pending", c.hints.pending)
+	// Forward the registry to the transport when it supports observation
+	// (the TCP client, possibly behind a ResilientCaller), so rpc_bytes and
+	// rpc_dials counters reach /metrics from serving processes too.
+	if reg != nil {
+		if o, ok := c.caller.(interface{ Observe(*obs.Registry) }); ok {
+			o.Observe(reg)
+		}
+	}
 }
 
 // Registry returns the coordinator's metrics registry (nil if unset).

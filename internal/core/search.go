@@ -381,10 +381,9 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 				callCtx = obs.ContextWithTrace(ctx, pc)
 				sampled = true
 				// Bytes on the wire matter for explain; re-encoding the
-				// request costs a sampled query one extra gob pass.
-				if b, mErr := wire.Marshal(msg); mErr == nil {
-					spG.SetAttr("bytes_out", int64(len(b)))
-				}
+				// request costs a sampled query one extra pass through the
+				// binary codec, using a pooled scratch frame.
+				spG.SetAttr("bytes_out", wireSize(msg))
 			}
 			var gsr wire.GroupSearchResult
 			var callErr error
@@ -404,9 +403,7 @@ func (c *Cluster) fanOut(ctx context.Context, q []byte, groupOffsets map[int][]i
 				spG.AttachSnapshot(s)
 			}
 			if sampled {
-				if b, mErr := wire.Marshal(gsr); mErr == nil {
-					spG.SetAttr("bytes_in", int64(len(b)))
-				}
+				spG.SetAttr("bytes_in", wireSize(gsr))
 			}
 			spG.End()
 			ch <- result{group: g, anchors: gsr.Anchors, timing: groupTiming{
@@ -608,4 +605,21 @@ func dedupHits(hits []Hit) []Hit {
 		}
 	}
 	return out
+}
+
+// wireSize measures a message's on-the-wire size for span attributes: the
+// binary codec for hot messages (what the TCP transport actually sends),
+// gob for anything else. Scratch comes from the codec's frame pool so a
+// sampled query does not allocate for the measurement.
+func wireSize(msg any) int64 {
+	fp := wire.GetFrame()
+	defer wire.PutFrame(fp)
+	if b, ok := wire.AppendHot(*fp, msg); ok {
+		*fp = b
+		return int64(len(b))
+	}
+	if b, err := wire.Marshal(msg); err == nil {
+		return int64(len(b))
+	}
+	return 0
 }

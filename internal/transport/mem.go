@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"mendel/internal/wire"
 )
 
 // LatencyModel simulates LAN message delay for the in-memory network: each
@@ -59,7 +61,9 @@ func WithLatency(l LatencyModel) MemOption {
 }
 
 // WithEncodeCheck makes every call serialize its request and response
-// through gob, so encoding bugs surface in in-process tests.
+// through the same codecs the TCP transport would pick — the binary codec
+// for hot messages, gob otherwise — so encoding bugs surface in in-process
+// tests (chaos suites included) without a real network.
 func WithEncodeCheck() MemOption {
 	return func(n *MemNetwork) { n.encode = true }
 }
@@ -253,7 +257,7 @@ func (n *MemNetwork) call(ctx context.Context, src, addr string, req any) (any, 
 	}
 	if enc {
 		var err error
-		if req, err = gobRoundTrip(req); err != nil {
+		if req, err = codecRoundTrip(req); err != nil {
 			return nil, err
 		}
 	}
@@ -262,7 +266,7 @@ func (n *MemNetwork) call(ctx context.Context, src, addr string, req any) (any, 
 		return nil, &RemoteError{Addr: addr, Msg: err.Error()}
 	}
 	if enc {
-		if resp, err = gobRoundTrip(resp); err != nil {
+		if resp, err = codecRoundTrip(resp); err != nil {
 			return nil, err
 		}
 	}
@@ -273,6 +277,18 @@ func (n *MemNetwork) call(ctx context.Context, src, addr string, req any) (any, 
 // every in-memory RPC round-trips through gob twice, and a fresh
 // bytes.Buffer per message was pure garbage on the query fan-out path.
 var rtBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// codecRoundTrip serializes v the way the TCP transport would: hot messages
+// through the binary codec, everything else through gob. The binary decode
+// buffer is deliberately NOT pooled — decoded messages hold zero-copy views
+// into it, mirroring the real receive path's retention semantics so any
+// buffer-reuse bug shows up in memory-transport tests too.
+func codecRoundTrip(v any) (any, error) {
+	if data, ok := wire.AppendHot(nil, v); ok {
+		return wire.DecodeHot(data)
+	}
+	return gobRoundTrip(v)
+}
 
 func gobRoundTrip(v any) (any, error) {
 	buf := rtBufPool.Get().(*bytes.Buffer)

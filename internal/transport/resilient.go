@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mendel/internal/obs"
 )
 
 // ErrCircuitOpen reports a call rejected locally because the destination's
@@ -119,6 +121,15 @@ func NewResilientCaller(inner Caller, cfg ResilientConfig) *ResilientCaller {
 		cfg:      cfg,
 		breakers: make(map[string]*breaker),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Observe forwards a metrics registry to the wrapped Caller when it
+// supports observation (the TCP client does), so byte and dial counters
+// reach /metrics even through the resilience decorator.
+func (r *ResilientCaller) Observe(reg *obs.Registry) {
+	if o, ok := r.inner.(interface{ Observe(*obs.Registry) }); ok {
+		o.Observe(reg)
 	}
 }
 

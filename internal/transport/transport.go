@@ -2,8 +2,11 @@
 // Mendel cluster. Two implementations share one interface: an in-memory
 // network that wires nodes together inside a single process (with optional
 // simulated latency and failure injection, standing in for the paper's LAN
-// testbed), and a TCP transport with length-prefixed gob frames for real
-// multi-process deployments.
+// testbed), and a TCP transport for real multi-process deployments that
+// negotiates per-connection framing — length-prefixed binary frames using
+// the wire package's hand-rolled codec for hot messages, with a transparent
+// gob fallback for cold messages and for peers built before the binary
+// codec existed.
 package transport
 
 import (

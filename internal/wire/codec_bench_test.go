@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"mendel/internal/seq"
+)
+
+// Benchmark fixtures sized like real query-path traffic: a multi-window
+// subquery, a result with a few dozen anchors, a block-transfer batch, and
+// a coalesced search batch.
+func benchGroupSearch() GroupSearch {
+	return GroupSearch{
+		Group:     3,
+		Query:     bytes.Repeat([]byte("MKVLATGQW"), 14),
+		Offsets:   []int{0, 16, 32, 48, 64, 80, 96, 112},
+		WindowLen: 16,
+		Params:    DefaultParams(),
+	}
+}
+
+func benchLocalSearchResult() LocalSearchResult {
+	anchors := make([]Anchor, 24)
+	for i := range anchors {
+		anchors[i] = Anchor{Seq: seq.ID(i), QStart: i * 16, QEnd: i*16 + 16,
+			SStart: i * 100, SEnd: i*100 + 16, Score: 40 + i}
+	}
+	return LocalSearchResult{Anchors: anchors, KNNNs: 123456, ExtendNs: 7890, Visits: 321}
+}
+
+func benchIndexBlocks() IndexBlocks {
+	blocks := make([]Block, 32)
+	for i := range blocks {
+		blocks[i] = Block{Seq: seq.ID(i % 4), Start: i * 16,
+			Content: bytes.Repeat([]byte("ACGT"), 4),
+			Context: bytes.Repeat([]byte("ACGT"), 8), CtxOff: 8}
+	}
+	return IndexBlocks{Blocks: blocks}
+}
+
+func benchGroupSearchBatch() GroupSearchBatch {
+	items := make([]GroupSearch, 8)
+	for i := range items {
+		items[i] = benchGroupSearch()
+	}
+	return GroupSearchBatch{Group: 3, Items: items}
+}
+
+// benchmarkMarshal measures binary encoding into a pooled scratch frame —
+// exactly the transport's send path — and reports the encoded size.
+func benchmarkMarshal(b *testing.B, msg any) {
+	b.Helper()
+	data, ok := AppendHot(nil, msg)
+	if !ok {
+		b.Fatalf("%T is not hot", msg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp := GetFrame()
+		out, _ := AppendHot(*fp, msg)
+		*fp = out
+		PutFrame(fp)
+	}
+	b.ReportMetric(float64(len(data)), "wire-bytes")
+}
+
+// benchmarkUnmarshal measures binary decoding from a pre-encoded frame —
+// the transport's receive path, minus the per-frame buffer allocation that
+// real receives pay for retention safety.
+func benchmarkUnmarshal(b *testing.B, msg any) {
+	b.Helper()
+	data, ok := AppendHot(nil, msg)
+	if !ok {
+		b.Fatalf("%T is not hot", msg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeHot(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalGroupSearch(b *testing.B)   { benchmarkMarshal(b, benchGroupSearch()) }
+func BenchmarkUnmarshalGroupSearch(b *testing.B) { benchmarkUnmarshal(b, benchGroupSearch()) }
+
+func BenchmarkMarshalLocalSearchResult(b *testing.B) { benchmarkMarshal(b, benchLocalSearchResult()) }
+func BenchmarkUnmarshalLocalSearchResult(b *testing.B) {
+	benchmarkUnmarshal(b, benchLocalSearchResult())
+}
+
+func BenchmarkMarshalIndexBlocks(b *testing.B)   { benchmarkMarshal(b, benchIndexBlocks()) }
+func BenchmarkUnmarshalIndexBlocks(b *testing.B) { benchmarkUnmarshal(b, benchIndexBlocks()) }
+
+func BenchmarkMarshalGroupSearchBatch(b *testing.B) { benchmarkMarshal(b, benchGroupSearchBatch()) }
+func BenchmarkUnmarshalGroupSearchBatch(b *testing.B) {
+	benchmarkUnmarshal(b, benchGroupSearchBatch())
+}

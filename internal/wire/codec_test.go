@@ -1,0 +1,282 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mendel/internal/obs"
+)
+
+// hotSampleMessages filters sampleMessages down to the types the binary
+// codec covers, plus extra cases that stress its edges (empty slices, zero
+// values, negative ints, span blobs, batch items).
+func hotSampleMessages() []any {
+	var hot []any
+	for _, m := range sampleMessages() {
+		if IsHot(m) {
+			hot = append(hot, m)
+		}
+	}
+	return append(hot,
+		GroupSearch{},
+		GroupSearchResult{},
+		GroupSearchBatch{},
+		GroupSearchBatchResult{},
+		LocalSearch{},
+		LocalSearchResult{},
+		IndexBlocks{},
+		IndexBlocks{Stage: true, Blocks: []Block{{}}},
+		FetchRegion{},
+		Region{},
+		PushBlocks{},
+		PushSequences{},
+		LocalSearchResult{
+			Anchors: []Anchor{{Seq: 3, QStart: -5, QEnd: -1, SStart: -100, SEnd: -90, Score: -42}},
+			Spans: []obs.SpanSnapshot{{
+				TraceID: "00000000000000010000000000000002",
+				SpanID:  7, Node: "n1", Name: "local_search", NS: 123,
+				Attrs:    []obs.Attr{{Key: "visits", Value: 9}},
+				Children: []obs.SpanSnapshot{{Name: "knn", NS: 45}},
+			}},
+		},
+		GroupSearchResult{
+			Anchors: []Anchor{{Seq: 1 << 30, QStart: 1 << 40, SStart: -(1 << 40)}},
+			Spans:   []obs.SpanSnapshot{{Name: "group_search"}},
+		},
+		GroupSearchBatch{
+			Group: -1,
+			Items: []GroupSearch{{Query: []byte("ACGT")}, {}},
+			TCs: []obs.TraceContext{
+				{TraceHi: 1, TraceLo: 2, SpanID: 3, Sampled: true},
+				{},
+			},
+		},
+		LocalSearch{Query: []byte{}, Offsets: []int{}, Params: Params{Matrix: "PAM250"}},
+		LocalSearch{Params: Params{Matrix: "custom-matrix", BothStrands: true, Mask: true}},
+		Region{Seq: 4294967295, Start: -1, Data: bytes.Repeat([]byte("ACGT"), 64), Len: 1 << 31},
+		PushBlocks{Target: "node:with:colons", Refs: []uint64{0, 1<<64 - 1}},
+	)
+}
+
+// gobRoundTripValue runs v through the same self-contained gob envelope the
+// transports' fallback path uses, yielding gob's canonical post-decode form
+// (empty slices become nil, etc.).
+func gobRoundTripValue(t *testing.T, v any) any {
+	t.Helper()
+	data, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("gob marshal %T: %v", v, err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("gob unmarshal %T: %v", v, err)
+	}
+	return out
+}
+
+// binaryRoundTripValue runs v through the binary codec.
+func binaryRoundTripValue(t *testing.T, v any) any {
+	t.Helper()
+	data, ok := AppendHot(nil, v)
+	if !ok {
+		t.Fatalf("AppendHot(%T): not a hot message", v)
+	}
+	out, err := DecodeHot(data)
+	if err != nil {
+		t.Fatalf("DecodeHot(%T): %v", v, err)
+	}
+	return out
+}
+
+// TestCodecGobEquivalence is the codec's core contract: for every hot
+// message, a binary round trip must produce exactly the value a gob round
+// trip produces. Values are compared via their gob encodings, which
+// sidesteps nil-vs-empty and NaN DeepEqual pitfalls the same way the
+// existing round-trip tests do.
+func TestCodecGobEquivalence(t *testing.T) {
+	for _, msg := range hotSampleMessages() {
+		viaGob := gobRoundTripValue(t, msg)
+		viaBin := binaryRoundTripValue(t, msg)
+		gobBytes, err := Marshal(viaGob)
+		if err != nil {
+			t.Fatalf("re-marshal gob result %T: %v", viaGob, err)
+		}
+		binBytes, err := Marshal(viaBin)
+		if err != nil {
+			t.Fatalf("re-marshal binary result %T: %v", viaBin, err)
+		}
+		if !bytes.Equal(gobBytes, binBytes) {
+			t.Errorf("%T: binary round trip diverges from gob round trip\n  gob:    %x\n  binary: %x",
+				msg, gobBytes, binBytes)
+		}
+	}
+}
+
+// TestCodecRequestResponseRoundTrip covers the transport-facing payload
+// helpers, trace context included.
+func TestCodecRequestResponseRoundTrip(t *testing.T) {
+	tcs := []obs.TraceContext{
+		{},
+		obs.UnsampledContext(),
+		{TraceHi: 0xdeadbeef, TraceLo: 0xcafef00d, SpanID: 42, Sampled: true},
+	}
+	for _, tc := range tcs {
+		for _, msg := range hotSampleMessages() {
+			payload, ok := AppendRequest(nil, tc, msg)
+			if !ok {
+				t.Fatalf("AppendRequest(%T): not hot", msg)
+			}
+			gotTC, gotMsg, err := DecodeRequest(payload)
+			if err != nil {
+				t.Fatalf("DecodeRequest(%T): %v", msg, err)
+			}
+			if gotTC != tc {
+				t.Fatalf("%T: trace context changed: %+v != %+v", msg, gotTC, tc)
+			}
+			a, _ := Marshal(gobRoundTripValue(t, msg))
+			b, _ := Marshal(gotMsg)
+			if !bytes.Equal(a, b) {
+				t.Errorf("%T: request round trip diverged", msg)
+			}
+		}
+	}
+
+	// Response payloads: messages and errors.
+	payload, ok := AppendResponse(nil, IndexBlocksAck{Accepted: 3})
+	if !ok {
+		t.Fatal("AppendResponse(IndexBlocksAck): not hot")
+	}
+	msg, errMsg, err := DecodeResponse(payload)
+	if err != nil || errMsg != "" {
+		t.Fatalf("DecodeResponse: msg=%v errMsg=%q err=%v", msg, errMsg, err)
+	}
+	if ack, okAck := msg.(IndexBlocksAck); !okAck || ack.Accepted != 3 {
+		t.Fatalf("DecodeResponse: got %#v", msg)
+	}
+	ep := AppendErrorResponse(nil, "node n1: boom")
+	msg, errMsg, err = DecodeResponse(ep)
+	if err != nil || msg != nil || errMsg != "node n1: boom" {
+		t.Fatalf("error response round trip: msg=%v errMsg=%q err=%v", msg, errMsg, err)
+	}
+}
+
+// TestCodecRejectsCorruptInput pins the failure modes: truncation, trailing
+// garbage, unknown tags, and adversarial slice lengths must all error
+// without panicking or allocating huge slices.
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	good, _ := AppendHot(nil, GroupSearch{Query: []byte("MKVLAT"), Offsets: []int{0, 16}, Params: DefaultParams()})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeHot(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeHot(append(append([]byte(nil), good...), 0x01)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := DecodeHot([]byte{0x7E, 1, 2, 3}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := DecodeHot(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// A frame claiming 2^40 anchors but carrying 3 bytes must be rejected
+	// before allocation.
+	evil := []byte{tagLocalSearchResult}
+	evil = appendUvarint(evil, 1<<40)
+	evil = append(evil, 1, 2, 3)
+	if _, err := DecodeHot(evil); err == nil || !strings.Contains(err.Error(), "exceeds remaining") {
+		t.Fatalf("adversarial anchor count: err = %v", err)
+	}
+}
+
+// TestCodecZeroCopyAliasing documents the aliasing contract: byte fields of
+// a decoded message are views into the input buffer.
+func TestCodecZeroCopyAliasing(t *testing.T) {
+	in := IndexBlocks{Blocks: []Block{{Seq: 1, Content: []byte("ACGTACGTACGTACGT")}}}
+	data, _ := AppendHot(nil, in)
+	out, err := DecodeHot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(IndexBlocks).Blocks[0].Content
+	if !bytes.Equal(got, in.Blocks[0].Content) {
+		t.Fatalf("content changed: %q", got)
+	}
+	// The frame tail is Context-len, CtxOff and Stage (one byte each), so
+	// Content's last byte sits four bytes from the end.
+	data[len(data)-4] ^= 0xFF
+	if bytes.Equal(got, in.Blocks[0].Content) {
+		t.Fatal("decoded Content does not alias the input buffer; zero-copy contract broken")
+	}
+}
+
+// TestCodecSizeReduction pins the acceptance criterion of the codec PR:
+// binary encodings of the query-path messages are at least 2x smaller than
+// their self-contained gob counterparts.
+func TestCodecSizeReduction(t *testing.T) {
+	msgs := []any{
+		GroupSearch{Group: 3, Query: bytes.Repeat([]byte("MKVLAT"), 20), Offsets: []int{0, 16, 32, 48, 64, 80, 96}, WindowLen: 16, Params: DefaultParams()},
+		LocalSearchResult{Anchors: make([]Anchor, 24), KNNNs: 12345, ExtendNs: 678, Visits: 90},
+	}
+	for _, msg := range msgs {
+		gobBytes, err := Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binBytes, _ := AppendHot(nil, msg)
+		if len(binBytes)*2 > len(gobBytes) {
+			t.Errorf("%T: binary %dB vs gob %dB — less than the required 2x reduction",
+				msg, len(binBytes), len(gobBytes))
+		}
+	}
+}
+
+// TestFramePool covers the encode-side scratch pool.
+func TestFramePool(t *testing.T) {
+	fp := GetFrame()
+	if len(*fp) != 0 {
+		t.Fatalf("GetFrame returned non-empty buffer (len %d)", len(*fp))
+	}
+	b, _ := AppendHot(*fp, FetchRegion{Seq: 1, Start: 2, End: 3})
+	*fp = b
+	PutFrame(fp)
+	fp2 := GetFrame()
+	if len(*fp2) != 0 {
+		t.Fatalf("recycled frame not reset (len %d)", len(*fp2))
+	}
+	PutFrame(fp2)
+}
+
+// TestMatrixInterning ensures the known scoring matrix names decode without
+// retaining the input buffer (interned constants, not views).
+func TestMatrixInterning(t *testing.T) {
+	for _, name := range []string{"BLOSUM62", "PAM250", "DNA"} {
+		data, _ := AppendHot(nil, LocalSearch{Params: Params{Matrix: name}})
+		out, err := DecodeHot(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.(LocalSearch).Params.Matrix
+		if got != name {
+			t.Fatalf("matrix %q decoded as %q", name, got)
+		}
+	}
+}
+
+func TestIsHotAndCompressible(t *testing.T) {
+	for _, m := range []any{Ping{}, Bootstrap{}, Stats{}, Metrics{}, TraceFetch{}, BuildIndex{}, StoreSequences{}} {
+		if IsHot(m) {
+			t.Errorf("%T reported hot", m)
+		}
+		if _, ok := AppendHot(nil, m); ok {
+			t.Errorf("%T unexpectedly binary-encoded", m)
+		}
+	}
+	if !Compressible(IndexBlocks{}) || !Compressible(PushBlocks{}) {
+		t.Error("block-transfer messages must be compressible")
+	}
+	if Compressible(GroupSearch{}) || Compressible(Region{}) {
+		t.Error("latency-sensitive messages must not be compressible")
+	}
+}

@@ -97,6 +97,100 @@ func TestMarshalRoundTrip(t *testing.T) {
 	}
 }
 
+// FuzzCodecEquivalence is the differential fuzz target for the binary
+// codec. Inputs are interpreted two ways:
+//
+//  1. As a gob envelope: if Unmarshal accepts the input and yields a hot
+//     message, that message is binary-encoded and decoded, and the result
+//     must be exactly the value a gob round trip produces (compared via
+//     re-encoding, which sidesteps nil-vs-empty and NaN pitfalls).
+//  2. As raw binary codec payloads: DecodeHot, DecodeRequest and
+//     DecodeResponse must never panic, and anything they accept must
+//     re-encode and re-decode to a stable value.
+//
+// The corpus is seeded with the existing gob fuzz samples plus their binary
+// encodings, so both interpretations start from meaningful inputs.
+func FuzzCodecEquivalence(f *testing.F) {
+	for _, msg := range sampleMessages() {
+		data, err := Marshal(msg)
+		if err != nil {
+			f.Fatalf("seeding corpus with %T: %v", msg, err)
+		}
+		f.Add(data)
+		if bin, ok := AppendHot(nil, msg); ok {
+			f.Add(bin)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xFF, 0x03, 'b', 'o', 'o'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Differential leg: gob-decodable hot messages must round-trip
+		// identically through both codecs.
+		if msg, err := Unmarshal(data); err == nil && IsHot(msg) {
+			viaGobBytes, err := Marshal(msg)
+			if err != nil {
+				t.Fatalf("re-encoding gob-decoded %T: %v", msg, err)
+			}
+			bin, ok := AppendHot(nil, msg)
+			if !ok {
+				t.Fatalf("hot message %T refused by AppendHot", msg)
+			}
+			out, err := DecodeHot(bin)
+			if err != nil {
+				t.Fatalf("binary decode of own encoding of %T: %v", msg, err)
+			}
+			viaBinBytes, err := Marshal(out)
+			if err != nil {
+				t.Fatalf("re-encoding binary-decoded %T: %v", out, err)
+			}
+			if !bytes.Equal(viaGobBytes, viaBinBytes) {
+				t.Errorf("codec divergence for %T:\n  gob:    %x\n  binary: %x", msg, viaGobBytes, viaBinBytes)
+			}
+		}
+		// Robustness leg: the binary decoders must reject or round-trip
+		// arbitrary input without panicking.
+		if msg, err := DecodeHot(data); err == nil {
+			bin, ok := AppendHot(nil, msg)
+			if !ok {
+				t.Fatalf("DecodeHot produced non-hot %T", msg)
+			}
+			again, err := DecodeHot(bin)
+			if err != nil {
+				t.Fatalf("unstable binary round trip for %T: %v", msg, err)
+			}
+			a, _ := Marshal(msg)
+			b, _ := Marshal(again)
+			if !bytes.Equal(a, b) {
+				t.Errorf("binary re-decode changed %T", msg)
+			}
+		}
+		if tc, msg, err := DecodeRequest(data); err == nil {
+			payload, ok := AppendRequest(nil, tc, msg)
+			if !ok {
+				t.Fatalf("DecodeRequest produced non-hot %T", msg)
+			}
+			if _, _, err := DecodeRequest(payload); err != nil {
+				t.Fatalf("unstable request round trip for %T: %v", msg, err)
+			}
+		}
+		if msg, errMsg, err := DecodeResponse(data); err == nil {
+			var payload []byte
+			if errMsg != "" {
+				payload = AppendErrorResponse(nil, errMsg)
+			} else {
+				var ok bool
+				if payload, ok = AppendResponse(nil, msg); !ok {
+					t.Fatalf("DecodeResponse produced non-hot %T", msg)
+				}
+			}
+			if _, _, err := DecodeResponse(payload); err != nil {
+				t.Fatalf("unstable response round trip: %v", err)
+			}
+		}
+	})
+}
+
 // FuzzDecode feeds arbitrary bytes to Unmarshal: it must never panic, and
 // any input it accepts must re-encode and re-decode to a stable value.
 func FuzzDecode(f *testing.F) {

@@ -1,8 +1,11 @@
 // Package wire defines the messages exchanged between Mendel cluster nodes
 // and the query parameters of the paper's Table I. Messages are plain
-// structs encoded with encoding/gob; every concrete request/response type is
-// registered here so both the in-memory and TCP transports can carry them as
-// interface values.
+// structs carried by the transports as interface values, with a per-message
+// codec dispatch: the hot request/response types have a hand-rolled binary
+// encoding (codec.go — varint fields, zero-copy byte views, pooled frames),
+// while cold and rare messages ride encoding/gob, for which every concrete
+// type is registered here. Marshal/Unmarshal remain the self-contained gob
+// envelope codec used for persistence, debugging and cold-path frames.
 package wire
 
 import (

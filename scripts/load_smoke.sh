@@ -39,6 +39,19 @@ sleep 1
   -rate 60 -duration 10s -mix read -qlen 64 -seed 1 \
   -json BENCH_5.json -fail-on-errors
 
+# The gateway forwards its registry to the TCP client, so /metrics must
+# show bytes actually moving on the coordinator-to-node RPC path; zero (or
+# absent) counters would mean the observability plumbing regressed.
+metrics=$(curl -sf http://127.0.0.1:7461/metrics)
+for counter in rpc_bytes_sent rpc_bytes_recv; do
+  val=$(printf '%s\n' "$metrics" | awk -v c="$counter" '$1 == c {print $2}')
+  if [ -z "${val:-}" ] || [ "$val" -eq 0 ]; then
+    echo "/metrics $counter is ${val:-missing}; RPC byte accounting broken" >&2
+    exit 1
+  fi
+done
+echo "rpc byte accounting ok: sent=$(printf '%s\n' "$metrics" | awk '$1=="rpc_bytes_sent"{print $2}') recv=$(printf '%s\n' "$metrics" | awk '$1=="rpc_bytes_recv"{print $2}')"
+
 # Phase 2: burst mix into a one-slot admission window. The gateway must
 # shed some of the overload as 429s and error on none of it.
 "$workdir/mendel" serve -manifest "$workdir/cluster.mendel" -addr 127.0.0.1:7462 \

@@ -1,0 +1,139 @@
+package mendel
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// startWireCluster spins four real TCP storage nodes (two groups, two
+// replicas) with the node-side wire config wcNode, indexes db through a
+// coordinator using wcCoord, and returns the coordinator plus its metrics
+// registry.
+func startWireCluster(t *testing.T, db *Set, wcNode, wcCoord WireConfig) (*Cluster, *MetricsRegistry) {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < 4; i++ {
+		s, err := ServeNodeWire("127.0.0.1:0", DefaultResilienceConfig(), wcNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		addrs = append(addrs, s.Addr())
+	}
+	cfg := DefaultConfig(Protein)
+	cfg.Groups = 2
+	cfg.Replicas = 2
+	groups := [][]string{{addrs[0], addrs[1]}, {addrs[2], addrs[3]}}
+	cluster, _, err := NewTCPClusterWire(cfg, groups, DefaultResilienceConfig(), wcCoord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	cluster.SetObservability(reg, nil)
+	if err := cluster.Index(context.Background(), db); err != nil {
+		t.Fatal(err)
+	}
+	return cluster, reg
+}
+
+// repairSummary renders the stable fields of a repair report (everything
+// but wall-clock duration) for cross-scenario comparison.
+func repairSummary(r *RepairReport) string {
+	return fmt.Sprintf("groups=%v blocks=%d seqs=%d unrepairable=%d pusherrs=%d unreachable=%v",
+		r.Groups, r.BlocksMoved, r.SequencesMoved, r.Unrepairable, r.PushErrors, r.Unreachable)
+}
+
+// TestWireCodecMixedVersionCompat runs identical index/search/repair
+// workloads over real TCP under every codec pairing a rolling upgrade can
+// produce — new both sides, old client against new server, new client
+// against old server (CodecGob pins the exact framing a pre-codec binary
+// speaks: the negotiation byte is never sent or echoed) — and requires
+// bit-identical search hits and identical repair outcomes everywhere.
+func TestWireCodecMixedVersionCompat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := buildSet(t, rng, 12, 300)
+	queries := [][]byte{
+		db.Seqs[5].Data[40:160],
+		db.Seqs[9].Data[0:120],
+	}
+
+	scenarios := []struct {
+		name          string
+		node, coord   WireConfig
+		wantNegotiate bool // coordinator connections should upgrade to binary
+	}{
+		{"binary-both", WireConfig{}, WireConfig{}, true},
+		{"gob-client-new-server", WireConfig{}, WireConfig{Codec: CodecGob}, false},
+		{"new-client-gob-server", WireConfig{Codec: CodecGob}, WireConfig{}, false},
+		{"binary-compressed", WireConfig{Compress: true}, WireConfig{Compress: true}, true},
+	}
+
+	var wantHits [][]Hit
+	var wantRepair string
+	for i, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			cluster, reg := startWireCluster(t, db, sc.node, sc.coord)
+			var hits [][]Hit
+			for _, q := range queries {
+				h, err := cluster.Search(context.Background(), q, DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				hits = append(hits, h)
+			}
+			rep, err := cluster.Repair(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := reg.Counter("rpc_conns_binary").Value() > 0; got != sc.wantNegotiate {
+				t.Errorf("binary negotiation = %v, want %v", got, sc.wantNegotiate)
+			}
+			if i == 0 {
+				wantHits, wantRepair = hits, repairSummary(rep)
+				if len(hits[0]) == 0 {
+					t.Fatal("reference scenario found no hits")
+				}
+				return
+			}
+			if !reflect.DeepEqual(hits, wantHits) {
+				t.Errorf("hits diverge from %s:\n  got:  %+v\n  want: %+v",
+					scenarios[0].name, hits, wantHits)
+			}
+			if got := repairSummary(rep); got != wantRepair {
+				t.Errorf("repair report diverges: got %q want %q", got, wantRepair)
+			}
+		})
+	}
+}
+
+// TestWireCodecManifestAcrossCodecs checks that a manifest saved by one
+// coordinator restores under the other codec and keeps answering queries —
+// the upgrade path where the coordinator binary changes between sessions.
+func TestWireCodecManifestAcrossCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	db := buildSet(t, rng, 8, 300)
+	cluster, _ := startWireCluster(t, db, WireConfig{}, WireConfig{Codec: CodecGob})
+	var manifest bytes.Buffer
+	if err := SaveManifest(cluster, &manifest); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := LoadManifestTCPWire(&manifest, DefaultResilienceConfig(), WireConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cluster.Search(context.Background(), db.Seqs[3].Data[30:150], DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Search(context.Background(), db.Seqs[3].Data[30:150], DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored coordinator hits diverge:\n  got:  %+v\n  want: %+v", got, want)
+	}
+}
