@@ -257,6 +257,45 @@ func BenchmarkEndToEndSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefilterQuery measures the end-to-end cost of a short foreign
+// query (the sketch prefilter's best case: its windows share no k-mer with
+// the database, so every group is provably safe to skip) with the prefilter
+// off vs in bloom mode. The data shape matches BenchmarkEndToEndSearch; both
+// variants sit in the CI regression gate.
+func BenchmarkPrefilterQuery(b *testing.B) {
+	for _, mode := range []PrefilterMode{PrefilterOff, PrefilterBloom} {
+		b.Run("prefilter="+mode.String(), func(b *testing.B) {
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(5))
+			cfg := DefaultConfig(Protein)
+			cfg.Groups = 4
+			cluster, err := NewInProcess(cfg, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			db := NewSet(Protein)
+			for i := 0; i < 100; i++ {
+				if _, err := db.Add(fmt.Sprintf("ref%03d", i), randomProteinB(rng, 400)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := cluster.Index(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+			cluster.SetPrefilterMode(mode)
+			query := randomProteinB(rng, 24)
+			p := DefaultParams()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Search(ctx, query, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTracingOverhead measures the end-to-end search cost with the
 // observability stack attached, comparing the unsampled hot path
 // (sampled=0: the head sampler rejects every query, so no node records or

@@ -7,7 +7,8 @@
 //	mendel-bench [flags] <experiment>
 //
 // where experiment is one of: table1, fig5, fig6a, fig6b, fig6c, fig6d,
-// ablate-depth, ablate-tier2, ablate-insert, ablate-bucket, perf, codec, all.
+// ablate-depth, ablate-tier2, ablate-insert, ablate-bucket, perf, prefilter,
+// codec, all.
 //
 // The perf experiment measures the ingest and query hot paths (ns/op,
 // allocs/op, blocks/sec, p50/p95 latency); -json writes its machine-readable
@@ -47,7 +48,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mendel-bench [flags] <table1|fig5|fig6a|fig6b|fig6c|fig6d|ablate-depth|ablate-tier2|ablate-insert|ablate-bucket|perf|codec|all>")
+		fmt.Fprintln(os.Stderr, "usage: mendel-bench [flags] <table1|fig5|fig6a|fig6b|fig6c|fig6d|ablate-depth|ablate-tier2|ablate-insert|ablate-bucket|perf|prefilter|codec|all>")
 		os.Exit(2)
 	}
 	scale := bench.Scale{
@@ -108,6 +109,22 @@ func run(name string, scale bench.Scale, jsonPath string) {
 			}
 			return wrap(r, nil)
 		},
+		"prefilter": func(s bench.Scale) (fmt.Stringer, error) {
+			r, err := bench.RunPrefilter(s)
+			if err != nil {
+				return nil, err
+			}
+			if jsonPath != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return wrap(r, nil)
+		},
 		"codec": func(bench.Scale) (fmt.Stringer, error) {
 			r, err := bench.RunCodecAB()
 			if err != nil {
@@ -126,7 +143,7 @@ func run(name string, scale bench.Scale, jsonPath string) {
 		},
 	}
 	order := []string{"table1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d",
-		"ablate-depth", "ablate-tier2", "ablate-insert", "ablate-bucket", "perf", "codec"}
+		"ablate-depth", "ablate-tier2", "ablate-insert", "ablate-bucket", "perf", "prefilter", "codec"}
 
 	runOne := func(id string) {
 		if id == "table1" {

@@ -40,6 +40,8 @@ func main() {
 		cmdIndex(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "similarity":
+		cmdSimilarity(os.Args[2:])
 	case "explain":
 		cmdExplain(os.Args[2:])
 	case "stats":
@@ -57,12 +59,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mendel <command> [flags]
 
 commands:
-  index    fragment and index a FASTA file onto running storage nodes
-  query    evaluate alignment queries against an indexed cluster
-  explain  run one fully-traced query and render its cross-node span tree
-  stats    print per-node storage statistics
-  repair   probe node health and run an anti-entropy repair pass
-  serve    run a long-lived HTTP query gateway over an indexed cluster`)
+  index       fragment and index a FASTA file onto running storage nodes
+  query       evaluate alignment queries against an indexed cluster
+  similarity  rank indexed sequences by alignment-free MinHash Jaccard similarity
+  explain     run one fully-traced query and render its cross-node span tree
+  stats       print per-node storage statistics
+  repair      probe node health and run an anti-entropy repair pass
+  serve       run a long-lived HTTP query gateway over an indexed cluster`)
 	os.Exit(2)
 }
 
@@ -179,6 +182,7 @@ func cmdQuery(args []string) {
 	mask := fs.Bool("mask", false, "mask low-complexity query regions before searching")
 	translated := fs.Bool("translated", false, "treat queries as DNA and search a protein cluster in all six reading frames (blastx-style)")
 	trace := fs.Bool("trace", false, "print a per-stage execution trace for each query")
+	prefilter := fs.String("prefilter", "bloom", "sketch group prefilter consulted before fan-out: bloom, minhash, or off (escape hatch)")
 	metricsAddr := fs.String("metrics-addr", "", "host:port for the coordinator's HTTP observability endpoint (/metrics, /debug/spans, /debug/trace/{id}, /debug/pprof); empty disables")
 	traceSample := fs.Float64("trace-sample", 1, "fraction of queries traced cluster-wide (head-based sampling; 0 disables distributed tracing)")
 	logJSON := fs.Bool("log-json", false, "emit per-query structured JSON logs on stderr, stamped with the trace ID")
@@ -187,6 +191,11 @@ func cmdQuery(args []string) {
 	fs.Parse(args)
 
 	cluster, rpc := loadManifest(*manifest, resilience(), wire())
+	pm, err := mendel.ParsePrefilterMode(*prefilter)
+	if err != nil {
+		log.Fatalf("mendel query: %v", err)
+	}
+	cluster.SetPrefilterMode(pm)
 	var logger *slog.Logger
 	if *logJSON {
 		logger = mendel.NewLogger(os.Stderr, slog.LevelInfo)
@@ -335,7 +344,133 @@ func cmdQuery(args []string) {
 	}
 }
 
-// cmdExplain runs a single query with tracing forced on, pulls the
+// cmdSimilarity ranks indexed sequences by alignment-free MinHash Jaccard
+// similarity to each query — no fan-out, no alignment, just the coordinator's
+// per-sequence signatures from the manifest. With -verify it becomes the CI
+// recall gate's minhash leg: the stored signatures are checked bit-for-bit
+// against ones recomputed from the reference FASTA, and every estimate is
+// checked against the exact k-mer Jaccard within -bound.
+func cmdSimilarity(args []string) {
+	fs := flag.NewFlagSet("similarity", flag.ExitOnError)
+	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
+	fasta := fs.String("fasta", "", "FASTA file with query sequences")
+	inline := fs.String("seq", "", "inline query sequence")
+	top := fs.Int("top", 10, "ranked sequences to print per query")
+	verify := fs.String("verify", "", "reference FASTA the cluster was indexed from; check every MinHash estimate against the exact k-mer Jaccard")
+	bound := fs.Float64("bound", 0.05, "max |estimate - exact| tolerated by -verify")
+	resilience := resilienceFlags(fs)
+	wire := wireFlags(fs)
+	fs.Parse(args)
+
+	cluster, _ := loadManifest(*manifest, resilience(), wire())
+	kind := cluster.Config().Kind
+	queries := mendel.NewSet(kind)
+	switch {
+	case *inline != "":
+		if _, err := queries.Add("query", []byte(*inline)); err != nil {
+			log.Fatalf("mendel similarity: %v", err)
+		}
+	case *fasta != "":
+		f, err := os.Open(*fasta)
+		if err != nil {
+			log.Fatalf("mendel similarity: %v", err)
+		}
+		queries, err = mendel.ReadFASTA(f, kind)
+		f.Close()
+		if err != nil {
+			log.Fatalf("mendel similarity: %v", err)
+		}
+	default:
+		log.Fatal("mendel similarity: provide -seq or -fasta")
+	}
+
+	for _, q := range queries.Seqs {
+		start := time.Now()
+		hits, err := cluster.Similarity(q.Data, *top)
+		if err != nil {
+			log.Fatalf("mendel similarity: %s: %v", q.Name, err)
+		}
+		fmt.Printf("query %s (%d residues): %d candidates in %v\n",
+			q.Name, q.Len(), len(hits), time.Since(start).Round(time.Microsecond))
+		for _, h := range hits {
+			fmt.Printf("  %-20s seq=%-6d jaccard=%.4f\n", h.Name, h.Seq, h.Jaccard)
+		}
+	}
+	if *verify != "" {
+		verifySimilarity(cluster, queries, *verify, *bound)
+	}
+}
+
+// verifySimilarity is the minhash leg of the CI recall gate. It first proves
+// the manifest's per-sequence signatures are exactly what the reference FASTA
+// produces (so the estimates under test are the ones queries actually see),
+// then bounds the estimation error of every query x reference pair against
+// the exact k-mer Jaccard computed from the full distinct-hash sets.
+func verifySimilarity(cluster *mendel.Cluster, queries *mendel.Set, refPath string, bound float64) {
+	cfg := cluster.Config()
+	f, err := os.Open(refPath)
+	if err != nil {
+		log.Fatalf("mendel similarity: %v", err)
+	}
+	refs, err := mendel.ReadFASTA(f, cfg.Kind)
+	f.Close()
+	if err != nil {
+		log.Fatalf("mendel similarity: %v", err)
+	}
+	if refs.Len() != cluster.NumSequences() {
+		log.Fatalf("mendel similarity: -verify FASTA holds %d sequences, cluster indexed %d",
+			refs.Len(), cluster.NumSequences())
+	}
+	for _, r := range refs.Seqs {
+		stored := cluster.SeqSketch(r.ID)
+		recomputed := mendel.MinHashesOf(r.Data, cfg)
+		if len(stored) != len(recomputed) {
+			log.Fatalf("mendel similarity: stored sketch of seq %d (%s) has %d hashes, recomputed %d — is %s the indexed corpus?",
+				r.ID, r.Name, len(stored), len(recomputed), refPath)
+		}
+		for i := range stored {
+			if stored[i] != recomputed[i] {
+				log.Fatalf("mendel similarity: stored sketch of seq %d (%s) diverges from the reference FASTA at hash %d",
+					r.ID, r.Name, i)
+			}
+		}
+	}
+
+	var maxErr float64
+	var worstQ, worstR string
+	pairs := 0
+	for _, q := range queries.Seqs {
+		hits, err := cluster.Similarity(q.Data, 0)
+		if err != nil {
+			log.Fatalf("mendel similarity: %s: %v", q.Name, err)
+		}
+		est := make(map[mendel.SequenceID]float64, len(hits))
+		for _, h := range hits {
+			est[h.Seq] = h.Jaccard
+		}
+		for _, r := range refs.Seqs {
+			exact := mendel.ExactJaccard(q.Data, r.Data, cfg)
+			diff := est[r.ID] - exact
+			if diff < 0 {
+				diff = -diff
+			}
+			pairs++
+			if diff > maxErr {
+				maxErr, worstQ, worstR = diff, q.Name, r.Name
+			}
+		}
+	}
+	fmt.Printf("verify: %d sequence sketches bit-identical to %s; max |estimate-exact| = %.4f over %d pairs",
+		refs.Len(), refPath, maxErr, pairs)
+	if maxErr > 0 {
+		fmt.Printf(" (worst: %s vs %s)", worstQ, worstR)
+	}
+	fmt.Println()
+	if maxErr > bound {
+		log.Fatalf("mendel similarity: MinHash estimate error %.4f exceeds bound %.4f", maxErr, bound)
+	}
+}
+
 // assembled cross-node span tree back from the whole cluster, and renders
 // it as a per-stage table: what the coordinator did, which group entry
 // points it fanned out to, and what every storage node spent its time on.
@@ -687,11 +822,17 @@ func cmdServe(args []string) {
 	coalesce := fs.Bool("coalesce", true, "batch concurrent queries' per-group fan-out RPCs")
 	coalesceTick := fs.Duration("coalesce-tick", 2*time.Millisecond, "max extra latency a query pays waiting for batch companions")
 	sample := fs.Float64("trace-sample", 0.01, "fraction of queries traced end to end")
+	prefilter := fs.String("prefilter", "bloom", "sketch group prefilter consulted before fan-out: bloom, minhash, or off (escape hatch)")
 	resilience := resilienceFlags(fs)
 	wire := wireFlags(fs)
 	fs.Parse(args)
 
 	cluster, rpc := loadManifest(*manifest, resilience(), wire())
+	pm, err := mendel.ParsePrefilterMode(*prefilter)
+	if err != nil {
+		log.Fatalf("mendel serve: %v", err)
+	}
+	cluster.SetPrefilterMode(pm)
 	reg := mendel.NewMetricsRegistry()
 	tracer := mendel.NewQueryTracer(0)
 	cluster.SetObservability(reg, tracer)

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"mendel/internal/core"
+	"mendel/internal/datagen"
+	"mendel/internal/seq"
+)
+
+// PrefilterResult is the machine-readable sketch-prefilter snapshot behind
+// `mendel-bench prefilter -json` and the BENCH_7.json artifact: how many
+// fan-out groups each query mode contacts and what that does to query
+// latency, with the bloom mode's exact-recall contract checked on the side.
+type PrefilterResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// Workload dimensions.
+	Nodes       int `json:"nodes"`
+	Groups      int `json:"groups"`
+	DBSequences int `json:"db_sequences"`
+	SeqLen      int `json:"seq_len"`
+	Queries     int `json:"queries"`
+
+	// Fan-out accounting over one pass of the query set: group requests are
+	// the groups contacted per decomposed strand, summed over all queries.
+	GroupRequestsOff   int  `json:"group_requests_off"`
+	GroupRequestsBloom int  `json:"group_requests_bloom"`
+	GroupsSkipped      int  `json:"groups_skipped"`
+	GuardActivations   int  `json:"guard_activations"`
+	HitsIdentical      bool `json:"hits_identical"`
+
+	// Query latency, same query set, prefilter off vs bloom.
+	QueryNsPerOpOff   int64   `json:"query_ns_per_op_off"`
+	QueryNsPerOpBloom int64   `json:"query_ns_per_op_bloom"`
+	SpeedupX          float64 `json:"speedup_x"`
+}
+
+// RunPrefilter measures the sketch prefilter's fan-out reduction at the
+// given scale. The query set mixes indexed excerpts (never skippable — every
+// k-mer is in the holding groups' Blooms), mutated homologs, and foreign
+// sequences sharing no k-mer with the database (the skip source: their
+// windows are provably absent everywhere).
+func RunPrefilter(s Scale) (*PrefilterResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	db, gen, err := makeDB(s)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := newCluster(s, db)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := prefilterQueries(gen, db)
+	if err != nil {
+		return nil, err
+	}
+	res := &PrefilterResult{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Nodes:       s.Nodes,
+		Groups:      s.Groups,
+		DBSequences: s.DBSequences,
+		SeqLen:      s.SeqLen,
+		Queries:     len(queries),
+	}
+	params := proteinParams()
+	ctx := context.Background()
+
+	// One traced pass per mode for the fan-out accounting and the recall
+	// check, then an untraced timing loop per mode.
+	pass := func(mode core.PrefilterMode) (hits [][]core.Hit, groups, skipped, guarded int, err error) {
+		ip.SetPrefilterMode(mode)
+		for _, q := range queries {
+			h, tr, err := ip.SearchTrace(ctx, q, params)
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			hits = append(hits, h)
+			groups += tr.GroupRequests
+			skipped += tr.GroupsSkipped
+			guarded += tr.PrefilterGuard
+		}
+		return hits, groups, skipped, guarded, nil
+	}
+	baseline, groupsOff, _, _, err := pass(core.PrefilterOff)
+	if err != nil {
+		return nil, fmt.Errorf("bench: prefilter off: %w", err)
+	}
+	filtered, groupsBloom, skipped, guarded, err := pass(core.PrefilterBloom)
+	if err != nil {
+		return nil, fmt.Errorf("bench: prefilter bloom: %w", err)
+	}
+	res.GroupRequestsOff = groupsOff
+	res.GroupRequestsBloom = groupsBloom
+	res.GroupsSkipped = skipped
+	res.GuardActivations = guarded
+	res.HitsIdentical = reflect.DeepEqual(baseline, filtered)
+
+	timed := func(mode core.PrefilterMode) (int64, error) {
+		ip.SetPrefilterMode(mode)
+		var searchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.Search(ctx, queries[i%len(queries)], params); err != nil {
+					searchErr = err
+					return
+				}
+			}
+		})
+		return r.NsPerOp(), searchErr
+	}
+	if res.QueryNsPerOpOff, err = timed(core.PrefilterOff); err != nil {
+		return nil, fmt.Errorf("bench: timing prefilter off: %w", err)
+	}
+	if res.QueryNsPerOpBloom, err = timed(core.PrefilterBloom); err != nil {
+		return nil, fmt.Errorf("bench: timing prefilter bloom: %w", err)
+	}
+	if res.QueryNsPerOpBloom > 0 {
+		res.SpeedupX = float64(res.QueryNsPerOpOff) / float64(res.QueryNsPerOpBloom)
+	}
+	return res, nil
+}
+
+// prefilterQueries builds the mixed workload: indexed excerpts, ~90%
+// identity homologs, and foreign sequences matching nothing.
+func prefilterQueries(gen *datagen.Generator, db *seq.Set) ([][]byte, error) {
+	var queries [][]byte
+	for i, ln := range []int{16, 24, 40, 120} {
+		s := db.Seqs[(i*7)%len(db.Seqs)]
+		if len(s.Data) <= ln {
+			continue
+		}
+		start := (i * 31) % (len(s.Data) - ln)
+		queries = append(queries, s.Data[start:start+ln])
+	}
+	homologs, err := gen.QuerySet(db, 4, 120, 0.1, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	queries = append(queries, homologs...)
+	for _, ln := range []int{16, 24, 48, 96} {
+		queries = append(queries, gen.Sequence(ln))
+	}
+	return queries, nil
+}
+
+// JSON renders the result for the BENCH_7.json artifact.
+func (r *PrefilterResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render prints the human-readable table.
+func (r *PrefilterResult) Render() string {
+	rows := [][]string{
+		{"groups contacted", fmt.Sprintf("%d", r.GroupRequestsOff), fmt.Sprintf("%d (skipped %d, guard %d)", r.GroupRequestsBloom, r.GroupsSkipped, r.GuardActivations)},
+		{"query latency", time.Duration(r.QueryNsPerOpOff).Round(time.Microsecond).String(), time.Duration(r.QueryNsPerOpBloom).Round(time.Microsecond).String()},
+		{"speedup", "1.00x", fmt.Sprintf("%.2fx", r.SpeedupX)},
+		{"hits identical", "-", fmt.Sprintf("%v", r.HitsIdentical)},
+	}
+	return fmt.Sprintf("Sketch prefilter (%d nodes, %d groups, %d queries)\n%s",
+		r.Nodes, r.Groups, r.Queries, table([]string{"metric", "prefilter=off", "prefilter=bloom"}, rows))
+}

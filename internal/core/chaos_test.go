@@ -566,6 +566,53 @@ func TestChaosKillRestartConvergeFullRecall(t *testing.T) {
 			t.Fatalf("query %d diverged from the no-fault run:\n got %+v\nwant %+v", id, hits, want)
 		}
 	}
+
+	// The sketch tier must have healed with the data: both wiped nodes
+	// rebuilt their k-mer sketches from the replayed hints and repair pushes,
+	// so every group's merged sketch is complete again and — marshaling being
+	// deterministic — bit-identical to the never-faulted twin's.
+	for g := 0; g < ip.Topology().Groups(); g++ {
+		if !ip.GroupSketchComplete(g) || !twin.GroupSketchComplete(g) {
+			t.Fatalf("group %d sketch incomplete after repair (healed=%v twin=%v)",
+				g, ip.GroupSketchComplete(g), twin.GroupSketchComplete(g))
+		}
+		got, want := ip.GroupSketchBytes(g), twin.GroupSketchBytes(g)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("group %d sketch diverged from the no-fault twin after repair (%d vs %d bytes)",
+				g, len(got), len(want))
+		}
+	}
+
+	// Identical sketches make identical skip decisions, so the whole query
+	// loop must still match the twin bit for bit with the prefilter on.
+	// MENDEL_PREFILTER lets the chaos-nightly matrix pin the mode.
+	mode := PrefilterBloom
+	if s := os.Getenv("MENDEL_PREFILTER"); s != "" {
+		m, err := ParsePrefilterMode(s)
+		if err != nil {
+			t.Fatalf("bad MENDEL_PREFILTER %q: %v", s, err)
+		}
+		mode = m
+	}
+	t.Logf("post-repair prefilter mode %s (override with MENDEL_PREFILTER)", mode)
+	ip.SetPrefilterMode(mode)
+	twin.SetPrefilterMode(mode)
+	for id := 0; id < len(queries); id++ {
+		hits, trace, err := ip.SearchTrace(ctx, queries[id], defaultTestParams())
+		if err != nil {
+			t.Fatalf("post-repair filtered query %d: %v", id, err)
+		}
+		if trace.Partial {
+			t.Fatalf("post-repair filtered query %d partial: %s", id, trace)
+		}
+		want, err := twin.Search(ctx, queries[id], defaultTestParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hits, want) {
+			t.Fatalf("filtered query %d diverged from the no-fault run:\n got %+v\nwant %+v", id, hits, want)
+		}
+	}
 }
 
 // TestChaosStatsAndMembershipTolerateDownNodes covers the degraded-mode

@@ -13,6 +13,7 @@ import (
 	"mendel/internal/metric"
 	"mendel/internal/obs"
 	"mendel/internal/seq"
+	"mendel/internal/sketch"
 	"mendel/internal/transport"
 	"mendel/internal/vphash"
 	"mendel/internal/wire"
@@ -40,6 +41,10 @@ type Cluster struct {
 	// into batch RPCs. Set via EnableFanOutCoalescing before serving
 	// queries; read without synchronization by concurrent Searches.
 	batcher *fanoutBatcher
+	// prefilter selects the sketch-based group prefilter consulted before
+	// fan-out. Set via SetPrefilterMode before serving queries; read
+	// without synchronization by concurrent Searches.
+	prefilter PrefilterMode
 
 	mu            sync.RWMutex
 	hashTree      *vphash.Tree
@@ -49,6 +54,17 @@ type Cluster struct {
 	totalResidues int
 	nextID        seq.ID
 	rng           *rand.Rand
+
+	// groupSketches and sketchComplete are the coordinator's prefilter
+	// view: the per-group merges of the node k-mer sketches pulled by
+	// refreshSketches. A group may be skipped only while its sketch is
+	// complete (every member contributed).
+	groupSketches  map[int]*sketch.Sketch
+	sketchComplete map[int]bool
+	// seqSketches holds each indexed sequence's bottom-k MinHash values —
+	// the database side of the alignment-free Similarity mode, persisted in
+	// the manifest.
+	seqSketches map[seq.ID][]uint64
 
 	// hints is the hinted-handoff queue: writes that could not reach their
 	// replica during ingest, parked for replay when the node recovers.
@@ -86,6 +102,7 @@ func NewCluster(cfg Config, caller transport.Caller, groups [][]string) (*Cluste
 		seqRing:       seqRing,
 		names:         make(map[seq.ID]string),
 		lengths:       make(map[seq.ID]int),
+		seqSketches:   make(map[seq.ID][]uint64),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		hints:         newHintStore(),
 		repairPending: make(map[int]bool),

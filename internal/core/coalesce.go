@@ -40,8 +40,10 @@ func (cc CoalesceConfig) withDefaults() CoalesceConfig {
 // within one tick travel as a single wire.GroupSearchBatch RPC, amortizing
 // transport round-trips when many queries are in flight (the gateway's
 // serving mode). Queries keep their individual results and trace contexts;
-// a batch of one behaves exactly like the direct path. Like
-// SetObservability, call before serving queries.
+// a batch of one behaves exactly like the direct path. Coalescing composes
+// with the sketch prefilter: searchStrand prunes groupOffsets before the
+// fan-out reaches the batcher, so a skipped group contributes nothing to any
+// batch. Like SetObservability, call before serving queries.
 func (c *Cluster) EnableFanOutCoalescing(cfg CoalesceConfig) {
 	c.batcher = newFanoutBatcher(c, cfg)
 }

@@ -15,6 +15,7 @@ import (
 	"runtime"
 
 	"mendel/internal/seq"
+	"mendel/internal/sketch"
 )
 
 // Config fixes the cluster-wide constants shared by every node. They are
@@ -73,6 +74,18 @@ type Config struct {
 	// identical — the staged BuildIndex protocol makes ingest order
 	// irrelevant.
 	IngestWorkers int
+	// SketchK is the k-mer length of the sketch prefilter tier (§DESIGN 14).
+	// 0 derives the per-kind default (5 for protein, 11 for DNA); -1
+	// disables sketching cluster-wide — nodes build no signatures and the
+	// -prefilter flag becomes inert.
+	SketchK int
+	// SketchBloomBits sizes each node's Bloom signature in bits (rounded up
+	// to a power of two). 0 derives the default (1 MiBit).
+	SketchBloomBits int
+	// SketchMinHashK is the bottom-k MinHash sketch size used by the
+	// alignment-free Similarity mode and the minhash prefilter. 0 derives
+	// the default (512).
+	SketchMinHashK int
 	// TraceSampleRate is the head-based sampling rate for distributed query
 	// traces, in (0,1]: 1 traces every query, 0.01 one query in a hundred.
 	// The zero value also traces every query — the pre-sampling behaviour,
@@ -123,6 +136,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Replicas = %d", c.Replicas)
 	case c.IngestWorkers < 0:
 		return fmt.Errorf("core: IngestWorkers = %d", c.IngestWorkers)
+	case c.SketchK < -1:
+		return fmt.Errorf("core: SketchK = %d", c.SketchK)
+	case c.SketchBloomBits < 0:
+		return fmt.Errorf("core: SketchBloomBits = %d", c.SketchBloomBits)
+	case c.SketchMinHashK < 0:
+		return fmt.Errorf("core: SketchMinHashK = %d", c.SketchMinHashK)
 	case c.TraceSampleRate > 1:
 		return fmt.Errorf("core: TraceSampleRate = %g, want <= 1", c.TraceSampleRate)
 	}
@@ -153,6 +172,26 @@ func (c Config) ingestWorkers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.IngestWorkers
+}
+
+// sketchParams returns the effective sketch shape: the per-kind defaults
+// with any configured overrides applied, or the zero Params (sketching
+// disabled) when SketchK is -1.
+func (c Config) sketchParams() sketch.Params {
+	if c.SketchK < 0 {
+		return sketch.Params{}
+	}
+	p := sketch.DefaultParams(c.Kind)
+	if c.SketchK > 0 {
+		p.K = c.SketchK
+	}
+	if c.SketchBloomBits > 0 {
+		p.BloomBits = c.SketchBloomBits
+	}
+	if c.SketchMinHashK > 0 {
+		p.MinHashK = c.SketchMinHashK
+	}
+	return p
 }
 
 // DefaultSearchBudget bounds local lookups to a few thousand distance

@@ -71,7 +71,16 @@ func (c *Cluster) Index(ctx context.Context, set *seq.Set) error {
 	if err := c.storeSequences(ctx, set, base); err != nil {
 		return err
 	}
-	return c.dispatchBlocks(ctx, set, base, blockCfg, tree)
+	if err := c.dispatchBlocks(ctx, set, base, blockCfg, tree); err != nil {
+		return err
+	}
+	// Sketch maintenance: per-sequence MinHash signatures for the
+	// alignment-free Similarity mode, then a pull of the nodes' merged
+	// group sketches so the prefilter sees the new data. Both are no-ops
+	// when sketching is disabled.
+	c.updateSeqSketches(set, base)
+	c.refreshSketches(ctx)
+	return nil
 }
 
 // buildHashTree samples block contents evenly across the set and builds the
@@ -146,14 +155,18 @@ func (c *Cluster) bootstrapMsg() (wire.Bootstrap, error) {
 	if err != nil {
 		return wire.Bootstrap{}, err
 	}
+	sp := c.cfg.sketchParams()
 	return wire.Bootstrap{
-		HashTree:     enc,
-		Metric:       c.met.Name(),
-		BlockLen:     c.cfg.BlockLen,
-		Margin:       c.cfg.Margin,
-		Groups:       c.groups,
-		Kind:         c.cfg.Kind,
-		SearchBudget: c.cfg.searchBudget(),
+		HashTree:        enc,
+		Metric:          c.met.Name(),
+		BlockLen:        c.cfg.BlockLen,
+		Margin:          c.cfg.Margin,
+		Groups:          c.groups,
+		Kind:            c.cfg.Kind,
+		SearchBudget:    c.cfg.searchBudget(),
+		SketchK:         sp.K,
+		SketchBloomBits: sp.BloomBits,
+		SketchMinHashK:  sp.MinHashK,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"mendel/internal/dht"
 	"mendel/internal/metric"
 	"mendel/internal/seq"
+	"mendel/internal/sketch"
 	"mendel/internal/transport"
 	"mendel/internal/vphash"
 )
@@ -24,6 +25,12 @@ type manifest struct {
 	Lengths  map[seq.ID]int
 	Total    int
 	NextID   seq.ID
+	// Sketch tier state (absent in manifests written before the tier
+	// existed — gob leaves the fields nil, and the prefilter then stays
+	// inert until a refresh repopulates the group sketches).
+	GroupSketches  map[int][]byte
+	SketchComplete map[int]bool
+	SeqSketches    map[seq.ID][]uint64
 }
 
 // SaveManifest writes the coordinator state to w. The storage nodes keep
@@ -46,6 +53,20 @@ func (c *Cluster) SaveManifest(w io.Writer) error {
 			return err
 		}
 		m.HashTree = enc
+	}
+	if len(c.groupSketches) > 0 {
+		m.GroupSketches = make(map[int][]byte, len(c.groupSketches))
+		for g, s := range c.groupSketches {
+			enc, err := s.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			m.GroupSketches[g] = enc
+		}
+		m.SketchComplete = c.sketchComplete
+	}
+	if len(c.seqSketches) > 0 {
+		m.SeqSketches = c.seqSketches
 	}
 	return gob.NewEncoder(w).Encode(&m)
 }
@@ -84,6 +105,21 @@ func LoadManifest(r io.Reader, caller transport.Caller) (*Cluster, error) {
 	}
 	if c.lengths == nil {
 		c.lengths = make(map[seq.ID]int)
+	}
+	c.seqSketches = m.SeqSketches
+	if c.seqSketches == nil {
+		c.seqSketches = make(map[seq.ID][]uint64)
+	}
+	if len(m.GroupSketches) > 0 {
+		c.groupSketches = make(map[int]*sketch.Sketch, len(m.GroupSketches))
+		for g, enc := range m.GroupSketches {
+			s, err := sketch.UnmarshalBinary(enc)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding group %d sketch: %w", g, err)
+			}
+			c.groupSketches[g] = s
+		}
+		c.sketchComplete = m.SketchComplete
 	}
 	if len(m.HashTree) > 0 {
 		tree := new(vphash.Tree)

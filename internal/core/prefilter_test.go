@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mendel/internal/seq"
+)
+
+// The query mix spans the prefilter's interesting regimes: short queries
+// (one window, where eps-branching routes to groups that hold nothing
+// relevant — the main skip source), longer excerpts, and foreign random
+// queries matching nothing.
+func TestPrefilterBloomExactRecall(t *testing.T) {
+	ip := newTestCluster(t, 8, 4)
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	db := buildTestDB(rng, 60, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+
+	var queries [][]byte
+	for i, ln := range []int{16, 16, 24, 40, 130} {
+		s := db.Seqs[(i*13)%len(db.Seqs)]
+		start := (i * 37) % (len(s.Data) - ln)
+		queries = append(queries, s.Data[start:start+ln])
+	}
+	for i := 0; i < 5; i++ {
+		queries = append(queries, randProtein(rng, 16+8*i))
+	}
+	// Mutated homologs probe the riskiest regime: heavily substituted
+	// windows can lose every intact k-mer while the vp-tree still finds
+	// their origin block by metric distance.
+	for i, rate := range []float64{0.1, 0.15, 0.2, 0.3} {
+		s := db.Seqs[(7*i+3)%len(db.Seqs)]
+		queries = append(queries, mutateSubs(rng, s.Data[60:180], rate))
+	}
+
+	p := defaultTestParams()
+	baseline := make([][]Hit, len(queries))
+	for i, q := range queries {
+		hits, err := ip.Search(ctx, q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = hits
+	}
+
+	// The bloom prefilter's contract is exact recall: identical hits, in
+	// identical order, with identical scores — not merely the same top hit.
+	ip.SetPrefilterMode(PrefilterBloom)
+	skipped, guarded := 0, 0
+	for i, q := range queries {
+		hits, trace, err := ip.SearchTrace(ctx, q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hits, baseline[i]) {
+			t.Errorf("query %d (%d residues): filtered hits diverge from unfiltered baseline", i, len(q))
+		}
+		skipped += trace.GroupsSkipped
+		guarded += trace.PrefilterGuard
+	}
+	t.Logf("bloom prefilter: %d groups skipped, %d guard activations over %d queries", skipped, guarded, len(queries))
+	if skipped == 0 {
+		t.Error("bloom prefilter never skipped a group on the seeded corpus")
+	}
+}
+
+func TestPrefilterMinHashNoError(t *testing.T) {
+	ip := newTestCluster(t, 8, 4)
+	rng := rand.New(rand.NewSource(12))
+	ctx := context.Background()
+	db := buildTestDB(rng, 40, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	ip.SetPrefilterMode(PrefilterMinHash)
+	p := defaultTestParams()
+	// An indexed excerpt must still be found: its k-mers are in every
+	// holding group's Bloom filter, so minhash sampling cannot rule its
+	// groups out.
+	q := db.Seqs[7].Data[30:150]
+	hits, _, err := ip.SearchTrace(ctx, q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 7 {
+		t.Fatalf("minhash prefilter lost the exact excerpt (hits=%d)", len(hits))
+	}
+	// A foreign query must not error; either groups are skipped or the
+	// whole-query guard keeps the fan-out.
+	if _, _, err := ip.SearchTrace(ctx, randProtein(rng, 64), p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefilterDisabledBySketchConfig(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	cfg.SampleSize = 500
+	cfg.SketchK = -1 // sketching disabled cluster-wide
+	ip, err := NewInProcess(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	ctx := context.Background()
+	db := buildTestDB(rng, 20, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	ip.SetPrefilterMode(PrefilterBloom)
+	q := db.Seqs[3].Data[50:150]
+	hits, trace, err := ip.SearchTrace(ctx, q, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("search with sketching disabled found nothing")
+	}
+	if trace.GroupsSkipped != 0 {
+		t.Fatalf("prefilter skipped %d groups with sketching disabled", trace.GroupsSkipped)
+	}
+	if _, err := ip.Similarity(q, 5); err == nil {
+		t.Error("Similarity succeeded with MinHash sketching disabled")
+	}
+}
+
+func TestSimilarityRanksExactExcerptFirst(t *testing.T) {
+	ip := newTestCluster(t, 8, 4)
+	rng := rand.New(rand.NewSource(14))
+	ctx := context.Background()
+	db := buildTestDB(rng, 30, 300)
+	if err := ip.Index(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	q := db.Seqs[21].Data[:200]
+	hits, err := ip.Similarity(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Seq != 21 {
+		t.Fatalf("similarity top hit = %+v, want seq 21", hits)
+	}
+	if hits[0].Jaccard <= 0.5 {
+		t.Fatalf("2/3-overlap excerpt estimated at Jaccard %.3f", hits[0].Jaccard)
+	}
+}

@@ -202,6 +202,12 @@ func (c *Cluster) repairGroups(ctx context.Context, groups []int, withSeqs bool)
 		c.repairSequences(ctx, manifests, rep)
 	}
 
+	// Phase 6: repair moved blocks between nodes, so re-pull the group
+	// sketches — a repaired node rebuilds its sketch incrementally on the
+	// same staged IndexBlocks path the transfers used, and the prefilter's
+	// view must match the repaired placement before it may skip again.
+	c.refreshSketches(ctx)
+
 	rep.Duration = time.Since(start)
 	c.reg.Counter("repair_runs").Inc()
 	c.reg.Counter("repair_blocks_moved").Add(int64(rep.BlocksMoved))

@@ -53,9 +53,12 @@ type Trace struct {
 	Hits             int           // alignments reported
 	GroupsFailed     int           // groups whose every member was unreachable
 	RegionsFailed    int           // anchors dropped: no repository shard answered
+	GroupsSkipped    int           // groups dropped by the sketch prefilter
+	PrefilterGuard   int           // windows dropped from every group (audited drops)
 	Partial          bool          // results degraded by an outage above
 	TreeVisits       int64         // vp-tree distance evaluations, all nodes
 	Decompose        time.Duration // stage 1
+	Prefilter        time.Duration // stage 1b: sketch consultation (0 when off)
 	FanOut           time.Duration // stage 2 (includes group-side work)
 	KNN              time.Duration // stage 2a: node-side vp-tree lookups (CPU-summed)
 	Ungapped         time.Duration // stage 2b: node-side filter + ungapped extension
@@ -66,8 +69,8 @@ type Trace struct {
 
 // String renders a compact single-line summary.
 func (t *Trace) String() string {
-	s := fmt.Sprintf("query=%daa windows=%d groups=%d anchors=%d merged=%d gapped=%d hits=%d total=%v (fanout=%v knn=%v ungapped=%v aggregate=%v extend=%v visits=%d)",
-		t.QueryLen, t.SubQueries, t.GroupRequests, t.AnchorsReturned,
+	s := fmt.Sprintf("query=%daa windows=%d groups=%d skipped=%d anchors=%d merged=%d gapped=%d hits=%d total=%v (fanout=%v knn=%v ungapped=%v aggregate=%v extend=%v visits=%d)",
+		t.QueryLen, t.SubQueries, t.GroupRequests, t.GroupsSkipped, t.AnchorsReturned,
 		t.AnchorsMerged, t.GappedCandidates, t.Hits, t.Total,
 		t.FanOut, t.KNN, t.Ungapped, t.Aggregate, t.Extend, t.TreeVisits)
 	if t.Partial {
@@ -231,10 +234,30 @@ func (c *Cluster) searchStrand(ctx context.Context, q []byte, p wire.Params, m *
 		}
 	})
 	trace.Decompose += time.Since(start)
-	trace.GroupRequests += len(groupOffsets)
 	spDecompose.SetAttr("windows", int64(trace.SubQueries))
 	spDecompose.SetAttr("groups", int64(len(groupOffsets)))
 	spDecompose.End()
+
+	// Stage 1b: sketch prefilter. Groups whose merged Bloom signature
+	// proves they cannot anchor this query leave the fan-out before any RPC
+	// is issued; the escape hatch is SetPrefilterMode(PrefilterOff).
+	if c.prefilter != PrefilterOff && len(groupOffsets) > 0 {
+		start = time.Now()
+		spPre := root.Child("prefilter")
+		before := len(groupOffsets)
+		skipped, guarded := c.prefilterGroups(q, groupOffsets)
+		trace.GroupsSkipped += skipped
+		trace.PrefilterGuard += guarded
+		trace.Prefilter += time.Since(start)
+		spPre.SetAttr("mode", int64(c.prefilter))
+		spPre.SetAttr("groups_in", int64(before))
+		spPre.SetAttr("skipped", int64(skipped))
+		spPre.SetAttr("guard", int64(guarded))
+		spPre.End()
+		c.reg.Counter("prefilter_groups_skipped").Add(int64(skipped))
+		c.reg.Counter("prefilter_false_drop_guard").Add(int64(guarded))
+	}
+	trace.GroupRequests += len(groupOffsets)
 
 	// Stage 2: parallel fan-out to group entry points.
 	start = time.Now()

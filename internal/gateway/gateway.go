@@ -103,12 +103,14 @@ func New(cluster *core.Cluster, cfg Config, reg *obs.Registry) *Gateway {
 
 // Routes returns the gateway's API surface for mounting onto the obs mux:
 //
-//	POST /v1/search  run one query
-//	POST /v1/ingest  add sequences to the index
-//	GET  /v1/status  gateway and cluster status
+//	POST /v1/search      run one query
+//	POST /v1/similarity  rank sequences by alignment-free MinHash Jaccard
+//	POST /v1/ingest      add sequences to the index
+//	GET  /v1/status      gateway and cluster status
 func (g *Gateway) Routes() []obs.Route {
 	return []obs.Route{
 		{Pattern: "/v1/search", Handler: http.HandlerFunc(g.handleSearch)},
+		{Pattern: "/v1/similarity", Handler: http.HandlerFunc(g.handleSimilarity)},
 		{Pattern: "/v1/ingest", Handler: http.HandlerFunc(g.handleIngest)},
 		{Pattern: "/v1/status", Handler: http.HandlerFunc(g.handleStatus)},
 	}
@@ -284,6 +286,108 @@ func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g.count("gw_search_ok_total")
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SimilarityRequest is the POST /v1/similarity body.
+type SimilarityRequest struct {
+	// Query is the residue string to rank against (protein or DNA per the
+	// cluster's configured kind).
+	Query string `json:"query"`
+	// Top optionally lowers the number of ranked sequences returned below
+	// Config.MaxHits.
+	Top int `json:"top,omitempty"`
+}
+
+// SimilarityEntry is one ranked sequence in a SimilarityResponse.
+type SimilarityEntry struct {
+	Seq     uint32  `json:"seq"`
+	Name    string  `json:"name"`
+	Jaccard float64 `json:"jaccard"`
+}
+
+// SimilarityResponse is the POST /v1/similarity reply.
+type SimilarityResponse struct {
+	Hits      []SimilarityEntry `json:"hits"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+// handleSimilarity answers alignment-free MinHash ranking requests. The
+// computation is coordinator-local (per-sequence signatures from the
+// manifest; no node fan-out), but it still honors tenant quotas and
+// admission so a ranking storm cannot starve alignment queries.
+func (g *Gateway) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	g.count("gw_requests_total")
+	var req SimilarityRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty query"})
+		return
+	}
+
+	tenant := tenantOf(r)
+	if !g.quotas.allow(tenant) {
+		g.count("gw_tenant_throttled_total")
+		w.Header().Set("Retry-After", g.retryAfter())
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "tenant quota exhausted"})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Deadline)
+	defer cancel()
+	if err := g.adm.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			g.count("gw_shed_total")
+			w.Header().Set("Retry-After", g.retryAfter())
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "admission queue full"})
+		case errors.Is(err, context.DeadlineExceeded):
+			g.count("gw_deadline_total")
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline exceeded while queued"})
+		default: // client went away
+			g.count("gw_canceled_total")
+			writeJSON(w, 499, errorBody{Error: "client closed request"})
+		}
+		return
+	}
+	defer g.adm.release()
+
+	top := g.cfg.MaxHits
+	if req.Top > 0 && req.Top < top {
+		top = req.Top
+	}
+	start := time.Now()
+	hits, err := g.cluster.Similarity([]byte(req.Query), top)
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrNotIndexed):
+			g.count("gw_errors_total")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "cluster has no indexed data"})
+		default:
+			g.count("gw_errors_total")
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	if g.reg != nil {
+		g.reg.Histogram("gw_similarity_ns").Observe(elapsed.Nanoseconds())
+	}
+	resp := SimilarityResponse{
+		Hits:      make([]SimilarityEntry, len(hits)),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	for i, h := range hits {
+		resp.Hits[i] = SimilarityEntry{Seq: uint32(h.Seq), Name: h.Name, Jaccard: h.Jaccard}
+	}
+	g.count("gw_similarity_ok_total")
 	writeJSON(w, http.StatusOK, resp)
 }
 

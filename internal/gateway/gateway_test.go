@@ -109,6 +109,32 @@ func TestGatewaySearchOK(t *testing.T) {
 	}
 }
 
+func TestGatewaySimilarityOK(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	body, _ := json.Marshal(SimilarityRequest{Query: string(e.db.Seqs[5].Data[:200]), Top: 3})
+	resp, err := http.Post(e.srv.URL+"/v1/similarity", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var sr SimilarityResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Hits) == 0 || sr.Hits[0].Seq != 5 {
+		t.Fatalf("similarity hits = %+v, want seq 5 first", sr.Hits)
+	}
+	if len(sr.Hits) > 3 {
+		t.Fatalf("got %d hits, top=3", len(sr.Hits))
+	}
+	if got := counterValue(e.reg, "gw_similarity_ok_total"); got != 1 {
+		t.Fatalf("gw_similarity_ok_total = %d, want 1", got)
+	}
+}
+
 // TestGatewayRequestValidation is the table-driven bad-input suite.
 func TestGatewayRequestValidation(t *testing.T) {
 	e := newTestEnv(t, Config{})

@@ -19,6 +19,7 @@ import (
 	"mendel/internal/metric"
 	"mendel/internal/obs"
 	"mendel/internal/seq"
+	"mendel/internal/sketch"
 	"mendel/internal/transport"
 	"mendel/internal/vphash"
 	"mendel/internal/vptree"
@@ -50,6 +51,12 @@ type Node struct {
 	// staged holds blocks accepted with IndexBlocks.Stage, awaiting the
 	// BuildIndex bulk build.
 	staged []vptree.Item
+	// sketch accumulates k-mer signatures over every accepted block's
+	// content. Nil when the bootstrapping coordinator predates the sketch
+	// tier (Bootstrap.SketchK == 0), in which case SketchFetch answers
+	// empty and the coordinator never treats this node's group as
+	// prefilterable.
+	sketch *sketch.Sketch
 
 	// busyNS accumulates time spent in localSearch (atomic).
 	busyNS atomic.Int64
@@ -131,6 +138,8 @@ func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 		return n.pushBlocks(ctx, r)
 	case wire.PushSequences:
 		return n.pushSequences(ctx, r)
+	case wire.SketchFetch:
+		return n.sketchFetch()
 	case wire.Stats:
 		return n.stats(), nil
 	case wire.Metrics:
@@ -182,6 +191,15 @@ func (n *Node) bootstrap(b wire.Bootstrap) (any, error) {
 	n.residues = 0
 	n.seqs = make(map[seq.ID]storedSeq)
 	n.staged = nil
+	n.sketch = nil
+	if b.SketchK > 0 {
+		n.sketch = sketch.New(sketch.Params{
+			K:         b.SketchK,
+			BloomBits: b.SketchBloomBits,
+			MinHashK:  b.SketchMinHashK,
+			Kind:      b.Kind,
+		})
+	}
 	return wire.BootstrapAck{}, nil
 }
 
@@ -225,6 +243,9 @@ func (n *Node) indexBlocks(r wire.IndexBlocks) (any, error) {
 		}
 		n.blocks[ref] = b
 		n.residues += len(b.Content)
+		if n.sketch != nil {
+			n.sketch.Add(b.Content)
+		}
 		items = append(items, vptree.Item{Key: b.Content, Ref: ref})
 	}
 	if r.Stage {
@@ -309,6 +330,27 @@ func (n *Node) fetchRegion(ctx context.Context, r wire.FetchRegion) (any, error)
 	n.reg.Counter("node_fetch_region_bytes").Add(int64(len(data)))
 	sp.SetAttr("bytes", int64(len(data)))
 	return wire.Region{Seq: r.Seq, Start: start, Data: data, Len: len(s.data)}, nil
+}
+
+// sketchFetch answers wire.SketchFetch with the node's marshaled k-mer
+// sketch. An empty payload means the node is not sketching (pre-sketch
+// bootstrap); the coordinator then marks the group's merged sketch
+// incomplete and never skips it.
+func (n *Node) sketchFetch() (any, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.booted {
+		return nil, fmt.Errorf("node %s: not bootstrapped", n.addr)
+	}
+	res := wire.SketchFetchResult{Node: n.addr}
+	if n.sketch != nil {
+		enc, err := n.sketch.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("node %s: marshaling sketch: %w", n.addr, err)
+		}
+		res.Sketch = enc
+	}
+	return res, nil
 }
 
 // traceFetch answers wire.TraceFetch from the node's local tracer ring —

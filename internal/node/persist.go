@@ -30,6 +30,14 @@ type snapshot struct {
 	SeqIDs       []seq.ID
 	SeqNames     []string
 	SeqData      [][]byte
+	// Sketch parameters (zero in snapshots written before the sketch
+	// tier existed; the reloaded node then simply does not sketch). The
+	// sketch itself is not serialized: LoadFrom re-derives it from the
+	// stored blocks, which is deterministic and keeps the snapshot format
+	// independent of the sketch encoding.
+	SketchK         int
+	SketchBloomBits int
+	SketchMinHashK  int
 }
 
 // SaveTo writes the node's durable state. Together with the coordinator's
@@ -68,6 +76,12 @@ func (n *Node) SaveTo(w io.Writer) error {
 			snap.SeqNames = append(snap.SeqNames, s.name)
 			snap.SeqData = append(snap.SeqData, s.data)
 		}
+		if n.sketch != nil {
+			p := n.sketch.Params()
+			snap.SketchK = p.K
+			snap.SketchBloomBits = p.BloomBits
+			snap.SketchMinHashK = p.MinHashK
+		}
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -84,13 +98,16 @@ func (n *Node) LoadFrom(r io.Reader) error {
 		return nil // empty snapshot: nothing to restore
 	}
 	boot := wire.Bootstrap{
-		HashTree:     snap.HashTree,
-		Metric:       snap.Metric,
-		BlockLen:     snap.BlockLen,
-		Margin:       snap.Margin,
-		Groups:       snap.Groups,
-		Kind:         snap.Kind,
-		SearchBudget: snap.SearchBudget,
+		HashTree:        snap.HashTree,
+		Metric:          snap.Metric,
+		BlockLen:        snap.BlockLen,
+		Margin:          snap.Margin,
+		Groups:          snap.Groups,
+		Kind:            snap.Kind,
+		SearchBudget:    snap.SearchBudget,
+		SketchK:         snap.SketchK,
+		SketchBloomBits: snap.SketchBloomBits,
+		SketchMinHashK:  snap.SketchMinHashK,
 	}
 	if _, err := n.bootstrap(boot); err != nil {
 		return err
@@ -106,6 +123,9 @@ func (n *Node) LoadFrom(r io.Reader) error {
 		ref := invindex.PackRef(b.Seq, b.Start)
 		n.blocks[ref] = b
 		n.residues += len(b.Content)
+		if n.sketch != nil {
+			n.sketch.Add(b.Content)
+		}
 		items = append(items, vptree.Item{Key: b.Content, Ref: ref})
 	}
 	// Snapshots serialize the block map in arbitrary order; sorting by ref

@@ -55,6 +55,8 @@ const (
 	tagPushBlocksAck          byte = 12
 	tagPushSequences          byte = 13
 	tagPushSequencesAck       byte = 14
+	tagSketchFetch            byte = 15
+	tagSketchFetchResult      byte = 16
 
 	// tagError marks a transport-level error response (a string, not a
 	// message); exported to transports via AppendErrorResponse/DecodeResponse.
@@ -68,7 +70,7 @@ func IsHot(msg any) bool {
 	case GroupSearch, GroupSearchResult, GroupSearchBatch, GroupSearchBatchResult,
 		LocalSearch, LocalSearchResult, IndexBlocks, IndexBlocksAck,
 		FetchRegion, Region, PushBlocks, PushBlocksAck,
-		PushSequences, PushSequencesAck:
+		PushSequences, PushSequencesAck, SketchFetch, SketchFetchResult:
 		return true
 	}
 	return false
@@ -198,6 +200,12 @@ func AppendHot(dst []byte, msg any) ([]byte, bool) {
 		dst = append(dst, tagPushSequencesAck)
 		dst = appendInt(dst, m.Pushed)
 		return appendInt(dst, m.Missing), true
+	case SketchFetch:
+		return append(dst, tagSketchFetch), true
+	case SketchFetchResult:
+		dst = append(dst, tagSketchFetchResult)
+		dst = appendString(dst, m.Node)
+		return appendBytes(dst, m.Sketch), true
 	}
 	return dst, false
 }
@@ -312,6 +320,10 @@ func decodeHot(r *reader) any {
 		return m
 	case tagPushSequencesAck:
 		return PushSequencesAck{Pushed: r.int(), Missing: r.int()}
+	case tagSketchFetch:
+		return SketchFetch{}
+	case tagSketchFetchResult:
+		return SketchFetchResult{Node: r.str(), Sketch: r.bytes()}
 	default:
 		r.failf("unknown message tag 0x%02x", tag)
 		return nil

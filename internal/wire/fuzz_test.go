@@ -71,6 +71,8 @@ func sampleMessages() []any {
 		PushBlocksAck{Pushed: 2, Missing: 1},
 		PushSequences{Target: "node-004", IDs: []seq.ID{7}},
 		PushSequencesAck{Pushed: 1},
+		SketchFetch{},
+		SketchFetchResult{Node: "node-005", Sketch: []byte{1, 1, 5, 0x80, 0x80, 4, 8, 0, 0}},
 	}
 }
 

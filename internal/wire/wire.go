@@ -128,6 +128,14 @@ type Bootstrap struct {
 	// SearchBudget caps the distance evaluations of each local vp-tree
 	// lookup (0 = exact search). See vptree.NearestBudget.
 	SearchBudget int
+	// SketchK, SketchBloomBits and SketchMinHashK distribute the cluster's
+	// sketch shape (internal/sketch.Params) so every node builds identical,
+	// mergeable k-mer signatures during ingest. SketchK == 0 — the value a
+	// pre-sketch coordinator sends implicitly, since gob omits unknown
+	// fields — disables node-side sketching entirely.
+	SketchK         int
+	SketchBloomBits int
+	SketchMinHashK  int
 }
 
 // BootstrapAck acknowledges Bootstrap.
@@ -349,6 +357,21 @@ type PushSequencesAck struct {
 	Missing int
 }
 
+// SketchFetch asks a node for its k-mer signature over every block it
+// holds (internal/sketch encoding). The coordinator pulls these after
+// ingest and repair, merges them per group (sketch union is exact and
+// order-independent), and consults the merged signatures to skip groups
+// during query fan-out.
+type SketchFetch struct{}
+
+// SketchFetchResult answers SketchFetch. Sketch is empty when the node was
+// bootstrapped without sketch params (or predates them); the coordinator
+// then marks the node's groups incomplete and never skips them.
+type SketchFetchResult struct {
+	Node   string
+	Sketch []byte
+}
+
 // Stats queries a node's storage counters.
 type Stats struct{}
 
@@ -440,4 +463,6 @@ func init() {
 	gob.Register(MetricsResult{})
 	gob.Register(TraceFetch{})
 	gob.Register(TraceFetchResult{})
+	gob.Register(SketchFetch{})
+	gob.Register(SketchFetchResult{})
 }

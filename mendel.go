@@ -69,7 +69,33 @@ type (
 	TranslatedHit = core.TranslatedHit
 	// BatchResult pairs one query of a SearchAll batch with its outcome.
 	BatchResult = core.BatchResult
+	// PrefilterMode selects the sketch-based group prefilter consulted
+	// before query fan-out (off, bloom or minhash).
+	PrefilterMode = core.PrefilterMode
+	// SimilarityHit is one alignment-free MinHash similarity result.
+	SimilarityHit = core.SimilarityHit
 )
+
+// Sketch prefilter modes, settable with Cluster.SetPrefilterMode and parsed
+// from the CLIs' -prefilter flag by ParsePrefilterMode.
+const (
+	PrefilterOff     = core.PrefilterOff
+	PrefilterBloom   = core.PrefilterBloom
+	PrefilterMinHash = core.PrefilterMinHash
+)
+
+// ParsePrefilterMode parses the -prefilter flag values off|bloom|minhash.
+func ParsePrefilterMode(s string) (PrefilterMode, error) { return core.ParsePrefilterMode(s) }
+
+// MinHashesOf computes the bottom-k MinHash signature of a sequence under
+// the cluster configuration's sketch params — the query-side half of
+// Cluster.Similarity, exported for the similarity verification harness.
+func MinHashesOf(data []byte, cfg Config) []uint64 { return core.MinHashesOf(data, cfg) }
+
+// ExactJaccard computes the exact canonical k-mer Jaccard similarity of two
+// sequences under the cluster configuration's sketch params: the ground
+// truth `mendel similarity -verify` compares the MinHash estimates against.
+func ExactJaccard(a, b []byte, cfg Config) float64 { return core.ExactJaccard(a, b, cfg) }
 
 // Observability re-exports. A MetricsRegistry accumulates counters, gauges
 // and mergeable latency histograms; a QueryTracer records a span tree per

@@ -33,7 +33,12 @@ sleep 1
   -kind protein -fasta "$workdir/db.fasta" -manifest "$workdir/cluster.mendel"
 
 # Phase 1: sustained read mix, roomy limits. Any non-shed error fails.
-"$workdir/mendel" serve -manifest "$workdir/cluster.mendel" -addr 127.0.0.1:7461 &
+# The sketch prefilter is coordinator-side state: `mendel serve` takes the
+# -prefilter flag, the storage nodes need none (they answer SketchFetch
+# either way). Serving with it on exercises the prefiltered fan-out under
+# load; bloom mode is exact-recall so the load results are unchanged.
+"$workdir/mendel" serve -manifest "$workdir/cluster.mendel" -addr 127.0.0.1:7461 \
+  -prefilter "${MENDEL_PREFILTER:-bloom}" &
 sleep 1
 "$workdir/mendel-bench" load -url http://127.0.0.1:7461 \
   -rate 60 -duration 10s -mix read -qlen 64 -seed 1 \
@@ -55,7 +60,7 @@ echo "rpc byte accounting ok: sent=$(printf '%s\n' "$metrics" | awk '$1=="rpc_by
 # Phase 2: burst mix into a one-slot admission window. The gateway must
 # shed some of the overload as 429s and error on none of it.
 "$workdir/mendel" serve -manifest "$workdir/cluster.mendel" -addr 127.0.0.1:7462 \
-  -max-inflight 1 -max-queue 2 &
+  -prefilter "${MENDEL_PREFILTER:-bloom}" -max-inflight 1 -max-queue 2 &
 sleep 1
 "$workdir/mendel-bench" load -url http://127.0.0.1:7462 \
   -rate 80 -duration 5s -mix burst -qlen 64 -seed 2 \
