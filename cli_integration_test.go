@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -108,6 +109,35 @@ func runTool(t *testing.T, bin string, args ...string) string {
 		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
 	}
 	return string(out)
+}
+
+// runToolFor runs a long-lived command (watch loops) for roughly d, then
+// stops it with SIGTERM — the loops exit cleanly on it — and returns the
+// combined output produced so far.
+func runToolFor(t *testing.T, d time.Duration, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(d)
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		t.Fatalf("%s %s ignored SIGTERM\n%s", filepath.Base(bin), strings.Join(args, " "), buf.String())
+	}
+	return buf.String()
 }
 
 func TestCLIEndToEnd(t *testing.T) {
@@ -523,5 +553,201 @@ func TestCLIServeGateway(t *testing.T) {
 	okAfter := metricValue(t, getMetrics(), "gw_search_ok_total")
 	if okAfter-okBefore != load.OK {
 		t.Fatalf("gateway counted %d successful searches during load, harness counted %d", okAfter-okBefore, load.OK)
+	}
+}
+
+// TestCLITelemetryDashboard exercises the windowed-telemetry surface over
+// real TCP processes: mendel-node samplers answer the coordinator's history
+// pulls, `mendel serve` exposes /metrics/history and /debug/slo, and the
+// dashboards — `mendel top -once` over both transports and
+// `mendel stats -watch` — render live cluster state from the same rings.
+func TestCLITelemetryDashboard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	nodeBin := buildTool(t, dir, "./cmd/mendel-node")
+	cliBin := buildTool(t, dir, "./cmd/mendel")
+	genBin := buildTool(t, dir, "./cmd/mendel-datagen")
+
+	dbFasta := filepath.Join(dir, "nr.fasta")
+	runTool(t, genBin, "-kind", "protein", "-n", "20", "-len", "300", "-out", dbFasta)
+	queryFasta := filepath.Join(dir, "q.fasta")
+	runTool(t, genBin, "-kind", "protein", "-queries-from", dbFasta,
+		"-n", "2", "-len", "120", "-sub", "0.05", "-indel", "0.0", "-out", queryFasta)
+
+	// Fast sampling so the rings fill within the test's patience.
+	addr1, stop1 := startNode(t, nodeBin, "-addr", "127.0.0.1:0", "-sample-interval", "100ms")
+	defer stop1()
+	addr2, stop2 := startNode(t, nodeBin, "-addr", "127.0.0.1:0", "-sample-interval", "100ms")
+	defer stop2()
+
+	manifest := filepath.Join(dir, "cluster.mendel")
+	runTool(t, cliBin, "index",
+		"-nodes", addr1+","+addr2, "-groups", "2", "-kind", "protein",
+		"-fasta", dbFasta, "-manifest", manifest)
+
+	gwAddr, stopGW := startNode(t, cliBin, "serve",
+		"-manifest", manifest, "-addr", "127.0.0.1:0",
+		"-sample-interval", "100ms",
+		"-slo-p95", "10s", "-slo-shed-rate", "0.5", "-slo-fast", "2s", "-slo-slow", "5s")
+	defer stopGW()
+	base := "http://" + gwAddr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Light traffic through the gateway so the windows hold real activity.
+	for i := 0; i < 4; i++ {
+		body := []byte(`{"query":"` + strings.Repeat("ACDEFGHIKL", 8) + `","max_hits":3}`)
+		resp, err := client.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// /metrics/history: the coordinator merges its own ring with the nodes'.
+	// Poll until a few samples land (the sampler ticks every 100ms).
+	var ch struct {
+		Merged struct {
+			Points []json.RawMessage
+		}
+		Nodes []struct{ Node string }
+		Down  []string
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base + "/metrics/history?window=30s&nodes=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics/history: status %d\n%s", resp.StatusCode, body)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("/metrics/history Cache-Control = %q, want no-store", cc)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Fatalf("/metrics/history Content-Type = %q", ct)
+		}
+		if err := json.Unmarshal(body, &ch); err != nil {
+			t.Fatalf("/metrics/history JSON invalid: %v\n%s", err, body)
+		}
+		if len(ch.Merged.Points) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history never filled: %d points\n%s", len(ch.Merged.Points), body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if len(ch.Down) != 0 {
+		t.Fatalf("down nodes reported: %v", ch.Down)
+	}
+	// Per-node breakdown: both storage nodes plus the coordinator's own ring.
+	names := map[string]bool{}
+	for _, n := range ch.Nodes {
+		names[n.Node] = true
+	}
+	if !names[addr1] || !names[addr2] || !names["coordinator"] {
+		t.Fatalf("per-node breakdown = %v, want both nodes + coordinator", names)
+	}
+
+	// /debug/slo: configured objectives evaluated, healthy traffic → ok.
+	resp, err := client.Get(base + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sloBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/slo: status %d\n%s", resp.StatusCode, sloBody)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("/debug/slo Cache-Control = %q, want no-store", cc)
+	}
+	var slo struct {
+		Level      string
+		Objectives []struct{ Name string }
+	}
+	if err := json.Unmarshal(sloBody, &slo); err != nil {
+		t.Fatalf("/debug/slo JSON invalid: %v\n%s", err, sloBody)
+	}
+	if slo.Level != "ok" {
+		t.Fatalf("healthy cluster SLO level = %q, want ok\n%s", slo.Level, sloBody)
+	}
+	if len(slo.Objectives) != 2 {
+		t.Fatalf("objectives = %d (%s), want p95 + shed_rate", len(slo.Objectives), sloBody)
+	}
+
+	// `mendel top -once` over HTTP: one frame with the cluster row, the
+	// per-node table and the SLO section.
+	out := runTool(t, cliBin, "top", "-once", "-url", base, "-window", "30s")
+	for _, want := range []string{"mendel top — ", "cluster  qps=", "NODE", "coordinator", "slo: OK", "search_p95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top -once -url output missing %q:\n%s", want, out)
+		}
+	}
+
+	// `mendel top -once` over RPC: polls the node rings directly, no serve
+	// process involved; both storage nodes must appear.
+	out = runTool(t, cliBin, "top", "-once", "-manifest", manifest, "-window", "30s")
+	if !strings.Contains(out, addr1) || !strings.Contains(out, addr2) {
+		t.Fatalf("top -once -manifest names no storage node:\n%s", out)
+	}
+
+	// `mendel stats -watch` re-renders in place and adds the windowed view
+	// from the same history rings.
+	out = runToolFor(t, 1500*time.Millisecond, cliBin, "stats", "-manifest", manifest, "-watch", "300ms")
+	if !strings.Contains(out, "2 nodes") {
+		t.Fatalf("stats -watch lost the cumulative view:\n%s", out)
+	}
+	if !strings.Contains(out, "rps=") || !strings.Contains(out, "last 30s") {
+		t.Fatalf("stats -watch missing the windowed section:\n%s", out)
+	}
+	if !strings.Contains(out, "\x1b[2J") {
+		t.Fatalf("stats -watch never re-rendered in place:\n%s", out)
+	}
+}
+
+// TestNodeServerHistoryShutdownGoroutines is the CLI-side goroutine-leak
+// assertion: a NodeServer with the full observability stack attached —
+// registry, default sampler from Observe, then a replacement sampler from
+// StartHistory — must release every goroutine on Close. Guards the exact
+// lifecycle mendel-node runs.
+func TestNodeServerHistoryShutdownGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		srv, err := ServeNode("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := NewMetricsRegistry()
+		srv.Observe(reg, NewQueryTracer(0)) // auto-starts the default sampler
+		series := srv.StartHistory(reg, TimeSeriesConfig{Interval: 5 * time.Millisecond, Capacity: 32})
+		for series.Samples() < 3 {
+			time.Sleep(time.Millisecond)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

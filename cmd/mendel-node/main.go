@@ -25,7 +25,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
 	dataFile := flag.String("data", "", "snapshot file: loaded at startup if present, written on shutdown")
-	metricsAddr := flag.String("metrics-addr", "", "host:port for the HTTP observability endpoint (/metrics, /debug/spans, /debug/trace/{id}, /debug/pprof); empty disables")
+	metricsAddr := flag.String("metrics-addr", "", "host:port for the HTTP observability endpoint (/metrics, /metrics/history, /debug/spans, /debug/trace/{id}, /debug/pprof); empty disables")
+	sampleEvery := flag.Duration("sample-interval", time.Second, "windowed telemetry sampling interval")
+	historySamples := flag.Int("history-samples", 300, "telemetry ring capacity (samples retained)")
 	slowQuery := flag.Duration("slow-query", 0, "log group searches slower than this to stderr (0 disables)")
 	logJSON := flag.Bool("log-json", false, "emit structured JSON logs on stderr (one object per line, trace-correlated)")
 	rc := mendel.DefaultResilienceConfig()
@@ -66,8 +68,21 @@ func main() {
 		})
 	}
 	srv.Observe(reg, tracer)
+	// Replace Observe's default sampler with one on the configured cadence;
+	// the same series answers wire.MetricsHistory pulls from coordinators
+	// and backs the local /metrics/history endpoint.
+	series := srv.StartHistory(reg, mendel.TimeSeriesConfig{
+		Interval: *sampleEvery,
+		Capacity: *historySamples,
+	})
 	if *metricsAddr != "" {
-		_, bound, err := mendel.ServeMetricsWithHealth(*metricsAddr, reg, tracer, nil, srv.HealthSource())
+		surface := mendel.MetricsSurface{
+			Registry: reg,
+			Tracer:   tracer,
+			Health:   srv.HealthSource(),
+			History:  series,
+		}
+		_, bound, err := surface.Serve(*metricsAddr)
 		if err != nil {
 			log.Fatalf("mendel-node: metrics endpoint: %v", err)
 		}

@@ -46,6 +46,8 @@ func main() {
 		cmdExplain(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
 	case "repair":
 		cmdRepair(os.Args[2:])
 	case "serve":
@@ -64,6 +66,7 @@ commands:
   similarity  rank indexed sequences by alignment-free MinHash Jaccard similarity
   explain     run one fully-traced query and render its cross-node span tree
   stats       print per-node storage statistics
+  top         live cluster dashboard over the windowed telemetry
   repair      probe node health and run an anti-entropy repair pass
   serve       run a long-lived HTTP query gateway over an indexed cluster`)
 	os.Exit(2)
@@ -679,10 +682,32 @@ func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	manifest := fs.String("manifest", "cluster.mendel", "manifest file from 'mendel index'")
 	showMetrics := fs.Bool("metrics", false, "also aggregate observability metrics cluster-wide")
+	watch := fs.Duration("watch", 0, "re-poll and re-render in place every interval (0 prints once); adds windowed qps/latency from the nodes' history rings")
 	resilience := resilienceFlags(fs)
 	wire := wireFlags(fs)
 	fs.Parse(args)
 	cluster, _ := loadManifest(*manifest, resilience(), wire())
+	printStats(cluster, *showMetrics, *watch > 0)
+	if *watch <= 0 {
+		return
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*watch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-tick.C:
+			fmt.Print("\x1b[2J\x1b[H")
+			printStats(cluster, *showMetrics, true)
+		}
+	}
+}
+
+func printStats(cluster *mendel.Cluster, showMetrics, windowed bool) {
 	stats, down, err := cluster.StatsDetailed(context.Background())
 	if err != nil {
 		log.Fatalf("mendel stats: %v", err)
@@ -705,8 +730,43 @@ func cmdStats(args []string) {
 	for _, addr := range down {
 		fmt.Printf("  %-22s UNREACHABLE\n", addr)
 	}
-	if *showMetrics {
+	if windowed {
+		printWindowedStats(cluster)
+	}
+	if showMetrics {
 		printClusterMetrics(cluster)
+	}
+}
+
+// printWindowedStats renders the nodes' trailing-30s activity from their
+// history rings — the watch-mode companion to the cumulative counters.
+func printWindowedStats(cluster *mendel.Cluster) {
+	const window = 30 * time.Second
+	results, _, err := cluster.HistoryDetailed(context.Background(), window)
+	if err != nil || len(results) == 0 {
+		return
+	}
+	fmt.Printf("\nlast %v (start nodes with metrics enabled to populate):\n", window)
+	sort.Slice(results, func(i, j int) bool { return results[i].Node < results[j].Node })
+	var merged []mendel.MetricsHistory
+	for _, r := range results {
+		h := r.History
+		if len(h.Points) == 0 {
+			continue
+		}
+		merged = append(merged, h)
+		fmt.Printf("  %-22s rps=%-8.1f search_p95=%-10v goroutines=%d\n",
+			r.Node,
+			h.Rate("server_requests", window),
+			time.Duration(h.Quantile("node_local_search_ns", 0.95, window)).Round(10*time.Microsecond),
+			h.GaugeLast("runtime_goroutines"))
+	}
+	if len(merged) > 1 {
+		m := mendel.MergeMetricsHistories(merged...)
+		fmt.Printf("  %-22s rps=%-8.1f search_p95=%-10v\n",
+			"cluster",
+			m.Rate("server_requests", window),
+			time.Duration(m.Quantile("node_local_search_ns", 0.95, window)).Round(10*time.Microsecond))
 	}
 }
 
@@ -823,6 +883,15 @@ func cmdServe(args []string) {
 	coalesceTick := fs.Duration("coalesce-tick", 2*time.Millisecond, "max extra latency a query pays waiting for batch companions")
 	sample := fs.Float64("trace-sample", 0.01, "fraction of queries traced end to end")
 	prefilter := fs.String("prefilter", "bloom", "sketch group prefilter consulted before fan-out: bloom, minhash, or off (escape hatch)")
+	sampleEvery := fs.Duration("sample-interval", time.Second, "windowed telemetry sampling interval")
+	historySamples := fs.Int("history-samples", 300, "telemetry ring capacity (samples retained)")
+	sloP95 := fs.Duration("slo-p95", 0, "SLO: windowed p95 search latency objective (0 disables)")
+	sloErrRate := fs.Float64("slo-error-rate", 0, "SLO: error-rate objective as a fraction of requests (0 disables)")
+	sloShedRate := fs.Float64("slo-shed-rate", 0, "SLO: shed-rate objective as a fraction of requests (0 disables)")
+	sloHintGrowth := fs.Float64("slo-hint-growth", 0, "SLO: hints_pending growth objective, items/sec (0 disables)")
+	sloFast := fs.Duration("slo-fast", 30*time.Second, "SLO fast burn-rate window")
+	sloSlow := fs.Duration("slo-slow", 5*time.Minute, "SLO slow burn-rate window")
+	profileDir := fs.String("profile-dir", "", "directory for breach-triggered pprof CPU+heap profiles (empty disables capture)")
 	resilience := resilienceFlags(fs)
 	wire := wireFlags(fs)
 	fs.Parse(args)
@@ -852,8 +921,46 @@ func cmdServe(args []string) {
 	}, reg)
 
 	ctx := context.Background()
-	srv, bound, err := mendel.ServeMetricsWithRoutes(*addr, reg, tracer,
-		cluster.TraceSource(ctx), nil, gw.Routes()...)
+
+	// Windowed telemetry: sample the registry (plus the runtime collector)
+	// on -sample-interval into a -history-samples ring; the SLO watchdog
+	// evaluates every sample and /metrics/history merges this local series
+	// with the nodes' via the cluster history source.
+	series := mendel.NewTimeSeries(reg, mendel.TimeSeriesConfig{
+		Interval: *sampleEvery,
+		Capacity: *historySamples,
+	})
+	series.SetNode("coordinator")
+	series.AddCollector(mendel.NewRuntimeCollector(reg).Collect)
+	objectives := mendel.GatewaySLOObjectives(*sloP95, *sloErrRate, *sloShedRate, *sloHintGrowth)
+	watchdog := mendel.NewWatchdog(series, mendel.SLOConfig{
+		Fast:       *sloFast,
+		Slow:       *sloSlow,
+		Objectives: objectives,
+		Logger:     mendel.NewLogger(os.Stderr, slog.LevelInfo, slog.String("role", "serve")),
+	})
+	if *profileDir != "" {
+		pc, err := mendel.NewProfileCapturer(mendel.ProfileConfig{Dir: *profileDir, CPUDuration: 2 * time.Second})
+		if err != nil {
+			log.Fatalf("mendel serve: %v", err)
+		}
+		watchdog.OnBreach(pc.OnBreach)
+	}
+	watchdog.Watch()
+	seriesCtx, stopSeries := context.WithCancel(ctx)
+	defer stopSeries()
+	go series.Run(seriesCtx)
+
+	surface := mendel.MetricsSurface{
+		Registry: reg,
+		Tracer:   tracer,
+		Trace:    cluster.TraceSource(ctx),
+		History:  series,
+		Cluster:  cluster.HistorySource(ctx, series),
+		SLO:      watchdog,
+		Routes:   gw.Routes(),
+	}
+	srv, bound, err := surface.Serve(*addr)
 	if err != nil {
 		log.Fatalf("mendel serve: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"mendel/internal/dht"
 	"mendel/internal/metric"
@@ -207,6 +208,68 @@ func (c *Cluster) MetricsDetailed(ctx context.Context) ([]wire.MetricsResult, []
 		out = append(out, mr)
 	}
 	return out, down, nil
+}
+
+// HistoryDetailed pulls the windowed time-series telemetry of every
+// reachable node (trimmed to the trailing window; 0 = everything each node
+// retains), plus the addresses of nodes that could not be reached,
+// mirroring MetricsDetailed. Nodes without an attached sampler report an
+// empty history. Callers merge the per-node series cluster-wide with
+// obs.MergeHistories.
+func (c *Cluster) HistoryDetailed(ctx context.Context, window time.Duration) ([]wire.MetricsHistoryResult, []string, error) {
+	nodes := c.topology().AllNodes()
+	resps, errs := transport.BroadcastAll(ctx, c.caller, nodes, wire.MetricsHistory{WindowNS: window.Nanoseconds()})
+	out := make([]wire.MetricsHistoryResult, 0, len(resps))
+	var down []string
+	for i, r := range resps {
+		if errs[i] != nil {
+			if errors.Is(errs[i], transport.ErrUnreachable) {
+				down = append(down, nodes[i])
+				continue
+			}
+			return nil, nil, fmt.Errorf("core: history from %s: %w", nodes[i], errs[i])
+		}
+		hr, ok := r.(wire.MetricsHistoryResult)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: history from %s: malformed reply %T", nodes[i], r)
+		}
+		out = append(out, hr)
+	}
+	return out, down, nil
+}
+
+// HistorySource adapts HistoryDetailed — plus the coordinator's own local
+// sampler, which carries the gateway and coordinator-side metrics — to the
+// obs HTTP surface, so a serving process exposes one cluster-wide
+// /metrics/history endpoint:
+//
+//	surface.Cluster = cluster.HistorySource(ctx, localSeries)
+func (c *Cluster) HistorySource(ctx context.Context, local *obs.TimeSeries) obs.HistorySource {
+	return func(window time.Duration, perNode bool) (obs.ClusterHistory, error) {
+		results, down, err := c.HistoryDetailed(ctx, window)
+		if err != nil {
+			return obs.ClusterHistory{}, err
+		}
+		histories := make([]obs.History, 0, len(results)+1)
+		if lh := local.History(window); len(lh.Points) > 0 {
+			if lh.Node == "" {
+				lh.Node = "coordinator"
+			}
+			histories = append(histories, lh)
+		}
+		for _, r := range results {
+			h := r.History
+			if h.Node == "" {
+				h.Node = r.Node
+			}
+			histories = append(histories, h)
+		}
+		ch := obs.ClusterHistory{Merged: obs.MergeHistories(histories...), Down: down}
+		if perNode {
+			ch.Nodes = histories
+		}
+		return ch, nil
+	}
 }
 
 // Topology exposes the node layout for diagnostics.

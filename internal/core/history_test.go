@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mendel/internal/obs"
+	"mendel/internal/seq"
+)
+
+// TestClusterHistoryDetailed exercises the windowed-telemetry pull path
+// end to end over the in-memory transport: per-node samplers answering
+// wire.MetricsHistory, the coordinator fan-out, and the cluster-wide merge
+// behind /metrics/history.
+func TestClusterHistoryDetailed(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	ip, err := NewInProcess(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ip.Observe(reg, nil)
+
+	// One sampler per node over a deterministic clock; in-process nodes
+	// share one registry, so each node's series sees the same counters —
+	// the merge math is what's under test.
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	now := base
+	clock := func() time.Time { return now }
+	var series []*obs.TimeSeries
+	for _, n := range ip.Nodes {
+		ts := obs.NewTimeSeries(reg, obs.TimeSeriesConfig{Interval: time.Second, Capacity: 16, Clock: clock})
+		ts.SetNode(n.Addr())
+		n.ObserveHistory(ts)
+		series = append(series, ts)
+	}
+	for i := 0; i < 5; i++ {
+		reg.Counter("server_requests").Add(2)
+		now = now.Add(time.Second)
+		for _, ts := range series {
+			ts.Sample()
+		}
+	}
+
+	results, down, err := ip.HistoryDetailed(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 0 {
+		t.Fatalf("down = %v, want none", down)
+	}
+	if len(results) != 4 {
+		t.Fatalf("histories from %d nodes, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.History.Node != r.Node {
+			t.Fatalf("history node label %q != reporting node %q", r.History.Node, r.Node)
+		}
+		if len(r.History.Points) != 5 {
+			t.Fatalf("node %s shipped %d points, want 5", r.Node, len(r.History.Points))
+		}
+	}
+
+	// Window trimming happens node-side: WindowNS must bound the shipped
+	// series, not just the merged view.
+	results, _, err = ip.HistoryDetailed(context.Background(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if len(r.History.Points) > 2 {
+			t.Fatalf("window=2s shipped %d points", len(r.History.Points))
+		}
+	}
+
+	// HistorySource merges everything (4 nodes × delta 2 per interval) and
+	// reports the per-node breakdown on request.
+	src := ip.HistorySource(context.Background(), nil)
+	ch, err := src(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Nodes) != 4 {
+		t.Fatalf("per-node breakdown has %d entries, want 4", len(ch.Nodes))
+	}
+	last := ch.Merged.Points[len(ch.Merged.Points)-1]
+	if got := last.Counters["server_requests"]; got != 8 {
+		t.Fatalf("merged last delta = %d, want 4 nodes × 2", got)
+	}
+}
+
+// TestClusterHistoryWithoutSamplers confirms the pull path degrades to
+// empty histories (not errors) against nodes that never attached a
+// sampler — mixed-version clusters must keep answering.
+func TestClusterHistoryWithoutSamplers(t *testing.T) {
+	cfg := DefaultConfig(seq.Protein)
+	cfg.Groups = 2
+	ip, err := NewInProcess(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, down, err := ip.HistoryDetailed(context.Background(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 0 || len(results) != 2 {
+		t.Fatalf("results=%d down=%v", len(results), down)
+	}
+	for _, r := range results {
+		if len(r.History.Points) != 0 {
+			t.Fatalf("sampler-less node %s shipped %d points", r.Node, len(r.History.Points))
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package gateway
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"mendel/internal/core"
+	"mendel/internal/datagen"
+	"mendel/internal/obs"
+	"mendel/internal/seq"
+)
+
+// TestGatewayShutdownGoroutines asserts the full serving stack — gateway,
+// obs surface with history sampler and SLO watchdog, HTTP server — releases
+// every goroutine it started once shut down. Guards the sampler lifecycle:
+// a TimeSeries.Run goroutine that outlives its server is a leak every
+// long-lived serve process pays for.
+func TestGatewayShutdownGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		cfg := core.DefaultConfig(seq.Protein)
+		cfg.Groups = 2
+		cfg.SampleSize = 500
+		ip, err := core.NewInProcess(cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := datagen.New(seq.Protein, 5)
+		db, err := gen.Database(8, 200, 50, "ref")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ip.Index(context.Background(), db); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		gw := New(ip.Cluster, Config{}, reg)
+
+		series := obs.NewTimeSeries(reg, obs.TimeSeriesConfig{Interval: 5 * time.Millisecond, Capacity: 64})
+		series.AddCollector(obs.NewRuntimeCollector(reg).Collect)
+		wd := obs.NewWatchdog(series, obs.SLOConfig{
+			Fast:       50 * time.Millisecond,
+			Slow:       200 * time.Millisecond,
+			Objectives: obs.GatewayObjectives(time.Second, 0.5, 0.5, 100),
+		})
+		wd.Watch()
+		ctx, cancel := context.WithCancel(context.Background())
+		go series.Run(ctx)
+
+		srv := httptest.NewServer(obs.Surface{
+			Registry: reg,
+			History:  series,
+			SLO:      wd,
+			Routes:   gw.Routes(),
+		}.Handler())
+
+		// Real traffic through every layer so the stack actually spins up.
+		for i := 0; i < 3; i++ {
+			resp, err := srv.Client().Get(srv.URL + "/metrics/history?nodes=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		for series.Samples() < 5 {
+			time.Sleep(time.Millisecond)
+		}
+
+		cancel()
+		srv.Close()
+	}()
+
+	// Goroutine teardown is asynchronous (http keep-alives, ticker stop);
+	// poll briefly before judging.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -61,10 +61,11 @@ type Node struct {
 	// busyNS accumulates time spent in localSearch (atomic).
 	busyNS atomic.Int64
 
-	// Observability sinks; both may be nil (no-op). Set via Observe before
-	// serving traffic.
+	// Observability sinks; all may be nil (no-op). Set via Observe /
+	// ObserveHistory before serving traffic.
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	series *obs.TimeSeries
 }
 
 type storedSeq struct {
@@ -97,12 +98,33 @@ func (n *Node) Observe(reg *obs.Registry, tracer *obs.Tracer) {
 	n.tracer = tracer
 }
 
+// ObserveHistory attaches the node's windowed time-series sampler so
+// wire.MetricsHistory pulls answer with real data. May be nil.
+func (n *Node) ObserveHistory(ts *obs.TimeSeries) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.series = ts
+}
+
 // metrics answers wire.Metrics with a snapshot of the node's registry.
 func (n *Node) metrics() wire.MetricsResult {
 	n.mu.RLock()
 	reg := n.reg
 	n.mu.RUnlock()
 	return wire.MetricsResult{Node: n.addr, Metrics: reg.Snapshot()}
+}
+
+// metricsHistory answers wire.MetricsHistory with the node's windowed
+// series (empty when no sampler is attached — obs.TimeSeries is nil-safe).
+func (n *Node) metricsHistory(r wire.MetricsHistory) wire.MetricsHistoryResult {
+	n.mu.RLock()
+	ts := n.series
+	n.mu.RUnlock()
+	h := ts.History(time.Duration(r.WindowNS))
+	if h.Node == "" {
+		h.Node = n.addr
+	}
+	return wire.MetricsHistoryResult{Node: n.addr, History: h}
 }
 
 // Handle implements transport.Handler, dispatching every wire message the
@@ -144,6 +166,8 @@ func (n *Node) Handle(ctx context.Context, req any) (any, error) {
 		return n.stats(), nil
 	case wire.Metrics:
 		return n.metrics(), nil
+	case wire.MetricsHistory:
+		return n.metricsHistory(r), nil
 	case wire.TraceFetch:
 		return n.traceFetch(r)
 	default:

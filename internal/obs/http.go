@@ -8,12 +8,18 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Handler builds the observability HTTP surface over a registry and tracer
 // (either may be nil):
 //
 //	/metrics          plain-text metrics; ?format=json for a JSON snapshot
+//	/metrics/history  windowed time-series JSON (?window=30s, ?nodes=1 for
+//	                  the per-node breakdown); 404 until a TimeSeries is
+//	                  attached
+//	/debug/slo        SLO watchdog state (ok/warn/page) as JSON; 404 until
+//	                  a Watchdog is attached
 //	/debug/vars       expvar (process-global JSON, includes memstats)
 //	/debug/pprof/*    the standard runtime profiles
 //	/debug/spans      recent completed query span trees; ?slow=1 for the
@@ -22,8 +28,11 @@ import (
 //	/debug/trace/{id} the assembled span tree of one trace ID (local roots
 //	                  merged via AssembleTrace, or the tree registered with
 //	                  SetTraceSource); 404 for unknown IDs
+//
+// Every /metrics* and /debug/* response carries Cache-Control: no-store so
+// polling clients and proxies never serve stale telemetry.
 func Handler(reg *Registry, tr *Tracer) http.Handler {
-	return HandlerWithTraces(reg, tr, nil)
+	return Surface{Registry: reg, Tracer: tr}.Handler()
 }
 
 // TraceSource resolves a 32-hex trace ID to its assembled cross-node span
@@ -38,14 +47,18 @@ type TraceSource func(traceID string) []SpanSnapshot
 // value must be JSON-encodable.
 type HealthSource func() any
 
-// HandlerWithTraces is Handler with an optional cross-node trace source
-// backing /debug/trace/{id}. A nil src falls back to the tracer's own
-// retained roots. All three sinks may be nil: nil reg serves empty metrics,
-// nil tr serves empty span lists and 404 traces — never a panic (the
-// documented "either may be nil" contract).
-func HandlerWithTraces(reg *Registry, tr *Tracer, src TraceSource) http.Handler {
-	return HandlerWithHealth(reg, tr, src, nil)
+// ClusterHistory is the /metrics/history response body: the cluster-merged
+// window plus (on request) the per-node series and any unreachable nodes.
+type ClusterHistory struct {
+	Merged History
+	Nodes  []History `json:",omitempty"`
+	Down   []string  `json:",omitempty"`
 }
+
+// HistorySource supplies windowed histories for /metrics/history. The
+// coordinator backs it with Cluster.HistoryDetailed so one endpoint covers
+// the whole cluster; perNode requests the unmerged per-node series too.
+type HistorySource func(window time.Duration, perNode bool) (ClusterHistory, error)
 
 // Route is an application (pattern, handler) pair mounted onto the
 // observability mux, letting a process serve its API and its observability
@@ -57,42 +70,97 @@ type Route struct {
 	Handler http.Handler
 }
 
-// HandlerWithHealth is HandlerWithTraces with an optional health source
-// backing /debug/health. A nil health source serves 404 from that path.
-func HandlerWithHealth(reg *Registry, tr *Tracer, src TraceSource, health HealthSource) http.Handler {
-	return HandlerWithRoutes(reg, tr, src, health)
+// Surface bundles every sink the observability HTTP endpoints draw from.
+// All fields are optional: nil sinks serve empty bodies or 404, never
+// panic. The positional Handler*/Serve* helpers delegate here; new call
+// sites should build a Surface directly.
+type Surface struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Trace    TraceSource
+	Health   HealthSource
+	// History serves the local process's windowed series at
+	// /metrics/history.
+	History *TimeSeries
+	// Cluster, when set, overrides History at /metrics/history with a
+	// cluster-wide view (the coordinator wires Cluster.HistoryDetailed).
+	Cluster HistorySource
+	// SLO serves the watchdog state at /debug/slo.
+	SLO    *Watchdog
+	Routes []Route
 }
 
-// HandlerWithRoutes is HandlerWithHealth plus application routes mounted
-// onto the same mux.
-func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health HealthSource, routes ...Route) http.Handler {
+// Handler builds the mux for this surface. See Handler (package function)
+// for the endpoint list.
+func (s Surface) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, rt := range routes {
+	for _, rt := range s.Routes {
 		mux.Handle(rt.Pattern, rt.Handler)
 	}
 	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
-		if health == nil {
+		if s.Health == nil {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(health())
+		json.NewEncoder(w).Encode(s.Health())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
-			if reg == nil {
+			if s.Registry == nil {
 				w.Write([]byte("[]\n"))
 				return
 			}
-			json.NewEncoder(w).Encode(reg.Snapshot())
+			json.NewEncoder(w).Encode(s.Registry.Snapshot())
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if reg == nil {
+		if s.Registry == nil {
 			return
 		}
-		reg.WriteText(w)
+		s.Registry.WriteText(w)
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		if s.Cluster == nil && s.History == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var window time.Duration
+		if v := r.URL.Query().Get("window"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		perNode := r.URL.Query().Get("nodes") != ""
+		var ch ClusterHistory
+		if s.Cluster != nil {
+			var err error
+			ch, err = s.Cluster(window, perNode)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+		} else {
+			local := s.History.History(window)
+			ch.Merged = local
+			if perNode {
+				ch.Nodes = []History{local}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ch)
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		if s.SLO == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.SLO.Status())
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
 		n := 0
@@ -100,11 +168,11 @@ func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health Health
 			n, _ = strconv.Atoi(v)
 		}
 		var spans []SpanSnapshot
-		if tr != nil {
+		if s.Tracer != nil {
 			if r.URL.Query().Get("slow") != "" {
-				spans = tr.Slow(n)
+				spans = s.Tracer.Slow(n)
 			} else {
-				spans = tr.Recent(n)
+				spans = s.Tracer.Recent(n)
 			}
 		}
 		if r.URL.Query().Get("format") == "json" {
@@ -113,8 +181,8 @@ func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health Health
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, s := range spans {
-			s.WriteTo(w)
+		for _, sp := range spans {
+			sp.WriteTo(w)
 		}
 	})
 	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
@@ -123,10 +191,10 @@ func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health Health
 		switch {
 		case id == "":
 			// fall through to 404
-		case src != nil:
-			spans = src(id)
-		case tr != nil:
-			spans = AssembleTrace(tr.Trace(id))
+		case s.Trace != nil:
+			spans = s.Trace(id)
+		case s.Tracer != nil:
+			spans = AssembleTrace(s.Tracer.Trace(id))
 		}
 		if len(spans) == 0 {
 			http.NotFound(w, r)
@@ -138,8 +206,8 @@ func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health Health
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, s := range spans {
-			s.WriteTo(w)
+		for _, sp := range spans {
+			sp.WriteTo(w)
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -148,7 +216,55 @@ func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health Health
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return noStoreTelemetry(mux)
+}
+
+// noStoreTelemetry stamps Cache-Control: no-store on every /metrics* and
+// /debug/* response before the handler runs, so intermediaries and polling
+// clients (mendel top, stats -watch, CI scrapes) never see stale
+// telemetry. Application routes mounted on the same mux are untouched.
+func noStoreTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Path
+		if p == "/metrics" || strings.HasPrefix(p, "/metrics/") || strings.HasPrefix(p, "/debug/") {
+			w.Header().Set("Cache-Control", "no-store")
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Serve binds addr (":0" picks a free port), serves this surface from a
+// background goroutine, and returns the server (for Shutdown/Close) plus
+// the bound address.
+func (s Surface) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// HandlerWithTraces is Handler with an optional cross-node trace source
+// backing /debug/trace/{id}. A nil src falls back to the tracer's own
+// retained roots. All three sinks may be nil: nil reg serves empty metrics,
+// nil tr serves empty span lists and 404 traces — never a panic (the
+// documented "either may be nil" contract).
+func HandlerWithTraces(reg *Registry, tr *Tracer, src TraceSource) http.Handler {
+	return Surface{Registry: reg, Tracer: tr, Trace: src}.Handler()
+}
+
+// HandlerWithHealth is HandlerWithTraces with an optional health source
+// backing /debug/health. A nil health source serves 404 from that path.
+func HandlerWithHealth(reg *Registry, tr *Tracer, src TraceSource, health HealthSource) http.Handler {
+	return Surface{Registry: reg, Tracer: tr, Trace: src, Health: health}.Handler()
+}
+
+// HandlerWithRoutes is HandlerWithHealth plus application routes mounted
+// onto the same mux.
+func HandlerWithRoutes(reg *Registry, tr *Tracer, src TraceSource, health HealthSource, routes ...Route) http.Handler {
+	return Surface{Registry: reg, Tracer: tr, Trace: src, Health: health, Routes: routes}.Handler()
 }
 
 // Publish exposes the registry under the given expvar name, so the JSON
@@ -181,11 +297,5 @@ func ServeWithHealth(addr string, reg *Registry, tr *Tracer, src TraceSource, he
 // ServeWithRoutes is ServeWithHealth plus application routes mounted onto
 // the same mux (see HandlerWithRoutes).
 func ServeWithRoutes(addr string, reg *Registry, tr *Tracer, src TraceSource, health HealthSource, routes ...Route) (*http.Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", err
-	}
-	srv := &http.Server{Handler: HandlerWithRoutes(reg, tr, src, health, routes...)}
-	go srv.Serve(ln)
-	return srv, ln.Addr().String(), nil
+	return Surface{Registry: reg, Tracer: tr, Trace: src, Health: health, Routes: routes}.Serve(addr)
 }

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfileConfig shapes a ProfileCapturer.
+type ProfileConfig struct {
+	// Dir is where profiles land; created if missing.
+	Dir string
+	// CPUDuration is how long each CPU profile records (default 5s).
+	CPUDuration time.Duration
+	// MaxSets bounds the on-disk ring: at most this many capture sets
+	// (one CPU + one heap profile each) are retained, oldest deleted
+	// first (default 8).
+	MaxSets int
+	// Clock overrides the timestamp source for tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+// ProfileCapturer writes pprof CPU+heap profile pairs into a bounded
+// on-disk ring when the SLO watchdog reports a breach. Captures run
+// asynchronously (CPU profiling blocks for CPUDuration) and overlap-guard:
+// a breach arriving while a capture is in flight is dropped, not queued,
+// so a flapping objective cannot pile up profiling work on a node that is
+// already in trouble.
+type ProfileCapturer struct {
+	cfg  ProfileConfig
+	busy atomic.Bool
+
+	mu       sync.Mutex
+	captured int64
+}
+
+// NewProfileCapturer builds a capturer rooted at cfg.Dir, creating the
+// directory. Returns an error only when the directory cannot be made.
+func NewProfileCapturer(cfg ProfileConfig) (*ProfileCapturer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: profile dir required")
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 5 * time.Second
+	}
+	if cfg.MaxSets <= 0 {
+		cfg.MaxSets = 8
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	return &ProfileCapturer{cfg: cfg}, nil
+}
+
+// Captured reports how many capture sets completed. Nil-safe.
+func (pc *ProfileCapturer) Captured() int64 {
+	if pc == nil {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.captured
+}
+
+// OnBreach is the Watchdog hook: it kicks off an async capture tagged with
+// the breaching objective's name. Safe on nil.
+func (pc *ProfileCapturer) OnBreach(st ObjectiveStatus) {
+	if pc == nil {
+		return
+	}
+	go pc.Capture(st.Name)
+}
+
+// Capture records one CPU profile (blocking CPUDuration) and one heap
+// profile into the ring, then prunes to MaxSets. Returns false when
+// skipped because another capture was in flight or CPU profiling was
+// already active (e.g. an operator using /debug/pprof/profile).
+func (pc *ProfileCapturer) Capture(reason string) bool {
+	if pc == nil {
+		return false
+	}
+	if !pc.busy.CompareAndSwap(false, true) {
+		return false
+	}
+	defer pc.busy.Store(false)
+
+	stamp := pc.cfg.Clock().UTC().Format("20060102T150405.000")
+	tag := sanitizeProfileTag(reason)
+	base := filepath.Join(pc.cfg.Dir, fmt.Sprintf("%s_%s", stamp, tag))
+
+	cpuOK := pc.captureCPU(base + "_cpu.pprof")
+	heapOK := pc.captureHeap(base + "_heap.pprof")
+	if cpuOK || heapOK {
+		pc.mu.Lock()
+		pc.captured++
+		pc.mu.Unlock()
+	}
+	pc.prune()
+	return cpuOK || heapOK
+}
+
+func (pc *ProfileCapturer) captureCPU(path string) bool {
+	f, err := os.Create(path)
+	if err != nil {
+		return false
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is running; don't fight it.
+		f.Close()
+		os.Remove(path)
+		return false
+	}
+	time.Sleep(pc.cfg.CPUDuration)
+	pprof.StopCPUProfile()
+	return f.Close() == nil
+}
+
+func (pc *ProfileCapturer) captureHeap(path string) bool {
+	f, err := os.Create(path)
+	if err != nil {
+		return false
+	}
+	err = pprof.Lookup("heap").WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// prune deletes the oldest capture sets beyond MaxSets. File names embed a
+// sortable timestamp, so lexical order is capture order.
+func (pc *ProfileCapturer) prune() {
+	entries, err := os.ReadDir(pc.cfg.Dir)
+	if err != nil {
+		return
+	}
+	// Group by "stamp_tag" prefix so a CPU+heap pair counts as one set.
+	sets := map[string][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		key := strings.TrimSuffix(name, "_cpu.pprof")
+		key = strings.TrimSuffix(key, "_heap.pprof")
+		sets[key] = append(sets[key], name)
+	}
+	if len(sets) <= pc.cfg.MaxSets {
+		return
+	}
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys[:len(keys)-pc.cfg.MaxSets] {
+		for _, name := range sets[k] {
+			os.Remove(filepath.Join(pc.cfg.Dir, name))
+		}
+	}
+}
+
+func sanitizeProfileTag(s string) string {
+	if s == "" {
+		return "manual"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

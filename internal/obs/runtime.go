@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runtime metric names published by RuntimeCollector.
+const (
+	MetricGoroutines = "runtime_goroutines"
+	MetricHeapBytes  = "runtime_heap_bytes"
+	MetricHeapObjs   = "runtime_heap_objects"
+	MetricGCPauseNS  = "runtime_gc_pause_ns"
+	MetricGCCount    = "runtime_gc_count"
+)
+
+// RuntimeCollector folds Go runtime health — goroutine count, heap bytes,
+// cumulative GC pause time — into a Registry on each Collect call. Gauge
+// readings (goroutines, heap) are instantaneous; GC pause and cycle totals
+// are published as counters carrying the delta since the previous Collect,
+// so the time-series tier windows them like any other counter. Register it
+// on a TimeSeries via AddCollector so readings share the sampling cadence:
+//
+//	ts.AddCollector(NewRuntimeCollector(reg).Collect)
+type RuntimeCollector struct {
+	reg *Registry
+
+	mu          sync.Mutex
+	lastPauseNS uint64
+	lastGCCount uint32
+}
+
+// NewRuntimeCollector builds a collector publishing into reg.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	return &RuntimeCollector{reg: reg}
+}
+
+// Collect samples the runtime and publishes into the registry. Safe for
+// concurrent use; nil receivers no-op.
+func (rc *RuntimeCollector) Collect() {
+	if rc == nil || rc.reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rc.reg.Gauge(MetricGoroutines).Set(int64(runtime.NumGoroutine()))
+	rc.reg.Gauge(MetricHeapBytes).Set(int64(ms.HeapAlloc))
+	rc.reg.Gauge(MetricHeapObjs).Set(int64(ms.HeapObjects))
+
+	rc.mu.Lock()
+	pauseDelta := ms.PauseTotalNs - rc.lastPauseNS
+	gcDelta := ms.NumGC - rc.lastGCCount
+	first := rc.lastPauseNS == 0 && rc.lastGCCount == 0
+	rc.lastPauseNS = ms.PauseTotalNs
+	rc.lastGCCount = ms.NumGC
+	rc.mu.Unlock()
+	if first {
+		// Skip the process-lifetime backlog so the first window does not
+		// report every GC since startup as having happened this interval.
+		return
+	}
+	if pauseDelta > 0 {
+		rc.reg.Counter(MetricGCPauseNS).Add(int64(pauseDelta))
+	}
+	if gcDelta > 0 {
+		rc.reg.Counter(MetricGCCount).Add(int64(gcDelta))
+	}
+}

@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// AlertLevel is the severity of an SLO objective or of the watchdog as a
+// whole. Levels are ordered: Page > Warn > OK.
+type AlertLevel int
+
+const (
+	LevelOK AlertLevel = iota
+	LevelWarn
+	LevelPage
+)
+
+func (l AlertLevel) String() string {
+	switch l {
+	case LevelWarn:
+		return "warn"
+	case LevelPage:
+		return "page"
+	default:
+		return "ok"
+	}
+}
+
+// ObjectiveKind selects how an Objective is evaluated against a History
+// window.
+type ObjectiveKind string
+
+const (
+	// ObjectiveLatency breaches when the windowed q-quantile of Hist
+	// exceeds ThresholdNS.
+	ObjectiveLatency ObjectiveKind = "latency"
+	// ObjectiveRatio breaches when sum(Num deltas)/sum(Denom deltas) over
+	// the window exceeds Threshold (a fraction, e.g. 0.05 = 5%).
+	ObjectiveRatio ObjectiveKind = "ratio"
+	// ObjectiveGrowth breaches when the Gauge's slope over the window
+	// exceeds Threshold units per second.
+	ObjectiveGrowth ObjectiveKind = "growth"
+)
+
+// Objective is one SLO target evaluated over both burn-rate windows.
+type Objective struct {
+	// Name labels the objective in /debug/slo and transition logs.
+	Name string
+	Kind ObjectiveKind
+
+	// Hist + Quantile apply to ObjectiveLatency (e.g. "gw_search_ns", 0.95).
+	Hist     string
+	Quantile float64
+	// Num / Denom apply to ObjectiveRatio (e.g. "gw_shed_total" over
+	// "gw_requests_total").
+	Num   string
+	Denom string
+	// Gauge applies to ObjectiveGrowth (e.g. "hints_pending").
+	Gauge string
+
+	// Threshold is the breach boundary: nanoseconds for latency, a
+	// fraction for ratio, units/second for growth.
+	Threshold float64
+
+	// MinEvents is the minimum window activity (histogram observations or
+	// denominator delta) required before the objective can breach. Below
+	// it the window counts as healthy — no traffic is not an outage, and
+	// this is what lets a breached objective recover once load stops.
+	// Defaults to 1.
+	MinEvents int64
+}
+
+// windowValue evaluates the objective over the trailing window d,
+// returning the measured value and whether the window had enough activity
+// to judge.
+func (o Objective) windowValue(h History, d time.Duration) (float64, bool) {
+	minEvents := o.MinEvents
+	if minEvents <= 0 {
+		minEvents = 1
+	}
+	switch o.Kind {
+	case ObjectiveLatency:
+		if h.HistCount(o.Hist, d) < minEvents {
+			return 0, false
+		}
+		return float64(h.Quantile(o.Hist, o.Quantile, d)), true
+	case ObjectiveRatio:
+		denom := h.CounterSum(o.Denom, d)
+		if denom < minEvents {
+			return 0, false
+		}
+		return float64(h.CounterSum(o.Num, d)) / float64(denom), true
+	case ObjectiveGrowth:
+		if len(h.Window(d).Points) < 2 {
+			return 0, false
+		}
+		return h.GaugeSlope(o.Gauge, d), true
+	default:
+		return 0, false
+	}
+}
+
+// SLOConfig shapes a Watchdog.
+type SLOConfig struct {
+	// Fast and Slow are the burn-rate windows: both breaching pages, one
+	// breaching warns. Defaults: 30s fast, 5m slow.
+	Fast time.Duration
+	Slow time.Duration
+	// Objectives are the targets to watch. Empty means the watchdog stays
+	// permanently ok.
+	Objectives []Objective
+	// Logger receives one structured record per level transition; nil
+	// disables logging.
+	Logger *slog.Logger
+}
+
+// ObjectiveStatus is one objective's current evaluation, as served at
+// /debug/slo.
+type ObjectiveStatus struct {
+	Name       string
+	Kind       ObjectiveKind
+	Level      string
+	FastBreach bool
+	SlowBreach bool
+	// FastValue / SlowValue are the measured values over each window
+	// (NaN-free; 0 when the window lacked activity).
+	FastValue float64
+	SlowValue float64
+	Threshold float64
+	// Since is when the objective entered its current level.
+	Since time.Time
+}
+
+// SLOStatus is the watchdog's full state: the worst objective level plus
+// every objective's detail.
+type SLOStatus struct {
+	Level       string
+	EvaluatedAt time.Time
+	Fast        time.Duration
+	Slow        time.Duration
+	Objectives  []ObjectiveStatus
+	// Transitions counts level changes since start — a cheap way for
+	// scripts to detect "breached then recovered" without polling every
+	// sample.
+	Transitions int64
+}
+
+// Watchdog evaluates SLO objectives against a TimeSeries on every sample,
+// maintains per-objective alert levels with fast/slow burn-rate windows,
+// logs transitions, and fires breach hooks (e.g. profile capture) on
+// upward transitions. Attach it with Watch, or call Evaluate directly
+// under a deterministic clock.
+type Watchdog struct {
+	ts  *TimeSeries
+	cfg SLOConfig
+
+	mu          sync.Mutex
+	levels      []AlertLevel
+	since       []time.Time
+	statuses    []ObjectiveStatus
+	level       AlertLevel
+	evaluatedAt time.Time
+	transitions int64
+	onBreach    []func(ObjectiveStatus)
+}
+
+// NewWatchdog builds a watchdog over ts. It does not observe samples until
+// Watch is called.
+func NewWatchdog(ts *TimeSeries, cfg SLOConfig) *Watchdog {
+	if cfg.Fast <= 0 {
+		cfg.Fast = 30 * time.Second
+	}
+	if cfg.Slow <= 0 {
+		cfg.Slow = 5 * time.Minute
+	}
+	if cfg.Slow < cfg.Fast {
+		cfg.Slow = cfg.Fast
+	}
+	w := &Watchdog{
+		ts:       ts,
+		cfg:      cfg,
+		levels:   make([]AlertLevel, len(cfg.Objectives)),
+		since:    make([]time.Time, len(cfg.Objectives)),
+		statuses: make([]ObjectiveStatus, len(cfg.Objectives)),
+	}
+	for i, o := range cfg.Objectives {
+		w.statuses[i] = ObjectiveStatus{Name: o.Name, Kind: o.Kind, Level: LevelOK.String(), Threshold: o.Threshold}
+	}
+	return w
+}
+
+// Watch registers the watchdog on its TimeSeries so every Sample triggers
+// an evaluation.
+func (w *Watchdog) Watch() {
+	if w == nil || w.ts == nil {
+		return
+	}
+	w.ts.OnSample(func(p Point) { w.Evaluate(p.T) })
+}
+
+// OnBreach registers fn to run whenever an objective's level rises (ok→warn,
+// ok→page, warn→page). fn runs synchronously inside Evaluate; spawn a
+// goroutine for slow work such as profile capture.
+func (w *Watchdog) OnBreach(fn func(ObjectiveStatus)) {
+	if w == nil || fn == nil {
+		return
+	}
+	w.mu.Lock()
+	w.onBreach = append(w.onBreach, fn)
+	w.mu.Unlock()
+}
+
+// Evaluate re-judges every objective against the TimeSeries history as of
+// now and returns the resulting status. Called automatically per sample
+// once Watch is active.
+func (w *Watchdog) Evaluate(now time.Time) SLOStatus {
+	if w == nil {
+		return SLOStatus{Level: LevelOK.String()}
+	}
+	h := w.ts.History(w.cfg.Slow)
+
+	w.mu.Lock()
+	var fired []ObjectiveStatus
+	worst := LevelOK
+	for i, o := range w.cfg.Objectives {
+		fastVal, fastOK := o.windowValue(h, w.cfg.Fast)
+		slowVal, slowOK := o.windowValue(h, w.cfg.Slow)
+		fastBreach := fastOK && fastVal > o.Threshold
+		slowBreach := slowOK && slowVal > o.Threshold
+		level := LevelOK
+		switch {
+		case fastBreach && slowBreach:
+			level = LevelPage
+		case fastBreach || slowBreach:
+			level = LevelWarn
+		}
+		prev := w.levels[i]
+		if level != prev {
+			w.transitions++
+			w.since[i] = now
+			w.levels[i] = level
+			if w.cfg.Logger != nil {
+				w.cfg.Logger.Info("slo transition",
+					slog.String("objective", o.Name),
+					slog.String("from", prev.String()),
+					slog.String("to", level.String()),
+					slog.Bool("fast_breach", fastBreach),
+					slog.Bool("slow_breach", slowBreach),
+					slog.String("fast_value", fmt.Sprintf("%g", fastVal)),
+					slog.String("slow_value", fmt.Sprintf("%g", slowVal)),
+					slog.String("threshold", fmt.Sprintf("%g", o.Threshold)),
+				)
+			}
+		}
+		if w.since[i].IsZero() {
+			w.since[i] = now
+		}
+		st := ObjectiveStatus{
+			Name:       o.Name,
+			Kind:       o.Kind,
+			Level:      level.String(),
+			FastBreach: fastBreach,
+			SlowBreach: slowBreach,
+			FastValue:  fastVal,
+			SlowValue:  slowVal,
+			Threshold:  o.Threshold,
+			Since:      w.since[i],
+		}
+		w.statuses[i] = st
+		if level > prev {
+			fired = append(fired, st)
+		}
+		if level > worst {
+			worst = level
+		}
+	}
+	w.level = worst
+	w.evaluatedAt = now
+	status := w.statusLocked()
+	hooks := w.onBreach
+	w.mu.Unlock()
+
+	for _, st := range fired {
+		for _, fn := range hooks {
+			fn(st)
+		}
+	}
+	return status
+}
+
+// Status returns the most recent evaluation without re-evaluating. Safe on
+// nil (permanently ok).
+func (w *Watchdog) Status() SLOStatus {
+	if w == nil {
+		return SLOStatus{Level: LevelOK.String()}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.statusLocked()
+}
+
+func (w *Watchdog) statusLocked() SLOStatus {
+	out := SLOStatus{
+		Level:       w.level.String(),
+		EvaluatedAt: w.evaluatedAt,
+		Fast:        w.cfg.Fast,
+		Slow:        w.cfg.Slow,
+		Objectives:  make([]ObjectiveStatus, len(w.statuses)),
+		Transitions: w.transitions,
+	}
+	copy(out.Objectives, w.statuses)
+	return out
+}
+
+// GatewayObjectives builds the standard serving-path objective set:
+// windowed p95 search latency, error rate, shed rate, and hint-queue
+// growth. Zero/negative thresholds disable the corresponding objective.
+func GatewayObjectives(p95 time.Duration, errRate, shedRate, hintSlope float64) []Objective {
+	var objs []Objective
+	if p95 > 0 {
+		objs = append(objs, Objective{
+			Name: "search_p95", Kind: ObjectiveLatency,
+			Hist: "gw_search_ns", Quantile: 0.95, Threshold: float64(p95.Nanoseconds()),
+			MinEvents: 5,
+		})
+	}
+	if errRate > 0 {
+		objs = append(objs, Objective{
+			Name: "error_rate", Kind: ObjectiveRatio,
+			Num: "gw_errors_total", Denom: "gw_requests_total", Threshold: errRate,
+			MinEvents: 5,
+		})
+	}
+	if shedRate > 0 {
+		objs = append(objs, Objective{
+			Name: "shed_rate", Kind: ObjectiveRatio,
+			Num: "gw_shed_total", Denom: "gw_requests_total", Threshold: shedRate,
+			MinEvents: 5,
+		})
+	}
+	if hintSlope > 0 {
+		objs = append(objs, Objective{
+			Name: "hints_pending_growth", Kind: ObjectiveGrowth,
+			Gauge: "hints_pending", Threshold: hintSlope,
+		})
+	}
+	return objs
+}

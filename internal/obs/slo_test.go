@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloHarness drives a watchdog through deterministic time: a fake clock, a
+// shed-rate ratio objective and a latency objective over short burn-rate
+// windows, evaluated on every sample like Watch would.
+type sloHarness struct {
+	reg *Registry
+	clk *fakeClock
+	ts  *TimeSeries
+	w   *Watchdog
+}
+
+func newSLOHarness(t *testing.T, logBuf *bytes.Buffer) *sloHarness {
+	t.Helper()
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 100, Clock: clk.Now})
+	var logger *slog.Logger
+	if logBuf != nil {
+		logger = NewLogger(logBuf, slog.LevelInfo)
+	}
+	w := NewWatchdog(ts, SLOConfig{
+		Fast: 3 * time.Second,
+		Slow: 10 * time.Second,
+		Objectives: []Objective{
+			{
+				Name: "shed_rate", Kind: ObjectiveRatio,
+				Num: "gw_shed_total", Denom: "gw_requests_total",
+				Threshold: 0.05, MinEvents: 5,
+			},
+		},
+		Logger: logger,
+	})
+	w.Watch()
+	return &sloHarness{reg: reg, clk: clk, ts: ts, w: w}
+}
+
+// tick advances one interval with the given request/shed activity.
+func (h *sloHarness) tick(requests, sheds int64) {
+	h.reg.Counter("gw_requests_total").Add(requests)
+	h.reg.Counter("gw_shed_total").Add(sheds)
+	h.clk.Sample(h.ts, time.Second)
+}
+
+func TestWatchdogBurnRateTransitions(t *testing.T) {
+	var logBuf bytes.Buffer
+	h := newSLOHarness(t, &logBuf)
+
+	// Healthy traffic: 20 req/s, no sheds → ok.
+	for i := 0; i < 12; i++ {
+		h.tick(20, 0)
+	}
+	if got := h.w.Status().Level; got != "ok" {
+		t.Fatalf("healthy level = %s, want ok", got)
+	}
+
+	// Overload begins: 50%% shed rate. The fast window (3s) breaches before
+	// the slow window (10s) has absorbed enough bad intervals → warn first.
+	sawWarn := false
+	for i := 0; i < 20; i++ {
+		h.tick(20, 10)
+		level := h.w.Status().Level
+		if level == "warn" {
+			sawWarn = true
+		}
+		if level == "page" {
+			break
+		}
+	}
+	if !sawWarn {
+		t.Fatal("never saw warn between ok and page")
+	}
+	if got := h.w.Status().Level; got != "page" {
+		t.Fatalf("sustained overload level = %s, want page", got)
+	}
+	st := h.w.Status()
+	if !st.Objectives[0].FastBreach || !st.Objectives[0].SlowBreach {
+		t.Fatalf("page without both windows breaching: %+v", st.Objectives[0])
+	}
+
+	// Load stops entirely. Windows drain below MinEvents → not breaching →
+	// recover to ok (no-data must read as healthy or the page never clears).
+	for i := 0; i < 15; i++ {
+		h.tick(0, 0)
+	}
+	if got := h.w.Status().Level; got != "ok" {
+		t.Fatalf("post-overload level = %s, want ok (recovered)", got)
+	}
+	if tr := h.w.Status().Transitions; tr < 3 {
+		t.Fatalf("transitions = %d, want >= 3 (ok→warn→page→...→ok)", tr)
+	}
+
+	// Transition log lines carry the objective and both levels.
+	logs := logBuf.String()
+	for _, want := range []string{"slo transition", `"objective":"shed_rate"`, `"to":"page"`, `"to":"ok"`} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("transition log missing %q in:\n%s", want, logs)
+		}
+	}
+}
+
+func TestWatchdogRecoverViaHealthyTraffic(t *testing.T) {
+	h := newSLOHarness(t, nil)
+	for i := 0; i < 12; i++ {
+		h.tick(20, 15)
+	}
+	if got := h.w.Status().Level; got != "page" {
+		t.Fatalf("overload level = %s, want page", got)
+	}
+	// Healthy traffic (not silence) must also recover once the bad
+	// intervals age out of both windows.
+	for i := 0; i < 15; i++ {
+		h.tick(20, 0)
+	}
+	if got := h.w.Status().Level; got != "ok" {
+		t.Fatalf("recovered level = %s, want ok", got)
+	}
+}
+
+func TestWatchdogLatencyObjective(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 100, Clock: clk.Now})
+	w := NewWatchdog(ts, SLOConfig{
+		Fast:       3 * time.Second,
+		Slow:       6 * time.Second,
+		Objectives: GatewayObjectives(2*time.Millisecond, 0, 0, 0),
+	})
+	w.Watch()
+
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 10; j++ {
+			reg.Histogram("gw_search_ns").Observe(500_000) // 0.5ms, healthy
+		}
+		clk.Sample(ts, time.Second)
+	}
+	if got := w.Status().Level; got != "ok" {
+		t.Fatalf("healthy p95 level = %s, want ok", got)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 10; j++ {
+			reg.Histogram("gw_search_ns").Observe(50_000_000) // 50ms
+		}
+		clk.Sample(ts, time.Second)
+	}
+	if got := w.Status().Level; got != "page" {
+		t.Fatalf("slow p95 level = %s, want page", got)
+	}
+}
+
+func TestWatchdogGrowthObjective(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 100, Clock: clk.Now})
+	w := NewWatchdog(ts, SLOConfig{
+		Fast:       3 * time.Second,
+		Slow:       6 * time.Second,
+		Objectives: GatewayObjectives(0, 0, 0, 1.0), // page above +1 hint/s
+	})
+	w.Watch()
+
+	for i := 0; i < 8; i++ {
+		reg.Gauge("hints_pending").Set(0)
+		clk.Sample(ts, time.Second)
+	}
+	if got := w.Status().Level; got != "ok" {
+		t.Fatalf("flat gauge level = %s, want ok", got)
+	}
+	for i := 1; i <= 8; i++ {
+		reg.Gauge("hints_pending").Set(int64(i * 5)) // +5/s
+		clk.Sample(ts, time.Second)
+	}
+	if got := w.Status().Level; got != "page" {
+		t.Fatalf("growing gauge level = %s, want page", got)
+	}
+}
+
+func TestWatchdogBreachHookAndProfileCapture(t *testing.T) {
+	var logBuf bytes.Buffer
+	h := newSLOHarness(t, &logBuf)
+
+	dir := filepath.Join(t.TempDir(), "profiles")
+	pc, err := NewProfileCapturer(ProfileConfig{Dir: dir, CPUDuration: 10 * time.Millisecond, MaxSets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var breaches []string
+	h.w.OnBreach(func(st ObjectiveStatus) { breaches = append(breaches, st.Name+":"+st.Level) })
+
+	for i := 0; i < 20; i++ {
+		h.tick(20, 15)
+	}
+	if len(breaches) == 0 {
+		t.Fatal("no breach hooks fired across ok→warn→page")
+	}
+	if first := breaches[0]; first != "shed_rate:warn" && first != "shed_rate:page" {
+		t.Fatalf("first breach = %s", first)
+	}
+
+	// Synchronous capture (the watchdog's OnBreach wrapper runs it async).
+	if !pc.Capture("shed_rate") {
+		t.Fatal("capture reported failure")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpu, heap bool
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), "_cpu.pprof") {
+			cpu = true
+		}
+		if strings.HasSuffix(e.Name(), "_heap.pprof") {
+			heap = true
+		}
+	}
+	if !cpu || !heap {
+		t.Fatalf("capture set incomplete: cpu=%v heap=%v (%d entries)", cpu, heap, len(entries))
+	}
+
+	// The ring stays bounded at MaxSets capture sets.
+	for i := 0; i < 4; i++ {
+		if !pc.Capture("again") {
+			t.Fatalf("capture %d skipped unexpectedly", i)
+		}
+		time.Sleep(2 * time.Millisecond) // distinct timestamps for the prune order
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) > 2*2 {
+		t.Fatalf("ring holds %d files, want <= 4 (2 sets × cpu+heap)", len(entries))
+	}
+	if pc.Captured() < 5 {
+		t.Fatalf("captured = %d, want >= 5", pc.Captured())
+	}
+}
+
+func TestWatchdogNilSafe(t *testing.T) {
+	var w *Watchdog
+	if got := w.Status().Level; got != "ok" {
+		t.Fatalf("nil watchdog level = %s, want ok", got)
+	}
+	w.OnBreach(func(ObjectiveStatus) {})
+	w.Evaluate(time.Now())
+	var pc *ProfileCapturer
+	pc.OnBreach(ObjectiveStatus{})
+	if pc.Capture("x") {
+		t.Fatal("nil capturer must not capture")
+	}
+}

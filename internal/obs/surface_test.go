@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// getRec is get() but returns the recorder so header assertions can run.
+func getRec(h http.Handler, url string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestTelemetryHeaders verifies every /metrics* and /debug/* response
+// carries Cache-Control: no-store and an explicit Content-Type, while
+// application routes on the same mux are left alone.
+func TestTelemetryHeaders(t *testing.T) {
+	reg, tr := testSinks()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 8, Clock: clk.Now})
+	clk.Sample(ts, time.Second)
+	w := NewWatchdog(ts, SLOConfig{})
+	appRoute := Route{Pattern: "/v1/echo", Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})}
+	h := Surface{Registry: reg, Tracer: tr, History: ts, SLO: w,
+		Health: func() any { return "ok" }, Routes: []Route{appRoute}}.Handler()
+
+	telemetry := []string{
+		"/metrics",
+		"/metrics?format=json",
+		"/metrics/history",
+		"/debug/slo",
+		"/debug/health",
+		"/debug/spans",
+		"/debug/vars",
+		"/debug/pprof/cmdline",
+	}
+	for _, url := range telemetry {
+		rec := getRec(h, url)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s status = %d", url, rec.Code)
+			continue
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", url, cc)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct == "" {
+			t.Errorf("%s has no explicit Content-Type", url)
+		}
+	}
+	// Even 404s on the telemetry prefix must not be cacheable.
+	if rec := getRec(h, "/debug/trace/unknown"); rec.Header().Get("Cache-Control") != "no-store" {
+		t.Error("/debug/trace 404 is cacheable")
+	}
+	// The application route is not telemetry and stays untouched.
+	if rec := getRec(h, "/v1/echo"); rec.Header().Get("Cache-Control") != "" {
+		t.Error("application route got the telemetry Cache-Control header")
+	}
+}
+
+func TestHistoryEndpointLocal(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 32, Clock: clk.Now})
+	ts.SetNode("n1")
+	for i := 0; i < 5; i++ {
+		reg.Counter("reqs").Add(10)
+		clk.Sample(ts, time.Second)
+	}
+	h := Surface{Registry: reg, History: ts}.Handler()
+
+	rec := getRec(h, "/metrics/history?window=3s&nodes=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var ch ClusterHistory
+	if err := json.Unmarshal(rec.Body.Bytes(), &ch); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body)
+	}
+	if len(ch.Merged.Points) == 0 || len(ch.Merged.Points) > 3 {
+		t.Fatalf("window=3s returned %d points", len(ch.Merged.Points))
+	}
+	if len(ch.Nodes) != 1 || ch.Nodes[0].Node != "n1" {
+		t.Fatalf("nodes=1 breakdown = %+v", ch.Nodes)
+	}
+	if ch.Merged.Points[len(ch.Merged.Points)-1].Counters["reqs"] != 10 {
+		t.Fatalf("last point lost the counter delta: %+v", ch.Merged.Points)
+	}
+
+	if rec := getRec(h, "/metrics/history?window=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad window status = %d, want 400", rec.Code)
+	}
+	// No sampler attached → 404.
+	if rec := getRec(Surface{Registry: reg}.Handler(), "/metrics/history"); rec.Code != http.StatusNotFound {
+		t.Fatalf("no-sampler status = %d, want 404", rec.Code)
+	}
+}
+
+func TestHistoryEndpointClusterSource(t *testing.T) {
+	calls := 0
+	src := HistorySource(func(window time.Duration, perNode bool) (ClusterHistory, error) {
+		calls++
+		if window != 7*time.Second {
+			t.Errorf("window = %v, want 7s", window)
+		}
+		if !perNode {
+			t.Error("perNode not forwarded")
+		}
+		return ClusterHistory{Down: []string{"node-2"}}, nil
+	})
+	h := Surface{Cluster: src}.Handler()
+	rec := getRec(h, "/metrics/history?window=7s&nodes=1")
+	if rec.Code != http.StatusOK || calls != 1 {
+		t.Fatalf("status=%d calls=%d", rec.Code, calls)
+	}
+	var ch ClusterHistory
+	if err := json.Unmarshal(rec.Body.Bytes(), &ch); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Down) != 1 || ch.Down[0] != "node-2" {
+		t.Fatalf("down = %v", ch.Down)
+	}
+
+	failing := Surface{Cluster: func(time.Duration, bool) (ClusterHistory, error) {
+		return ClusterHistory{}, errors.New("fan-out failed")
+	}}.Handler()
+	if rec := getRec(failing, "/metrics/history"); rec.Code != http.StatusBadGateway {
+		t.Fatalf("failing source status = %d, want 502", rec.Code)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 32, Clock: clk.Now})
+	w := NewWatchdog(ts, SLOConfig{
+		Fast: 2 * time.Second,
+		Slow: 4 * time.Second,
+		Objectives: []Objective{{
+			Name: "shed_rate", Kind: ObjectiveRatio,
+			Num: "sheds", Denom: "reqs", Threshold: 0.1, MinEvents: 1,
+		}},
+	})
+	w.Watch()
+	h := Surface{Registry: reg, History: ts, SLO: w}.Handler()
+
+	rec := getRec(h, "/debug/slo")
+	var st SLOStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body)
+	}
+	if st.Level != "ok" || len(st.Objectives) != 1 {
+		t.Fatalf("initial status = %+v", st)
+	}
+
+	for i := 0; i < 6; i++ {
+		reg.Counter("reqs").Add(10)
+		reg.Counter("sheds").Add(9)
+		clk.Sample(ts, time.Second)
+	}
+	rec = getRec(h, "/debug/slo")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Level != "page" {
+		t.Fatalf("breached level = %s, want page\n%s", st.Level, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "shed_rate") {
+		t.Fatalf("objective detail missing: %s", rec.Body)
+	}
+
+	// No watchdog attached → 404.
+	if rec := getRec(Surface{Registry: reg}.Handler(), "/debug/slo"); rec.Code != http.StatusNotFound {
+		t.Fatalf("no-watchdog status = %d, want 404", rec.Code)
+	}
+}

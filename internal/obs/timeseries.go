@@ -1,0 +1,488 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// DefaultSampleInterval and DefaultHistorySamples shape the windowed
+// telemetry ring when TimeSeriesConfig leaves them zero: one snapshot per
+// second, five minutes retained.
+const (
+	DefaultSampleInterval = time.Second
+	DefaultHistorySamples = 300
+)
+
+// TimeSeriesConfig shapes a TimeSeries. The zero value selects the defaults
+// (1s interval, 300 samples retained, wall clock).
+type TimeSeriesConfig struct {
+	// Interval is the sampling period of the Run loop and the nominal
+	// spacing of ring entries.
+	Interval time.Duration
+	// Capacity is the number of interval samples the ring retains.
+	Capacity int
+	// Clock overrides the time source for tests; nil uses time.Now. Sample
+	// reads it once per tick, so a deterministic clock yields a fully
+	// deterministic ring.
+	Clock func() time.Time
+}
+
+func (cfg TimeSeriesConfig) withDefaults() TimeSeriesConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultSampleInterval
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultHistorySamples
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg
+}
+
+// HistPoint is one histogram's activity during a single sample interval:
+// the count/sum deltas and the per-bucket count deltas between two
+// consecutive registry snapshots. Buckets follow the fixed
+// HistogramBuckets layout, so windowed quantiles come from summing
+// HistPoints and calling QuantileFromBuckets, and cluster-wide merges add
+// element-wise exactly like cumulative snapshots do.
+type HistPoint struct {
+	Count   int64
+	Sum     int64
+	Buckets []int64 `json:",omitempty"`
+}
+
+// Quantile estimates the q-quantile of the interval's observations.
+func (h HistPoint) Quantile(q float64) int64 { return QuantileFromBuckets(h.Buckets, q) }
+
+// Point is one interval of windowed telemetry: every counter's delta over
+// the interval, every gauge's instantaneous reading at the end of it, and
+// every histogram's interval activity. Counters are deltas — divide by
+// Elapsed for a rate — so a Point is mergeable across nodes by plain
+// addition, unlike cumulative snapshots whose zero points differ per
+// process.
+type Point struct {
+	// T is the sample timestamp (the end of the interval).
+	T time.Time
+	// Elapsed is the measured wall time since the previous sample. It can
+	// differ from the configured interval under scheduler delay; rates must
+	// use it, not the nominal interval.
+	Elapsed time.Duration
+	// Counters maps counter name to its delta over the interval. Deltas are
+	// non-negative because counters are monotonic (property-tested).
+	Counters map[string]int64 `json:",omitempty"`
+	// Gauges maps gauge name to its reading at sample time.
+	Gauges map[string]int64 `json:",omitempty"`
+	// Hists maps histogram name to its interval activity.
+	Hists map[string]HistPoint `json:",omitempty"`
+}
+
+// Rate returns the named counter's per-second rate over the interval.
+func (p Point) Rate(name string) float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Counters[name]) / p.Elapsed.Seconds()
+}
+
+// History is an ordered window of telemetry points, oldest first — the unit
+// served at /metrics/history, shipped in wire.MetricsHistoryResult, and
+// merged cluster-wide by MergeHistories.
+type History struct {
+	// Node labels the originating process ("" for a merged view).
+	Node string `json:",omitempty"`
+	// Interval is the nominal sampling period.
+	Interval time.Duration
+	// Points holds one entry per retained interval, oldest first.
+	Points []Point
+}
+
+// Window returns the trailing sub-history covering at most d of wall time
+// (0 returns h unchanged). The cut uses the points' own timestamps, so it
+// is exact under deterministic clocks too.
+func (h History) Window(d time.Duration) History {
+	if d <= 0 || len(h.Points) == 0 {
+		return h
+	}
+	cut := h.Points[len(h.Points)-1].T.Add(-d)
+	lo := len(h.Points)
+	for lo > 0 && h.Points[lo-1].T.After(cut) {
+		lo--
+	}
+	out := h
+	out.Points = h.Points[lo:]
+	return out
+}
+
+// Rate returns the named counter's mean per-second rate over the trailing
+// window d (0 = the whole history).
+func (h History) Rate(name string, d time.Duration) float64 {
+	w := h.Window(d)
+	var total int64
+	var elapsed time.Duration
+	for _, p := range w.Points {
+		total += p.Counters[name]
+		elapsed += p.Elapsed
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(total) / elapsed.Seconds()
+}
+
+// CounterSum returns the named counter's total delta over the trailing
+// window d (0 = the whole history).
+func (h History) CounterSum(name string, d time.Duration) int64 {
+	var total int64
+	for _, p := range h.Window(d).Points {
+		total += p.Counters[name]
+	}
+	return total
+}
+
+// Quantile estimates the q-quantile of the named histogram's observations
+// within the trailing window d (0 = the whole history), by summing the
+// per-interval bucket deltas — a true windowed quantile, not a quantile of
+// quantiles. Returns 0 when the window saw no observations.
+func (h History) Quantile(name string, q float64, d time.Duration) int64 {
+	buckets, n := h.windowBuckets(name, d)
+	if n == 0 {
+		return 0
+	}
+	return QuantileFromBuckets(buckets, q)
+}
+
+// HistCount returns how many observations the named histogram recorded
+// within the trailing window d.
+func (h History) HistCount(name string, d time.Duration) int64 {
+	_, n := h.windowBuckets(name, d)
+	return n
+}
+
+func (h History) windowBuckets(name string, d time.Duration) ([]int64, int64) {
+	var buckets []int64
+	var n int64
+	for _, p := range h.Window(d).Points {
+		hp, ok := p.Hists[name]
+		if !ok {
+			continue
+		}
+		n += hp.Count
+		if buckets == nil {
+			buckets = make([]int64, HistogramBuckets)
+		}
+		for i, c := range hp.Buckets {
+			if i < len(buckets) {
+				buckets[i] += c
+			}
+		}
+	}
+	return buckets, n
+}
+
+// GaugeLast returns the named gauge's most recent reading (0 when the
+// history is empty or never saw the gauge).
+func (h History) GaugeLast(name string) int64 {
+	for i := len(h.Points) - 1; i >= 0; i-- {
+		if v, ok := h.Points[i].Gauges[name]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// GaugeSlope returns the named gauge's mean growth per second over the
+// trailing window d — positive when it is climbing (e.g. a hint queue that
+// is not draining, a goroutine leak).
+func (h History) GaugeSlope(name string, d time.Duration) float64 {
+	w := h.Window(d)
+	first, last := int64(0), int64(0)
+	firstT, lastT := time.Time{}, time.Time{}
+	seen := false
+	for _, p := range w.Points {
+		v, ok := p.Gauges[name]
+		if !ok {
+			continue
+		}
+		if !seen {
+			first, firstT, seen = v, p.T, true
+		}
+		last, lastT = v, p.T
+	}
+	if !seen || !lastT.After(firstT) {
+		return 0
+	}
+	return float64(last-first) / lastT.Sub(firstT).Seconds()
+}
+
+// MergeHistories folds per-node histories into one cluster-wide view:
+// counter deltas and gauge readings sum, histogram interval activity adds
+// bucket-wise (so windowed quantiles reflect the merged distribution).
+// Points align from the most recent backwards — the sampling clocks are
+// independent but the periods match, so index-from-the-end alignment is
+// within one interval of true time alignment. Timestamps come from the
+// first history; the merged length is the shortest input's.
+func MergeHistories(hs ...History) History {
+	var nonEmpty []History
+	for _, h := range hs {
+		if len(h.Points) > 0 {
+			nonEmpty = append(nonEmpty, h)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return History{}
+	}
+	out := History{Interval: nonEmpty[0].Interval}
+	n := len(nonEmpty[0].Points)
+	for _, h := range nonEmpty[1:] {
+		if len(h.Points) < n {
+			n = len(h.Points)
+		}
+	}
+	out.Points = make([]Point, n)
+	for i := 0; i < n; i++ {
+		// i counts from the end: merged point n-1-i sums every history's
+		// point len-1-i.
+		base := nonEmpty[0].Points[len(nonEmpty[0].Points)-1-i]
+		merged := Point{
+			T:        base.T,
+			Elapsed:  base.Elapsed,
+			Counters: make(map[string]int64),
+			Gauges:   make(map[string]int64),
+			Hists:    make(map[string]HistPoint),
+		}
+		for _, h := range nonEmpty {
+			p := h.Points[len(h.Points)-1-i]
+			for name, v := range p.Counters {
+				merged.Counters[name] += v
+			}
+			for name, v := range p.Gauges {
+				merged.Gauges[name] += v
+			}
+			for name, hp := range p.Hists {
+				agg := merged.Hists[name]
+				agg.Count += hp.Count
+				agg.Sum += hp.Sum
+				if agg.Buckets == nil {
+					agg.Buckets = make([]int64, HistogramBuckets)
+				}
+				for b, c := range hp.Buckets {
+					if b < len(agg.Buckets) {
+						agg.Buckets[b] += c
+					}
+				}
+				merged.Hists[name] = agg
+			}
+		}
+		out.Points[n-1-i] = merged
+	}
+	return out
+}
+
+// TimeSeries converts a point-in-time Registry into windowed telemetry: a
+// fixed-capacity ring of periodic snapshots, delta-encoded so counters
+// become rates and histograms become per-interval distributions. Drive it
+// with Run (a ticker loop) or call Sample directly under a deterministic
+// clock. All methods are safe for concurrent use; a nil *TimeSeries is a
+// valid no-op source, matching the registry's nil-sink contract.
+type TimeSeries struct {
+	reg  *Registry
+	cfg  TimeSeriesConfig
+	node string
+
+	mu         sync.Mutex
+	collectors []func()
+	onSample   []func(Point)
+	prev       map[string]Snapshot // last raw snapshot, by metric name
+	prevT      time.Time
+	ring       []Point // ring[head] is the next write slot
+	head       int
+	filled     int
+	total      int64
+}
+
+// NewTimeSeries builds a windowed sampler over reg. No goroutine starts
+// until Run; the ring stays empty until the first Sample.
+func NewTimeSeries(reg *Registry, cfg TimeSeriesConfig) *TimeSeries {
+	cfg = cfg.withDefaults()
+	return &TimeSeries{
+		reg:  reg,
+		cfg:  cfg,
+		ring: make([]Point, cfg.Capacity),
+	}
+}
+
+// SetNode labels the history with the owning process's identity.
+func (ts *TimeSeries) SetNode(node string) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.node = node
+	ts.mu.Unlock()
+}
+
+// Interval returns the configured sampling period (0 on nil).
+func (ts *TimeSeries) Interval() time.Duration {
+	if ts == nil {
+		return 0
+	}
+	return ts.cfg.Interval
+}
+
+// AddCollector registers fn to run at the start of every Sample, before
+// the registry snapshot is taken — the hook a RuntimeCollector uses to
+// fold goroutine/heap/GC readings into the same sampling cadence.
+func (ts *TimeSeries) AddCollector(fn func()) {
+	if ts == nil || fn == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.collectors = append(ts.collectors, fn)
+	ts.mu.Unlock()
+}
+
+// OnSample registers fn to receive every completed Point — the hook the
+// SLO watchdog evaluates on. fn runs synchronously inside Sample, off any
+// query path; keep it cheap.
+func (ts *TimeSeries) OnSample(fn func(Point)) {
+	if ts == nil || fn == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.onSample = append(ts.onSample, fn)
+	ts.mu.Unlock()
+}
+
+// Sample takes one snapshot, delta-encodes it against the previous one,
+// appends the resulting Point to the ring (overwriting the oldest entry
+// once full) and returns it. The first call primes the baseline and
+// records a zero-delta point. No-op zero Point on a nil receiver.
+func (ts *TimeSeries) Sample() Point {
+	if ts == nil {
+		return Point{}
+	}
+	ts.mu.Lock()
+	collectors := ts.collectors
+	hooks := ts.onSample
+	ts.mu.Unlock()
+	// Collectors run outside the lock: ReadMemStats may block briefly and
+	// concurrent History() readers should not wait on it.
+	for _, fn := range collectors {
+		fn()
+	}
+	now := ts.cfg.Clock()
+	snap := ts.reg.Snapshot()
+
+	ts.mu.Lock()
+	p := Point{
+		T:        now,
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]HistPoint),
+	}
+	if !ts.prevT.IsZero() {
+		p.Elapsed = now.Sub(ts.prevT)
+	}
+	cur := make(map[string]Snapshot, len(snap))
+	for _, s := range snap {
+		cur[s.Name] = s
+		switch s.Kind {
+		case "counter":
+			prev := ts.prev[s.Name] // zero Snapshot when new: delta from 0
+			d := s.Value - prev.Value
+			if d < 0 {
+				// A counter can only run backwards if the registry was
+				// swapped or a gauge func is misdeclared; clamp rather than
+				// emit a negative rate.
+				d = 0
+			}
+			p.Counters[s.Name] = d
+		case "gauge":
+			p.Gauges[s.Name] = s.Value
+		case "histogram":
+			prev := ts.prev[s.Name]
+			hp := HistPoint{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+			if hp.Count < 0 {
+				hp = HistPoint{}
+			}
+			if hp.Count > 0 {
+				hp.Buckets = make([]int64, len(s.Buckets))
+				copy(hp.Buckets, s.Buckets)
+				for i, c := range prev.Buckets {
+					if i < len(hp.Buckets) {
+						hp.Buckets[i] -= c
+					}
+				}
+			}
+			p.Hists[s.Name] = hp
+		}
+	}
+	ts.prev = cur
+	ts.prevT = now
+	ts.ring[ts.head] = p
+	ts.head = (ts.head + 1) % len(ts.ring)
+	if ts.filled < len(ts.ring) {
+		ts.filled++
+	}
+	ts.total++
+	ts.mu.Unlock()
+
+	for _, fn := range hooks {
+		fn(p)
+	}
+	return p
+}
+
+// Samples reports how many samples were ever taken (not capped by the ring
+// capacity).
+func (ts *TimeSeries) Samples() int64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.total
+}
+
+// History returns the retained points, oldest first, trimmed to the
+// trailing window d (0 = everything retained). The returned slices are
+// copies; callers may hold them across further sampling.
+func (ts *TimeSeries) History(d time.Duration) History {
+	if ts == nil {
+		return History{}
+	}
+	ts.mu.Lock()
+	h := History{Node: ts.node, Interval: ts.cfg.Interval, Points: make([]Point, 0, ts.filled)}
+	start := ts.head - ts.filled
+	if start < 0 {
+		start += len(ts.ring)
+	}
+	for i := 0; i < ts.filled; i++ {
+		h.Points = append(h.Points, ts.ring[(start+i)%len(ts.ring)])
+	}
+	ts.mu.Unlock()
+	return h.Window(d)
+}
+
+// Run samples on the configured interval until ctx is cancelled. Call from
+// a dedicated goroutine:
+//
+//	go ts.Run(ctx)
+func (ts *TimeSeries) Run(ctx context.Context) {
+	if ts == nil {
+		return
+	}
+	tick := time.NewTicker(ts.cfg.Interval)
+	defer tick.Stop()
+	ts.Sample() // prime the delta baseline immediately
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			ts.Sample()
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source advancing only on Tick.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time       { return c.now }
+func (c *fakeClock) Tick(d time.Duration) { c.now = c.now.Add(d) }
+func (c *fakeClock) Sample(ts *TimeSeries, d time.Duration) Point {
+	c.Tick(d)
+	return ts.Sample()
+}
+
+func TestTimeSeriesDeltaEncoding(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 10, Clock: clk.Now})
+
+	reg.Counter("reqs").Add(5)
+	reg.Gauge("depth").Set(3)
+	reg.Histogram("lat_ns").Observe(1000)
+	ts.Sample() // prime: first point deltas from zero
+
+	reg.Counter("reqs").Add(7)
+	reg.Gauge("depth").Set(9)
+	reg.Histogram("lat_ns").Observe(2000)
+	reg.Histogram("lat_ns").Observe(4000)
+	p := clk.Sample(ts, time.Second)
+
+	if p.Counters["reqs"] != 7 {
+		t.Fatalf("counter delta = %d, want 7", p.Counters["reqs"])
+	}
+	if p.Gauges["depth"] != 9 {
+		t.Fatalf("gauge = %d, want instantaneous 9", p.Gauges["depth"])
+	}
+	if hp := p.Hists["lat_ns"]; hp.Count != 2 {
+		t.Fatalf("hist interval count = %d, want 2", hp.Count)
+	}
+	if p.Elapsed != time.Second {
+		t.Fatalf("elapsed = %v, want 1s", p.Elapsed)
+	}
+	if got := p.Rate("reqs"); got != 7 {
+		t.Fatalf("rate = %v, want 7/s", got)
+	}
+
+	// An idle interval must delta to zero, not repeat the cumulative value.
+	p = clk.Sample(ts, time.Second)
+	if p.Counters["reqs"] != 0 || p.Hists["lat_ns"].Count != 0 {
+		t.Fatalf("idle interval not zero: counters=%v hists=%v", p.Counters, p.Hists)
+	}
+}
+
+func TestTimeSeriesRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	const capacity = 4
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: capacity, Clock: clk.Now})
+
+	const samples = 11
+	for i := 0; i < samples; i++ {
+		reg.Counter("reqs").Add(int64(i)) // distinct delta per interval
+		clk.Sample(ts, time.Second)
+	}
+	if got := ts.Samples(); got != samples {
+		t.Fatalf("Samples() = %d, want %d", got, samples)
+	}
+	h := ts.History(0)
+	if len(h.Points) != capacity {
+		t.Fatalf("retained %d points, want capacity %d", len(h.Points), capacity)
+	}
+	// The ring must retain exactly the last `capacity` samples in order:
+	// sample i carries delta i (sample 0 primed with delta 0).
+	for i, p := range h.Points {
+		want := int64(samples - capacity + i)
+		if p.Counters["reqs"] != want {
+			t.Fatalf("point %d delta = %d, want %d", i, p.Counters["reqs"], want)
+		}
+		if i > 0 && !h.Points[i].T.After(h.Points[i-1].T) {
+			t.Fatalf("points out of order at %d", i)
+		}
+	}
+	// CounterSum over everything retained equals the sum of retained deltas.
+	var want int64
+	for i := samples - capacity; i < samples; i++ {
+		want += int64(i)
+	}
+	if got := h.CounterSum("reqs", 0); got != want {
+		t.Fatalf("CounterSum = %d, want %d", got, want)
+	}
+}
+
+// TestTimeSeriesRateMonotonicity property-tests the delta encoding: for any
+// pattern of counter increments, every per-interval delta is non-negative
+// and the deltas sum to the cumulative total (while the ring still holds
+// every sample).
+func TestTimeSeriesRateMonotonicity(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 64, Clock: clk.Now})
+
+	increments := []int64{0, 3, 0, 17, 1, 0, 0, 42, 5, 9, 0, 1}
+	var total int64
+	ts.Sample() // prime
+	for _, inc := range increments {
+		reg.Counter("reqs").Add(inc)
+		total += inc
+		clk.Sample(ts, time.Second)
+	}
+	h := ts.History(0)
+	var sum int64
+	for i, p := range h.Points {
+		d := p.Counters["reqs"]
+		if d < 0 {
+			t.Fatalf("point %d: negative delta %d from a monotonic counter", i, d)
+		}
+		sum += d
+	}
+	if sum != total {
+		t.Fatalf("deltas sum to %d, cumulative counter is %d", sum, total)
+	}
+}
+
+func TestHistoryWindowedQuantile(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 100, Clock: clk.Now})
+
+	// Old regime: slow (observations around 1ms). Then fast (~1µs). A
+	// trailing window covering only the fast regime must not see the slow
+	// observations, unlike the cumulative histogram.
+	ts.Sample()
+	for i := 0; i < 10; i++ {
+		reg.Histogram("lat_ns").Observe(1_000_000)
+		clk.Sample(ts, time.Second)
+	}
+	for i := 0; i < 10; i++ {
+		reg.Histogram("lat_ns").Observe(1_000)
+		clk.Sample(ts, time.Second)
+	}
+	h := ts.History(0)
+	recent := h.Quantile("lat_ns", 0.95, 5*time.Second)
+	if recent >= 1_000_000 {
+		t.Fatalf("windowed p95 = %d still sees the old slow regime", recent)
+	}
+	all := h.Quantile("lat_ns", 0.95, 0)
+	if all < 1_000_000/2 {
+		t.Fatalf("full-history p95 = %d lost the slow observations", all)
+	}
+	if n := h.HistCount("lat_ns", 5*time.Second); n != 5 {
+		t.Fatalf("windowed count = %d, want 5", n)
+	}
+}
+
+func TestHistoryGaugeSlope(t *testing.T) {
+	reg := NewRegistry()
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 100, Clock: clk.Now})
+
+	for i := 0; i <= 10; i++ {
+		reg.Gauge("hints_pending").Set(int64(i * 3)) // +3/s
+		clk.Sample(ts, time.Second)
+	}
+	h := ts.History(0)
+	slope := h.GaugeSlope("hints_pending", 0)
+	if slope < 2.9 || slope > 3.1 {
+		t.Fatalf("slope = %v, want ~3/s", slope)
+	}
+	if last := h.GaugeLast("hints_pending"); last != 30 {
+		t.Fatalf("last = %d, want 30", last)
+	}
+}
+
+func TestMergeHistories(t *testing.T) {
+	mk := func(node string, base time.Time, deltas ...int64) History {
+		h := History{Node: node, Interval: time.Second}
+		for i, d := range deltas {
+			hp := HistPoint{Count: d, Sum: d * 100, Buckets: make([]int64, HistogramBuckets)}
+			hp.Buckets[10] = d
+			h.Points = append(h.Points, Point{
+				T:        base.Add(time.Duration(i) * time.Second),
+				Elapsed:  time.Second,
+				Counters: map[string]int64{"reqs": d},
+				Gauges:   map[string]int64{"depth": d},
+				Hists:    map[string]HistPoint{"lat_ns": hp},
+			})
+		}
+		return h
+	}
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	a := mk("a", base, 1, 2, 3, 4)
+	b := mk("b", base.Add(300*time.Millisecond), 10, 20) // shorter, offset clock
+
+	m := MergeHistories(a, b)
+	if len(m.Points) != 2 {
+		t.Fatalf("merged %d points, want min length 2", len(m.Points))
+	}
+	// Aligned from the end: a's last two deltas (3, 4) pair with b's (10, 20).
+	if got := m.Points[0].Counters["reqs"]; got != 13 {
+		t.Fatalf("merged point 0 = %d, want 3+10", got)
+	}
+	if got := m.Points[1].Counters["reqs"]; got != 24 {
+		t.Fatalf("merged point 1 = %d, want 4+20", got)
+	}
+	if got := m.Points[1].Gauges["depth"]; got != 24 {
+		t.Fatalf("merged gauge = %d, want 24", got)
+	}
+	hp := m.Points[1].Hists["lat_ns"]
+	if hp.Count != 24 || hp.Buckets[10] != 24 {
+		t.Fatalf("merged hist = %+v, want count 24 in bucket 10", hp)
+	}
+	if MergeHistories().Points != nil {
+		t.Fatal("empty merge must return an empty history")
+	}
+}
+
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	ts.Sample()
+	ts.AddCollector(func() {})
+	ts.OnSample(func(Point) {})
+	ts.SetNode("x")
+	if h := ts.History(time.Minute); len(h.Points) != 0 {
+		t.Fatal("nil TimeSeries must serve an empty history")
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector(reg)
+	rc.Collect()
+	rc.Collect()
+	snap := map[string]Snapshot{}
+	for _, s := range reg.Snapshot() {
+		snap[s.Name] = s
+	}
+	if snap[MetricGoroutines].Value <= 0 {
+		t.Fatalf("goroutines = %d, want > 0", snap[MetricGoroutines].Value)
+	}
+	if snap[MetricHeapBytes].Value <= 0 {
+		t.Fatalf("heap bytes = %d, want > 0", snap[MetricHeapBytes].Value)
+	}
+}
+
+func BenchmarkTimeSeriesSample(b *testing.B) {
+	reg := NewRegistry()
+	// A realistic registry shape: the serve process carries ~20 counters,
+	// ~5 gauges and ~10 histograms.
+	for i := 0; i < 20; i++ {
+		reg.Counter(fmt.Sprintf("c%d", i)).Add(int64(i))
+	}
+	for i := 0; i < 5; i++ {
+		reg.Gauge(fmt.Sprintf("g%d", i)).Set(int64(i))
+	}
+	for i := 0; i < 10; i++ {
+		h := reg.Histogram(fmt.Sprintf("h%d", i))
+		for j := 0; j < 100; j++ {
+			h.Observe(int64(j) * 1000)
+		}
+	}
+	clk := newFakeClock()
+	ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 300, Clock: clk.Now})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Tick(time.Second)
+		ts.Sample()
+	}
+}
+
+func BenchmarkHistoryMerge(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 20; i++ {
+		reg.Counter(fmt.Sprintf("c%d", i)).Add(int64(i))
+	}
+	for i := 0; i < 10; i++ {
+		h := reg.Histogram(fmt.Sprintf("h%d", i))
+		for j := 0; j < 100; j++ {
+			h.Observe(int64(j) * 1000)
+		}
+	}
+	clk := newFakeClock()
+	// 8 nodes × 300 samples, the default dashboard pull shape.
+	histories := make([]History, 8)
+	for n := range histories {
+		ts := NewTimeSeries(reg, TimeSeriesConfig{Interval: time.Second, Capacity: 300, Clock: clk.Now})
+		for i := 0; i < 300; i++ {
+			reg.Counter("c0").Add(1)
+			clk.Tick(time.Second)
+			ts.Sample()
+		}
+		histories[n] = ts.History(0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MergeHistories(histories...)
+		if len(m.Points) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}

@@ -296,6 +296,23 @@ type MetricsResult struct {
 	Metrics []obs.Snapshot
 }
 
+// MetricsHistory asks a node for its windowed time-series telemetry,
+// trimmed to the trailing WindowNS nanoseconds (0 = everything retained).
+// Like Metrics it rides the gob path — history pulls are a periodic
+// dashboard/operator concern, not the query hot path, and gob already
+// handles time.Time and the nested maps.
+type MetricsHistory struct {
+	WindowNS int64
+}
+
+// MetricsHistoryResult carries one node's windowed series; History.Points
+// is empty when the node runs without a sampler attached. Coordinators
+// merge per-node results with obs.MergeHistories.
+type MetricsHistoryResult struct {
+	Node    string
+	History obs.History
+}
+
 // TraceFetch asks a node for every retained root span belonging to the
 // given 32-hex trace ID — the pull half of cross-node trace assembly,
 // covering spans that were not shipped inline in a search result (e.g.
@@ -461,6 +478,8 @@ func init() {
 	gob.Register(StatsResult{})
 	gob.Register(Metrics{})
 	gob.Register(MetricsResult{})
+	gob.Register(MetricsHistory{})
+	gob.Register(MetricsHistoryResult{})
 	gob.Register(TraceFetch{})
 	gob.Register(TraceFetchResult{})
 	gob.Register(SketchFetch{})

@@ -28,6 +28,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"time"
 
 	"mendel/internal/blast"
 	"mendel/internal/core"
@@ -126,6 +127,87 @@ type (
 	// HealthMonitor.Source produces one backed by the cluster health view.
 	HealthSource = obs.HealthSource
 )
+
+// Windowed-telemetry re-exports. A TimeSeries turns the point-in-time
+// registry into a fixed-capacity ring of per-interval samples (counters
+// delta-encoded into rates, histograms windowed into per-interval
+// quantiles); a Watchdog evaluates SLO objectives over fast/slow burn-rate
+// windows on every sample and serves its ok/warn/page state at /debug/slo;
+// a ProfileCapturer writes pprof CPU+heap pairs into a bounded on-disk
+// ring on first breach. Build the HTTP surface with MetricsSurface.
+type (
+	// TimeSeries is a windowed sampler over a MetricsRegistry.
+	TimeSeries = obs.TimeSeries
+	// TimeSeriesConfig tunes the sampling interval, ring capacity and
+	// clock (zero value: 1s × 300 samples, wall clock).
+	TimeSeriesConfig = obs.TimeSeriesConfig
+	// MetricsHistory is an ordered window of telemetry points.
+	MetricsHistory = obs.History
+	// MetricsPoint is one interval of windowed telemetry.
+	MetricsPoint = obs.Point
+	// NodeMetricsHistory is one node's windowed series, as returned by
+	// Cluster.HistoryDetailed.
+	NodeMetricsHistory = wire.MetricsHistoryResult
+	// ClusterMetricsHistory is the /metrics/history response body.
+	ClusterMetricsHistory = obs.ClusterHistory
+	// HistorySource supplies windowed histories for /metrics/history;
+	// Cluster.HistorySource produces one backed by the whole cluster.
+	HistorySource = obs.HistorySource
+	// RuntimeCollector folds goroutine/heap/GC readings into a registry.
+	RuntimeCollector = obs.RuntimeCollector
+	// Watchdog is the SLO burn-rate evaluator behind /debug/slo.
+	Watchdog = obs.Watchdog
+	// SLOConfig sets the burn-rate windows and objectives.
+	SLOConfig = obs.SLOConfig
+	// SLOObjective is one SLO target (latency quantile, ratio or growth).
+	SLOObjective = obs.Objective
+	// SLOStatus is the watchdog's full evaluated state.
+	SLOStatus = obs.SLOStatus
+	// ProfileCapturer writes breach-triggered pprof profiles to a bounded
+	// on-disk ring.
+	ProfileCapturer = obs.ProfileCapturer
+	// ProfileConfig tunes the profile directory, CPU duration and ring
+	// size.
+	ProfileConfig = obs.ProfileConfig
+	// MetricsSurface bundles every observability sink behind one HTTP
+	// mux: /metrics, /metrics/history, /debug/slo, /debug/health, spans,
+	// traces and pprof.
+	MetricsSurface = obs.Surface
+)
+
+// NewTimeSeries builds a windowed sampler over reg; drive it with Run or
+// attach it to a NodeServer via StartHistory.
+func NewTimeSeries(reg *MetricsRegistry, cfg TimeSeriesConfig) *TimeSeries {
+	return obs.NewTimeSeries(reg, cfg)
+}
+
+// NewRuntimeCollector builds a collector publishing goroutine count, heap
+// bytes and GC pause deltas into reg; register its Collect on a TimeSeries.
+func NewRuntimeCollector(reg *MetricsRegistry) *RuntimeCollector {
+	return obs.NewRuntimeCollector(reg)
+}
+
+// NewWatchdog builds an SLO watchdog over ts; call Watch to evaluate on
+// every sample.
+func NewWatchdog(ts *TimeSeries, cfg SLOConfig) *Watchdog { return obs.NewWatchdog(ts, cfg) }
+
+// NewProfileCapturer builds a breach-triggered pprof capturer rooted at
+// cfg.Dir; wire its OnBreach onto a Watchdog.
+func NewProfileCapturer(cfg ProfileConfig) (*ProfileCapturer, error) {
+	return obs.NewProfileCapturer(cfg)
+}
+
+// GatewaySLOObjectives builds the standard serving-path objective set:
+// windowed p95 search latency, error rate, shed rate and hint-queue
+// growth. Zero thresholds disable the corresponding objective.
+func GatewaySLOObjectives(p95 time.Duration, errRate, shedRate, hintSlope float64) []SLOObjective {
+	return obs.GatewayObjectives(p95, errRate, shedRate, hintSlope)
+}
+
+// MergeMetricsHistories folds per-node windowed series into one
+// cluster-wide history (counter deltas and gauges sum, histogram buckets
+// add, points aligned from the most recent backwards).
+func MergeMetricsHistories(hs ...MetricsHistory) MetricsHistory { return obs.MergeHistories(hs...) }
 
 // Serving-layer re-exports. A Gateway turns a coordinator into a long-lived
 // concurrent query service: an HTTP/JSON API (POST /v1/search, POST

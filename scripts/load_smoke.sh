@@ -57,18 +57,86 @@ for counter in rpc_bytes_sent rpc_bytes_recv; do
 done
 echo "rpc byte accounting ok: sent=$(printf '%s\n' "$metrics" | awk '$1=="rpc_bytes_sent"{print $2}') recv=$(printf '%s\n' "$metrics" | awk '$1=="rpc_bytes_recv"{print $2}')"
 
-# Phase 2: burst mix into a one-slot admission window. The gateway must
-# shed some of the overload as 429s and error on none of it.
+# Phase 2: burst mix into a one-slot admission window, with the SLO
+# watchdog armed on shed rate over short burn-rate windows and pprof
+# capture wired to the first breach. The gateway must shed some of the
+# overload as 429s and error on none of it — and the watchdog must leave
+# ok while the burst is in flight, then recover once it stops (the bad
+# intervals age out of the 6s slow window; silence reads as healthy).
+artifacts=slo_artifacts
+rm -rf "$artifacts"
+mkdir -p "$artifacts"
+# Prefilter OFF here on purpose: this phase probes admission control and
+# the watchdog, and the sketch tier would let the gateway skip every group
+# for random burst queries — the one-slot window never saturates and
+# nothing sheds. Phase 1 already covers prefiltered serving under load.
 "$workdir/mendel" serve -manifest "$workdir/cluster.mendel" -addr 127.0.0.1:7462 \
-  -prefilter "${MENDEL_PREFILTER:-bloom}" -max-inflight 1 -max-queue 2 &
+  -prefilter off -max-inflight 1 -max-queue 2 \
+  -sample-interval 250ms -slo-shed-rate 0.05 -slo-fast 2s -slo-slow 6s \
+  -profile-dir "$artifacts/profiles" &
 sleep 1
+
+slo_level() {
+  curl -sf http://127.0.0.1:7462/debug/slo \
+    | grep -o '"Level":"[a-z]*"' | head -1 | cut -d'"' -f4 || true
+}
+
 "$workdir/mendel-bench" load -url http://127.0.0.1:7462 \
   -rate 80 -duration 5s -mix burst -qlen 64 -seed 2 \
-  -json "$workdir/overload.json" -fail-on-errors
+  -json "$workdir/overload.json" -fail-on-errors &
+loadpid=$!
+
+breached=""
+for _ in $(seq 1 40); do
+  level=$(slo_level)
+  if [ "$level" = "warn" ] || [ "$level" = "page" ]; then
+    breached=$level
+    break
+  fi
+  sleep 0.25
+done
+wait "$loadpid"
+if [ -z "$breached" ]; then
+  echo "SLO watchdog never left ok under a shedding burst" >&2
+  curl -sf http://127.0.0.1:7462/debug/slo >&2 || true
+  exit 1
+fi
+echo "slo breach observed: level=$breached"
+
+recovered=""
+for _ in $(seq 1 60); do
+  level=$(slo_level)
+  if [ "$level" = "ok" ]; then
+    recovered=yes
+    break
+  fi
+  sleep 0.5
+done
+if [ -z "$recovered" ]; then
+  echo "SLO watchdog stuck breached after the overload stopped" >&2
+  curl -sf http://127.0.0.1:7462/debug/slo >&2 || true
+  exit 1
+fi
+
+# CI artifacts: the final SLO state, one dashboard frame, and whatever
+# profiles the breach captured.
+curl -sf http://127.0.0.1:7462/debug/slo -o "$artifacts/slo.json"
+"$workdir/mendel" top -once -url http://127.0.0.1:7462 -window 30s \
+  | tee "$artifacts/top.txt"
+if ! grep -q "slo:" "$artifacts/top.txt"; then
+  echo "mendel top -once rendered no SLO section" >&2
+  exit 1
+fi
+if [ -z "$(ls -A "$artifacts/profiles" 2>/dev/null)" ]; then
+  echo "breach captured no pprof profiles in $artifacts/profiles" >&2
+  exit 1
+fi
+echo "profiles captured: $(ls "$artifacts/profiles" | tr '\n' ' ')"
 
 shed=$(grep -o '"shed": *[0-9]*' "$workdir/overload.json" | grep -o '[0-9]*$')
 if [ "${shed:-0}" -eq 0 ]; then
   echo "overload phase shed nothing; admission control not engaging" >&2
   exit 1
 fi
-echo "load smoke ok: overload shed $shed requests with zero errors"
+echo "load smoke ok: overload shed $shed requests with zero errors," \
+  "slo ${breached}->ok with profiles captured"

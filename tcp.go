@@ -1,10 +1,12 @@
 package mendel
 
 import (
+	"context"
 	"io"
 
 	"mendel/internal/core"
 	"mendel/internal/node"
+	"mendel/internal/obs"
 	"mendel/internal/transport"
 )
 
@@ -42,6 +44,9 @@ type NodeServer struct {
 	node   *node.Node
 	client *transport.TCPClient
 	rcall  *transport.ResilientCaller
+
+	series     *obs.TimeSeries
+	stopSeries context.CancelFunc
 }
 
 // ServeNode starts a storage node listening on addr ("host:port"; port 0
@@ -93,7 +98,37 @@ func (s *NodeServer) Observe(reg *MetricsRegistry, tracer *QueryTracer) {
 	s.srv.Observe(reg)
 	s.client.Observe(reg)
 	s.rcall.Register(reg)
+	if reg != nil && s.series == nil {
+		// Default windowed telemetry (1s × 300 samples + runtime collector)
+		// so every observed node answers wire.MetricsHistory pulls; Close
+		// stops the sampling goroutine. StartHistory first for custom
+		// intervals.
+		s.StartHistory(reg, TimeSeriesConfig{})
+	}
 }
+
+// StartHistory starts (or replaces) the node's windowed time-series
+// sampler over reg with the given config (zero value = 1s × 300 samples),
+// wiring in a runtime collector and registering the series as the backend
+// for wire.MetricsHistory pulls. The sampling goroutine stops on Close.
+func (s *NodeServer) StartHistory(reg *MetricsRegistry, cfg TimeSeriesConfig) *TimeSeries {
+	if s.stopSeries != nil {
+		s.stopSeries()
+	}
+	ts := obs.NewTimeSeries(reg, cfg)
+	ts.SetNode(s.srv.Addr())
+	ts.AddCollector(obs.NewRuntimeCollector(reg).Collect)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.series = ts
+	s.stopSeries = cancel
+	s.node.ObserveHistory(ts)
+	go ts.Run(ctx)
+	return ts
+}
+
+// History returns the node's windowed sampler (nil until Observe or
+// StartHistory).
+func (s *NodeServer) History() *TimeSeries { return s.series }
 
 // Addr returns the bound address to hand to NewTCPCluster.
 func (s *NodeServer) Addr() string { return s.srv.Addr() }
@@ -106,8 +141,14 @@ func (s *NodeServer) HealthSource() HealthSource {
 	return func() any { return s.node.Health() }
 }
 
-// Close shuts the node down.
-func (s *NodeServer) Close() error { return s.srv.Close() }
+// Close shuts the node down, stopping the history sampler if one runs.
+func (s *NodeServer) Close() error {
+	if s.stopSeries != nil {
+		s.stopSeries()
+		s.stopSeries = nil
+	}
+	return s.srv.Close()
+}
 
 // Save writes the node's durable state (bootstrap parameters, stored blocks,
 // repository sequences) so a restarted node resumes serving without
